@@ -1,0 +1,23 @@
+//! Criterion bench: the two halves of Figure 3 as separate ablations —
+//! packet-size-only reduction and TSO-size-only reduction — plus the
+//! combined sweep at three aggressiveness points. The measured quantity
+//! is wall-clock cost of simulating a fixed window; the *reported*
+//! throughputs are printed by the `figure3` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::Nanos;
+use stob_bench::figure3_point;
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3_sim");
+    g.sample_size(10);
+    for alpha in [0u32, 20, 40] {
+        g.bench_with_input(BenchmarkId::new("alpha", alpha), &alpha, |b, &a| {
+            b.iter(|| figure3_point(a, Nanos::from_millis(10), 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alpha_sweep);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: per-decision cost of the Stob datapath hooks — the
+//! "can this live in the kernel fast path?" question (§5.4). Measures a
+//! policy's three hooks through the full sockopt assembly (strategy +
+//! safety cap + guards).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::{FlowId, Nanos};
+use stack::{ShapeCtx, Shaper};
+use std::hint::black_box;
+use stob::policy::ObfuscationPolicy;
+use stob::registry::{PolicyKey, PolicyRegistry};
+use stob::sockopt::attach_policy;
+use stob::strategies::IncrementalReduce;
+
+fn ctx() -> ShapeCtx {
+    ShapeCtx {
+        flow: FlowId(1),
+        now: Nanos(123_456),
+        cwnd: 1_000_000,
+        pacing_rate_bps: Some(10_000_000_000),
+        in_slow_start: false,
+        bytes_sent: 1 << 20,
+        pkts_sent: 1000,
+        segs_sent: 50,
+        mtu_ip: 1500,
+        mss: 1448,
+    }
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let reg = PolicyRegistry::new();
+    reg.publish(
+        PolicyKey::Default,
+        ObfuscationPolicy::split_and_delay("bench"),
+    );
+    let mut attached = attach_policy(&reg, 1, 1, 42).expect("policy");
+    let mut raw = IncrementalReduce::with_alpha(20);
+    let cx = ctx();
+
+    c.bench_function("stob_attached_pkt_size_hook", |b| {
+        b.iter(|| black_box(attached.packet_ip_size(&cx, 0, black_box(1500))))
+    });
+    c.bench_function("stob_attached_delay_hook", |b| {
+        b.iter(|| black_box(attached.extra_delay(&cx)))
+    });
+    c.bench_function("stob_raw_incremental_tso_hook", |b| {
+        b.iter(|| black_box(raw.tso_segment_pkts(&cx, black_box(44))))
+    });
+    c.bench_function("stob_registry_resolve", |b| {
+        b.iter(|| black_box(reg.resolve(black_box(1), black_box(1))))
+    });
+}
+
+criterion_group!(benches, bench_hooks);
+criterion_main!(benches);

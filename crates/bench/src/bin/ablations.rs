@@ -1,0 +1,215 @@
+//! Ablations called out in DESIGN.md:
+//!
+//! 1. The two halves of Figure 3 separately — packet-size-only reduction
+//!    vs. TSO-size-only reduction — showing which knob costs which CPU.
+//! 2. The HTTPOS-style client-only alternative (§2.3): forcing small
+//!    sender packets by advertising a small receive window/MSS, and the
+//!    throughput it sacrifices — the paper's argument for why client-only
+//!    defenses are "extremely inefficient and impractical".
+//!
+//! Usage: `ablations [measure_ms] [seed]`
+
+use netsim::{FlowId, Nanos};
+use stack::apps::{BulkSender, Sink};
+use stack::config::CcKind;
+use stack::net::{Api, App, Network, SERVER};
+use stack::{HostConfig, PathConfig, StackConfig};
+use stob::guard::CcaPhaseGuard;
+use stob::safety::SafetyCap;
+use stob::strategies::{DelayJitter, IncrementalReduce};
+
+struct Sender {
+    inner: BulkSender,
+    cfg: StackConfig,
+    shaper: Option<Box<dyn stack::Shaper>>,
+}
+
+impl App for Sender {
+    fn on_start(&mut self, api: &mut Api) {
+        let s = self.shaper.take();
+        api.connect_with(self.cfg.clone(), s);
+    }
+    fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+        self.inner.on_connected(api, flow);
+    }
+    fn on_sendable(&mut self, api: &mut Api, flow: FlowId) {
+        self.inner.on_sendable(api, flow);
+    }
+}
+
+fn goodput(
+    cfg: StackConfig,
+    shaper: Option<Box<dyn stack::Shaper>>,
+    path: PathConfig,
+    server_cfg: Option<StackConfig>,
+    measure: Nanos,
+    seed: u64,
+) -> f64 {
+    let mut server_host = HostConfig::default();
+    if let Some(sc) = server_cfg {
+        server_host.stack = sc;
+    }
+    let mut net = Network::new(
+        HostConfig::default(),
+        server_host,
+        path,
+        Box::new(Sender {
+            inner: BulkSender::endless(),
+            cfg,
+            shaper,
+        }),
+        Box::new(Sink::default()),
+        seed,
+    );
+    let warmup = Nanos::from_millis(30);
+    net.run_until(warmup);
+    let base = net
+        .conn_stats(SERVER, FlowId(1))
+        .map(|s| s.bytes_delivered)
+        .unwrap_or(0);
+    net.run_until(warmup + measure);
+    let bytes = net
+        .conn_stats(SERVER, FlowId(1))
+        .map(|s| s.bytes_delivered)
+        .unwrap_or(0)
+        - base;
+    bytes as f64 * 8.0 / measure.as_secs_f64() / 1e9
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let measure_ms: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let measure = Nanos::from_millis(measure_ms);
+
+    println!("Ablation 1: which knob costs what (100 Gb/s path, calibrated CPU)\n");
+    println!("alpha | pkt-size only | TSO-size only | both (Figure 3)");
+    for alpha in [0u32, 8, 16, 24, 32, 40] {
+        let pkt_only = IncrementalReduce::new(alpha, 10, 0, 0);
+        let tso_only = IncrementalReduce::new(0, 0, alpha / 4, 8);
+        let both = IncrementalReduce::with_alpha(alpha);
+        let g_pkt = goodput(
+            StackConfig::default(),
+            Some(Box::new(SafetyCap::new(pkt_only))),
+            PathConfig::lab_100g(),
+            None,
+            measure,
+            seed,
+        );
+        let g_tso = goodput(
+            StackConfig::default(),
+            Some(Box::new(SafetyCap::new(tso_only))),
+            PathConfig::lab_100g(),
+            None,
+            measure,
+            seed,
+        );
+        let g_both = goodput(
+            StackConfig::default(),
+            Some(Box::new(SafetyCap::new(both))),
+            PathConfig::lab_100g(),
+            None,
+            measure,
+            seed,
+        );
+        println!(
+            "{alpha:>5} | {g_pkt:>10.1} Gb/s | {g_tso:>10.1} Gb/s | {g_both:>10.1} Gb/s"
+        );
+    }
+    println!(
+        "\nreading: TSO shrinkage dominates the CPU cost (more stack traversals \n\
+         per byte); packet-size reduction alone is comparatively cheap.\n"
+    );
+
+    println!("Ablation 2: the HTTPOS-style client-only alternative (§2.3)\n");
+    println!("The client forces small server packets by advertising a small window.");
+    println!("Path: 1 Gb/s, 20 ms RTT (a fast residential/transit path).\n");
+    println!("receiver window | goodput");
+    let path = PathConfig {
+        bottleneck_bps: 1_000_000_000,
+        one_way_delay: Nanos::from_millis(10),
+        queue_bytes: 2 << 20,
+        loss: 0.0,
+    };
+    for (label, rwnd) in [
+        ("32 MB (default)", 32u64 << 20),
+        ("256 KB", 256 << 10),
+        ("64 KB", 64 << 10),
+        ("16 KB (HTTPOS-like)", 16 << 10),
+        ("4 KB (aggressive)", 4 << 10),
+    ] {
+        let cfg = StackConfig {
+            recv_wnd: rwnd,
+            ..StackConfig::default()
+        };
+        // The *receiver* (server here, since our sender is the client)
+        // advertises the small window; emulate by capping the client
+        // sender's peer window via the server stack config.
+        let g = goodput(
+            StackConfig::default(),
+            None,
+            path.clone(),
+            Some(cfg),
+            Nanos::from_secs(2),
+            seed,
+        );
+        println!("{label:>20} | {g:>7.3} Gb/s");
+    }
+    println!(
+        "\nreading: shrinking the advertised window throttles the whole transfer \n\
+         (rwnd/RTT), the §2.3 argument that HTTPOS-style client-only control \n\
+         sacrifices bandwidth utilization; Stob's server-side shaping (Figure 3) \n\
+         keeps tens of Gb/s instead.\n"
+    );
+
+    println!("Ablation 3: the §5.1 CCA-phase guard with BBR\n");
+    println!("BBR uses pacing to sense the path during startup; a timing policy");
+    println!("that stretches departure gaps there corrupts the bandwidth probe.");
+    println!("Early-window goodput (30-180 ms) of a BBR flow under a 30-80%");
+    println!("gap-stretch policy:\n");
+    let bbr_cfg = StackConfig {
+        cc: CcKind::Bbr,
+        ..StackConfig::default()
+    };
+    let bbr_path = PathConfig {
+        bottleneck_bps: 5_000_000_000,
+        one_way_delay: Nanos::from_millis(5),
+        queue_bytes: 4 << 20,
+        loss: 0.0,
+    };
+    let jitter = || {
+        DelayJitter::new(
+            stob::policy::DelaySpec::UniformFraction {
+                lo_frac: 0.3,
+                hi_frac: 0.8,
+            },
+            seed,
+        )
+    };
+    let early = Nanos::from_millis(150);
+    let unshaped = goodput(bbr_cfg.clone(), None, bbr_path.clone(), None, early, seed);
+    let naive = goodput(
+        bbr_cfg.clone(),
+        Some(Box::new(SafetyCap::new(jitter()))),
+        bbr_path.clone(),
+        None,
+        early,
+        seed,
+    );
+    let guarded = goodput(
+        bbr_cfg,
+        Some(Box::new(CcaPhaseGuard::new(SafetyCap::new(jitter())))),
+        bbr_path,
+        None,
+        early,
+        seed,
+    );
+    println!("  unshaped BBR:              {unshaped:>6.2} Gb/s");
+    println!("  shaped through startup:    {naive:>6.2} Gb/s");
+    println!("  shaped after startup only: {guarded:>6.2} Gb/s (CcaPhaseGuard)");
+    println!(
+        "\nreading: standing the policy down during BBR's startup (the guard) \n\
+         preserves the bandwidth probe; §5.1's co-design question is how much \n\
+         more than this simple interface is needed."
+    );
+}

@@ -1,0 +1,430 @@
+//! # stob-bench — the experiment harness
+//!
+//! One function per paper artifact, shared between the regeneration
+//! binaries (`table1`, `table2`, `figure3`) and the integration tests:
+//!
+//! * [`collect_dataset`] — the §3 data-collection pipeline: simulate
+//!   visits to the nine sites through the full stack, sanitize
+//!   (connection errors + IQR), balance classes.
+//! * [`run_table2`] — the 16-dataset censorship grid: countermeasure ×
+//!   prefix length, k-FP random-forest accuracy, mean ± std.
+//! * [`run_figure3`] — single-flow iperf3-style goodput over the
+//!   100 Gb/s lab path while `IncrementalReduce(alpha)` shapes the
+//!   sender, swept over alpha.
+//! * [`run_overheads`] — the taxonomy with *measured* bandwidth/latency
+//!   overheads for every implemented defense.
+
+use defenses::emulate::{self, CounterMeasure, EmulateConfig};
+use defenses::overhead::{bandwidth_overhead, latency_overhead, Defended};
+use netsim::{FlowId, Nanos, SimRng};
+use stack::apps::{BulkSender, Sink};
+use stack::net::{Network, SERVER};
+use stack::{HostConfig, PathConfig, StackConfig};
+use stob::safety::SafetyCap;
+use stob::strategies::IncrementalReduce;
+use traces::loader::{collect, LoaderConfig};
+use traces::sanitize::sanitize;
+use traces::sites::paper_sites;
+use traces::Dataset;
+use wf::eval::{evaluate, EvalConfig};
+use wf::forest::ForestConfig;
+
+// ---------------------------------------------------------------------
+// Data collection (§3)
+// ---------------------------------------------------------------------
+
+/// Summary of the collection + sanitization stage.
+#[derive(Debug)]
+pub struct CollectionSummary {
+    pub dataset: Dataset,
+    pub per_class: usize,
+    pub dropped_errors: usize,
+    pub dropped_outliers: usize,
+}
+
+/// Simulate `visits` page loads per site for all nine paper sites and
+/// sanitize exactly as §3 describes.
+pub fn collect_dataset(visits: usize, seed: u64) -> CollectionSummary {
+    let sites = paper_sites();
+    let cfg = LoaderConfig::default();
+    let outcomes = collect(&sites, visits, seed, &cfg);
+    let per_site: Vec<(Vec<traces::Trace>, Vec<bool>)> = outcomes
+        .into_iter()
+        .map(|site_outcomes| {
+            let complete: Vec<bool> = site_outcomes.iter().map(|o| o.complete).collect();
+            let traces: Vec<traces::Trace> =
+                site_outcomes.into_iter().map(|o| o.trace).collect();
+            (traces, complete)
+        })
+        .collect();
+    let (balanced, reports, per_class) = sanitize(per_site);
+    let names = sites.iter().map(|s| s.name.to_string()).collect();
+    CollectionSummary {
+        dataset: Dataset::new(balanced, names),
+        per_class,
+        dropped_errors: reports.iter().map(|r| r.dropped_errors).sum(),
+        dropped_outliers: reports.iter().map(|r| r.dropped_outliers).sum(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------
+
+/// One cell of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    pub countermeasure: CounterMeasure,
+    /// Prefix length (0 = All).
+    pub n: usize,
+    pub mean: f64,
+    pub std: f64,
+}
+
+/// Table 2 knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Config {
+    pub trees: usize,
+    pub repeats: usize,
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Table2Config {
+            trees: 100,
+            repeats: 5,
+            seed: 0x7AB1E2,
+        }
+    }
+}
+
+/// Run the 16-dataset grid on a collected dataset.
+pub fn run_table2(dataset: &Dataset, cfg: &Table2Config) -> Vec<Table2Cell> {
+    let eval_cfg = EvalConfig {
+        forest: ForestConfig {
+            n_trees: cfg.trees,
+            ..ForestConfig::default()
+        },
+        repeats: cfg.repeats,
+        seed: cfg.seed,
+        ..EvalConfig::default()
+    };
+    let mut out = Vec::new();
+    for (cm, n) in emulate::section3_grid() {
+        // Defense applied to the first n packets (whole trace when 0),
+        // then the attacker sees the first n packets of the result.
+        let em = EmulateConfig {
+            first_n: n,
+            ..EmulateConfig::default()
+        };
+        let mut rng = SimRng::new(cfg.seed).fork(n as u64).fork(cm as u64);
+        let defended = dataset.map_traces(|t| emulate::apply(cm, t, &em, &mut rng).trace);
+        let view = defended.truncated(n);
+        let r = evaluate(&view, &eval_cfg);
+        out.push(Table2Cell {
+            countermeasure: cm,
+            n,
+            mean: r.mean,
+            std: r.std,
+        });
+    }
+    out
+}
+
+/// Render Table 2 in the paper's layout.
+pub fn format_table2(cells: &[Table2Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("| N   | Original      | Split         | Delayed       | Combined      |\n");
+    s.push_str("|-----|---------------|---------------|---------------|---------------|\n");
+    for n in [15usize, 30, 45, 0] {
+        let label = if n == 0 { "All".to_string() } else { n.to_string() };
+        s.push_str(&format!("| {label:<3} |"));
+        for cm in CounterMeasure::all() {
+            let cell = cells
+                .iter()
+                .find(|c| c.countermeasure == cm && c.n == n)
+                .expect("grid complete");
+            s.push_str(&format!(" {:.3} \u{00B1} {:.3} |", cell.mean, cell.std));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------
+
+/// One Figure 3 point.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure3Point {
+    pub alpha: u32,
+    pub goodput_gbps: f64,
+}
+
+/// Measure single-flow goodput with `IncrementalReduce(alpha)` shaping
+/// the sender over the 100 Gb/s lab path.
+pub fn figure3_point(alpha: u32, measure: Nanos, seed: u64) -> Figure3Point {
+    let host = HostConfig::default(); // calibrated CPU model, 100 GbE NIC
+    let stack_cfg = StackConfig::default();
+    let shaper = SafetyCap::new(IncrementalReduce::with_alpha(alpha));
+
+    struct ShapedSender {
+        inner: BulkSender,
+        cfg: StackConfig,
+        shaper: Option<Box<dyn stack::Shaper>>,
+    }
+    impl stack::net::App for ShapedSender {
+        fn on_start(&mut self, api: &mut stack::net::Api) {
+            let shaper = self.shaper.take();
+            let flow = api.connect_with(self.cfg.clone(), shaper);
+            let _ = flow;
+        }
+        fn on_connected(&mut self, api: &mut stack::net::Api, flow: FlowId) {
+            self.inner.on_connected(api, flow);
+        }
+        fn on_sendable(&mut self, api: &mut stack::net::Api, flow: FlowId) {
+            self.inner.on_sendable(api, flow);
+        }
+    }
+
+    let sender = ShapedSender {
+        inner: BulkSender::endless(),
+        cfg: stack_cfg,
+        shaper: Some(Box::new(shaper)),
+    };
+    let mut net = Network::new(
+        host.clone(),
+        host,
+        PathConfig::lab_100g(),
+        Box::new(sender),
+        Box::new(Sink::default()),
+        seed,
+    );
+    // Warm up past slow start, then measure a steady-state window.
+    let warmup = Nanos::from_millis(30);
+    net.run_until(warmup);
+    let base = net
+        .conn_stats(SERVER, FlowId(1))
+        .map(|s| s.bytes_delivered)
+        .unwrap_or(0);
+    net.run_until(warmup + measure);
+    let bytes = net
+        .conn_stats(SERVER, FlowId(1))
+        .map(|s| s.bytes_delivered)
+        .unwrap_or(0)
+        - base;
+    Figure3Point {
+        alpha,
+        goodput_gbps: bytes as f64 * 8.0 / measure.as_secs_f64() / 1e9,
+    }
+}
+
+/// Sweep alpha as in Figure 3.
+pub fn run_figure3(alphas: &[u32], measure: Nanos, seed: u64) -> Vec<Figure3Point> {
+    alphas
+        .iter()
+        .map(|&a| figure3_point(a, measure, seed))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 1 (taxonomy + measured overheads)
+// ---------------------------------------------------------------------
+
+/// Measured overhead for one implemented defense.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    pub system: &'static str,
+    pub bandwidth: f64,
+    pub latency: f64,
+}
+
+/// Apply every implemented defense to a corpus and average overheads.
+pub fn run_overheads(dataset: &Dataset, seed: u64) -> Vec<OverheadRow> {
+    let rng = SimRng::new(seed);
+    let em = EmulateConfig::default();
+    let apply_all: Vec<(&'static str, Box<dyn FnMut(&traces::Trace) -> Defended>)> = vec![
+        (
+            "Split (this paper)",
+            Box::new({
+                let em = em;
+                move |t| emulate::apply(CounterMeasure::Split, t, &em, &mut SimRng::new(1))
+            }),
+        ),
+        (
+            "Delayed (this paper)",
+            Box::new({
+                let mut r = rng.fork(1);
+                move |t| emulate::apply(CounterMeasure::Delayed, t, &em, &mut r)
+            }),
+        ),
+        (
+            "Combined (this paper)",
+            Box::new({
+                let mut r = rng.fork(2);
+                move |t| emulate::apply(CounterMeasure::Combined, t, &em, &mut r)
+            }),
+        ),
+        (
+            "FRONT",
+            Box::new({
+                let mut r = rng.fork(3);
+                move |t| defenses::front::front(t, &Default::default(), &mut r)
+            }),
+        ),
+        (
+            "WTF-PAD",
+            Box::new({
+                let mut r = rng.fork(4);
+                move |t| defenses::wtfpad::wtfpad(t, &Default::default(), &mut r)
+            }),
+        ),
+        (
+            "RegulaTor",
+            Box::new(move |t| defenses::regulator::regulator(t, &Default::default())),
+        ),
+        (
+            "Tamaraw",
+            Box::new(move |t| defenses::buflo::tamaraw(t, &Default::default())),
+        ),
+        (
+            "BuFLO",
+            Box::new(move |t| defenses::buflo::buflo(t, &Default::default())),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, mut f) in apply_all {
+        let mut bw = 0.0;
+        let mut lat = 0.0;
+        for t in &dataset.traces {
+            let d = f(t);
+            bw += bandwidth_overhead(t, &d);
+            lat += latency_overhead(t, &d);
+        }
+        let n = dataset.len() as f64;
+        rows.push(OverheadRow {
+            system: name,
+            bandwidth: bw / n,
+            latency: lat / n,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::statgen::generate_corpus;
+
+    fn quick_dataset() -> Dataset {
+        let sites: Vec<_> = paper_sites().into_iter().take(4).collect();
+        let names = sites.iter().map(|s| s.name.to_string()).collect();
+        Dataset::new(generate_corpus(&sites, 15, 3), names)
+    }
+
+    #[test]
+    fn table2_grid_has_16_cells_and_sane_accuracies() {
+        let d = quick_dataset();
+        let cfg = Table2Config {
+            trees: 25,
+            repeats: 2,
+            seed: 1,
+        };
+        let cells = run_table2(&d, &cfg);
+        assert_eq!(cells.len(), 16);
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.mean), "{c:?}");
+            assert!(c.std >= 0.0);
+        }
+        // Accuracy grows with N for the undefended traces.
+        let acc = |n: usize| {
+            cells
+                .iter()
+                .find(|c| c.countermeasure == CounterMeasure::Original && c.n == n)
+                .expect("cell")
+                .mean
+        };
+        assert!(
+            acc(0) + 0.05 >= acc(15),
+            "full-trace accuracy {} should not trail N=15 {}",
+            acc(0),
+            acc(15)
+        );
+    }
+
+    #[test]
+    fn table2_formatting_contains_all_rows() {
+        let d = quick_dataset();
+        let cfg = Table2Config {
+            trees: 10,
+            repeats: 2,
+            seed: 2,
+        };
+        let s = format_table2(&run_table2(&d, &cfg));
+        for row in ["| 15 ", "| 30 ", "| 45 ", "| All"] {
+            assert!(s.contains(row), "missing row {row} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn figure3_alpha_zero_hits_calibrated_band() {
+        let p = figure3_point(0, Nanos::from_millis(30), 1);
+        assert!(
+            (30.0..60.0).contains(&p.goodput_gbps),
+            "alpha=0 goodput {} Gb/s",
+            p.goodput_gbps
+        );
+    }
+
+    #[test]
+    fn figure3_large_alpha_degrades_but_stays_usable() {
+        let p0 = figure3_point(0, Nanos::from_millis(30), 1);
+        let p40 = figure3_point(40, Nanos::from_millis(30), 1);
+        assert!(
+            p40.goodput_gbps < p0.goodput_gbps,
+            "alpha=40 ({}) must be slower than alpha=0 ({})",
+            p40.goodput_gbps,
+            p0.goodput_gbps
+        );
+        // The paper's floor: "preserves 19.7 Gb/s or higher".
+        assert!(
+            p40.goodput_gbps > 15.0,
+            "alpha=40 goodput {} collapsed",
+            p40.goodput_gbps
+        );
+    }
+
+    #[test]
+    fn overhead_rows_rank_padding_above_timing() {
+        let d = quick_dataset();
+        let rows = run_overheads(&d, 5);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.system.starts_with(name))
+                .unwrap_or_else(|| panic!("row {name}"))
+                .bandwidth
+        };
+        // §2.3's cost ordering: timing-only ~ 0, split ~ header-only,
+        // padding defenses >> both, BuFLO worst.
+        assert!(get("Delayed").abs() < 0.01);
+        assert!(get("Split") < 0.10);
+        assert!(get("FRONT") > 0.15);
+        assert!(get("BuFLO") > get("FRONT"));
+        assert!(get("BuFLO") > get("RegulaTor"));
+    }
+
+    #[test]
+    fn small_collection_pipeline_end_to_end() {
+        // Tiny but real: 3 visits/site through the full stack.
+        let summary = collect_dataset(3, 42);
+        assert_eq!(summary.dataset.n_classes(), 9);
+        assert!(summary.per_class >= 1, "sanitizer kept nothing");
+        assert_eq!(
+            summary.dataset.len(),
+            summary.per_class * 9,
+            "balanced classes"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! CCA-phase and flow-position guards (§5.1, §3).
+//!
+//! §5.1: packet sequence control can conflict with the congestion
+//! controller — BBR in particular uses pacing as a measurement
+//! instrument during startup. Until CCA/obfuscation co-design matures,
+//! the pragmatic interface the paper suggests is "do not perform any
+//! action in certain phases". [`CcaPhaseGuard`] implements that: it
+//! passes decisions through unchanged while the guard condition holds.
+//!
+//! The same mechanism implements §3's observation that the censorship
+//! battle is decided in the first tens of packets: [`FirstNGuard`]
+//! *limits* obfuscation to the first N data packets, bounding its cost.
+
+use netsim::Nanos;
+use stack::{ShapeCtx, Shaper};
+
+/// Suspend the inner strategy while the CCA is in slow start / startup.
+pub struct CcaPhaseGuard<S> {
+    inner: S,
+    /// Count of decisions suppressed by the guard (observability).
+    pub suppressed: u64,
+}
+
+impl<S: Shaper> CcaPhaseGuard<S> {
+    pub fn new(inner: S) -> Self {
+        CcaPhaseGuard {
+            inner,
+            suppressed: 0,
+        }
+    }
+
+    fn active(&self, ctx: &ShapeCtx) -> bool {
+        !ctx.in_slow_start
+    }
+}
+
+impl<S: Shaper> Shaper for CcaPhaseGuard<S> {
+    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
+        if self.active(ctx) {
+            self.inner.tso_segment_pkts(ctx, proposed)
+        } else {
+            self.suppressed += 1;
+            proposed
+        }
+    }
+    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
+        if self.active(ctx) {
+            self.inner.packet_ip_size(ctx, pkt_index, proposed)
+        } else {
+            self.suppressed += 1;
+            proposed
+        }
+    }
+    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
+        if self.active(ctx) {
+            self.inner.extra_delay(ctx)
+        } else {
+            self.suppressed += 1;
+            Nanos::ZERO
+        }
+    }
+    fn on_ack(&mut self, ctx: &ShapeCtx) {
+        self.inner.on_ack(ctx);
+    }
+}
+
+/// Apply the inner strategy only to the first `n` data packets of the
+/// flow (0 = always apply).
+pub struct FirstNGuard<S> {
+    inner: S,
+    pub n: u64,
+}
+
+impl<S: Shaper> FirstNGuard<S> {
+    pub fn new(inner: S, n: u64) -> Self {
+        FirstNGuard { inner, n }
+    }
+
+    fn active(&self, ctx: &ShapeCtx) -> bool {
+        self.n == 0 || ctx.pkts_sent < self.n
+    }
+}
+
+impl<S: Shaper> Shaper for FirstNGuard<S> {
+    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
+        if self.active(ctx) {
+            self.inner.tso_segment_pkts(ctx, proposed)
+        } else {
+            proposed
+        }
+    }
+    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
+        if self.active(ctx) {
+            self.inner.packet_ip_size(ctx, pkt_index, proposed)
+        } else {
+            proposed
+        }
+    }
+    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
+        if self.active(ctx) {
+            self.inner.extra_delay(ctx)
+        } else {
+            Nanos::ZERO
+        }
+    }
+    fn on_ack(&mut self, ctx: &ShapeCtx) {
+        self.inner.on_ack(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::SplitThreshold;
+    use netsim::FlowId;
+
+    fn ctx(in_ss: bool, pkts_sent: u64) -> ShapeCtx {
+        ShapeCtx {
+            flow: FlowId(1),
+            now: Nanos(0),
+            cwnd: 14480,
+            pacing_rate_bps: None,
+            in_slow_start: in_ss,
+            bytes_sent: 0,
+            pkts_sent,
+            segs_sent: 0,
+            mtu_ip: 1500,
+            mss: 1448,
+        }
+    }
+
+    #[test]
+    fn guard_suppresses_in_slow_start() {
+        let mut g = CcaPhaseGuard::new(SplitThreshold::new(1200));
+        let ss = ctx(true, 0);
+        assert_eq!(g.packet_ip_size(&ss, 0, 1500), 1500, "untouched in SS");
+        assert_eq!(g.extra_delay(&ss), Nanos::ZERO);
+        assert_eq!(g.suppressed, 2);
+        let ca = ctx(false, 0);
+        assert_eq!(g.packet_ip_size(&ca, 0, 1500), 750, "active in CA");
+    }
+
+    #[test]
+    fn first_n_guard_limits_scope() {
+        let mut g = FirstNGuard::new(SplitThreshold::new(1200), 15);
+        assert_eq!(g.packet_ip_size(&ctx(false, 0), 0, 1500), 750);
+        assert_eq!(g.packet_ip_size(&ctx(false, 14), 0, 1500), 750);
+        assert_eq!(g.packet_ip_size(&ctx(false, 15), 0, 1500), 1500);
+        assert_eq!(g.packet_ip_size(&ctx(false, 1000), 0, 1500), 1500);
+    }
+
+    #[test]
+    fn first_n_zero_means_whole_flow() {
+        let mut g = FirstNGuard::new(SplitThreshold::new(1200), 0);
+        assert_eq!(g.packet_ip_size(&ctx(false, 1 << 40), 0, 1500), 750);
+    }
+
+    #[test]
+    fn guards_compose() {
+        // Slow-start guard around a first-N guard around the splitter.
+        let mut g = CcaPhaseGuard::new(FirstNGuard::new(SplitThreshold::new(1200), 10));
+        assert_eq!(g.packet_ip_size(&ctx(true, 5), 0, 1500), 1500);
+        assert_eq!(g.packet_ip_size(&ctx(false, 5), 0, 1500), 750);
+        assert_eq!(g.packet_ip_size(&ctx(false, 50), 0, 1500), 1500);
+    }
+}

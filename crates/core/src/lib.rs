@@ -1,0 +1,50 @@
+//! # stob — **s**tack-level **t**raffic **ob**fuscation
+//!
+//! The paper's contribution (§4): a framework that lets website-
+//! fingerprinting defenses operate on the *final* packet sequence by
+//! plugging into the three stack decision points where that sequence is
+//! actually made — TSO sizing, per-packet sizing, and departure timing —
+//! instead of hoping the application's intended sequence survives the
+//! asynchronous send path (§2.3 shows it does not).
+//!
+//! Architecture (Figure 2):
+//!
+//! * **Policies** ([`policy`]) are compact, serializable descriptions of
+//!   the obfuscation distributions — histograms for sizes and delays —
+//!   cheap enough to share between application and stack and between
+//!   flows with the same destination (§4.1).
+//! * **The registry** ([`registry`]) is that shared table: applications
+//!   (or an administrator) publish policies, the stack looks them up per
+//!   flow/destination. It stands in for the shared memory region of the
+//!   paper's design.
+//! * **Strategies** ([`strategies`]) turn a policy into a live
+//!   [`stack::Shaper`]: the Figure 3 `IncrementalReduce`, in-stack
+//!   split/delay equivalents (`SplitThreshold`, `DelayJitter`), a
+//!   histogram sampler, and combinators.
+//! * **The safety envelope** ([`safety::SafetyCap`]) enforces the §4.2
+//!   invariant: obfuscation may only *reduce* segment/packet sizes and
+//!   *delay* departures — never send more aggressively than the CCA
+//!   decided. [`guard::CcaPhaseGuard`] additionally stands the policy
+//!   down in CCA phases where pacing is load-bearing (§5.1, BBR).
+//! * **The control surface** ([`sockopt`]) is the `setsockopt`-style API
+//!   (§5.3) apps use to attach a policy to a connection.
+//!
+//! Padding is deliberately *not* a Stob primitive: §4.2 leaves padding to
+//! the application (TLS record padding and app-specific schemes), because
+//! padding without application knowledge is both costly and ineffective.
+
+pub mod fit;
+pub mod guard;
+pub mod policy;
+pub mod registry;
+pub mod safety;
+pub mod sockopt;
+pub mod strategies;
+
+pub use fit::{fit_delay_policy, fit_morphing_policy, fit_size_policy};
+pub use guard::CcaPhaseGuard;
+pub use policy::{DelaySpec, ObfuscationPolicy, SizeSpec};
+pub use registry::{PolicyKey, PolicyRegistry};
+pub use safety::{SafetyAudit, SafetyCap};
+pub use sockopt::attach_policy;
+pub use strategies::{Chain, DelayJitter, HistogramSampler, IncrementalReduce, SplitThreshold};

@@ -1,0 +1,242 @@
+//! Obfuscation policies: the compact, shareable description of *what*
+//! the obfuscation should look like, decoupled from the stack hooks that
+//! enforce it.
+//!
+//! §4.1: "the packet departure time and size applied to data units can be
+//! represented as relatively compact distribution functions like
+//! histograms, and their instances can be shared between flows in some
+//! cases (e.g., same destination)". A policy therefore carries a
+//! [`SizeSpec`] and a [`DelaySpec`], each either a simple parametric rule
+//! or an empirical histogram.
+
+use netsim::{Histogram, Nanos, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// How packet sizes should be obfuscated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SizeSpec {
+    /// Leave sizes alone.
+    Unchanged,
+    /// Split packets whose IP size exceeds `threshold` into halves
+    /// (the §3 countermeasure).
+    SplitAbove { threshold: u32 },
+    /// Cycle packet sizes downward: start at the MTU, shrink by `step`
+    /// per packet for `steps` packets, then reset (Figure 3's rule).
+    IncrementalReduce { step: u32, steps: u32 },
+    /// Draw each packet's IP size from an empirical histogram.
+    FromHistogram(Histogram),
+    /// Force a fixed IP packet size (clamped to the MTU by the stack).
+    Fixed { ip_size: u32 },
+}
+
+/// How departure times should be obfuscated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DelaySpec {
+    /// Leave timing alone.
+    Unchanged,
+    /// Add a uniform extra delay of `lo_frac..hi_frac` of the segment's
+    /// own serialization time at the current pacing rate — the in-stack
+    /// analogue of §3's "increment the inter-arrival time by 10-30%".
+    UniformFraction { lo_frac: f64, hi_frac: f64 },
+    /// Add an absolute uniform delay in nanoseconds.
+    UniformAbsolute { lo: Nanos, hi: Nanos },
+    /// Draw extra delay (in microseconds) from an empirical histogram.
+    FromHistogramMicros(Histogram),
+}
+
+/// How TSO/GSO segment sizes should be obfuscated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TsoSpec {
+    Unchanged,
+    /// Cycle the segment size downward by `step` packets for `steps`
+    /// segments, then reset (Figure 3's rule: step = alpha/4, 8 steps).
+    IncrementalReduce { step: u32, steps: u32 },
+    /// Cap segments at a fixed number of packets.
+    Cap { pkts: u32 },
+}
+
+/// A complete obfuscation policy, as published to the registry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObfuscationPolicy {
+    /// Human-readable identifier, unique within a registry.
+    pub name: String,
+    pub size: SizeSpec,
+    pub delay: DelaySpec,
+    pub tso: TsoSpec,
+    /// Apply only to the first `first_n_pkts` data packets of the flow
+    /// (0 = whole flow). §3 shows the censorship fight happens in the
+    /// first tens of packets, so front-loading protection bounds cost.
+    pub first_n_pkts: u64,
+    /// Hold off while the CCA is in slow start (§5.1: don't disturb
+    /// phases where pacing is a measurement instrument).
+    pub respect_slow_start: bool,
+}
+
+impl ObfuscationPolicy {
+    /// A policy that changes nothing (useful as a registry default).
+    pub fn passthrough(name: &str) -> Self {
+        ObfuscationPolicy {
+            name: name.to_string(),
+            size: SizeSpec::Unchanged,
+            delay: DelaySpec::Unchanged,
+            tso: TsoSpec::Unchanged,
+            first_n_pkts: 0,
+            respect_slow_start: false,
+        }
+    }
+
+    /// The paper's §3 server-side countermeasure pair, expressed as a
+    /// stack policy: split above 1200 bytes, delay by 10-30%.
+    pub fn split_and_delay(name: &str) -> Self {
+        ObfuscationPolicy {
+            name: name.to_string(),
+            size: SizeSpec::SplitAbove { threshold: 1200 },
+            delay: DelaySpec::UniformFraction {
+                lo_frac: 0.10,
+                hi_frac: 0.30,
+            },
+            tso: TsoSpec::Unchanged,
+            first_n_pkts: 0,
+            respect_slow_start: false,
+        }
+    }
+
+    /// Figure 3's incremental-reduce policy at aggressiveness `alpha`.
+    pub fn incremental(name: &str, alpha: u32) -> Self {
+        ObfuscationPolicy {
+            name: name.to_string(),
+            size: SizeSpec::IncrementalReduce {
+                step: alpha,
+                steps: 10,
+            },
+            delay: DelaySpec::Unchanged,
+            tso: TsoSpec::IncrementalReduce {
+                step: alpha / 4,
+                steps: 8,
+            },
+            first_n_pkts: 0,
+            respect_slow_start: false,
+        }
+    }
+}
+
+/// Sample a [`DelaySpec`] given the segment's nominal serialization time.
+pub(crate) fn sample_delay(spec: &DelaySpec, nominal: Nanos, rng: &mut SimRng) -> Nanos {
+    match spec {
+        DelaySpec::Unchanged => Nanos::ZERO,
+        DelaySpec::UniformFraction { lo_frac, hi_frac } => {
+            let f = rng.range_f64(*lo_frac, *hi_frac);
+            nominal.mul_f64(f)
+        }
+        DelaySpec::UniformAbsolute { lo, hi } => Nanos(rng.range_u64(lo.0, hi.0)),
+        DelaySpec::FromHistogramMicros(h) => {
+            let us = h.sample(rng.next_f64(), rng.next_f64()).max(0.0);
+            Nanos::from_secs_f64(us * 1e-6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_is_inert() {
+        let p = ObfuscationPolicy::passthrough("none");
+        assert!(matches!(p.size, SizeSpec::Unchanged));
+        assert!(matches!(p.delay, DelaySpec::Unchanged));
+        assert!(matches!(p.tso, TsoSpec::Unchanged));
+        assert_eq!(p.first_n_pkts, 0);
+    }
+
+    #[test]
+    fn split_and_delay_matches_section3_parameters() {
+        let p = ObfuscationPolicy::split_and_delay("s3");
+        match p.size {
+            SizeSpec::SplitAbove { threshold } => assert_eq!(threshold, 1200),
+            _ => panic!("wrong size spec"),
+        }
+        match p.delay {
+            DelaySpec::UniformFraction { lo_frac, hi_frac } => {
+                assert_eq!(lo_frac, 0.10);
+                assert_eq!(hi_frac, 0.30);
+            }
+            _ => panic!("wrong delay spec"),
+        }
+    }
+
+    #[test]
+    fn incremental_matches_figure3_parameters() {
+        let p = ObfuscationPolicy::incremental("fig3", 20);
+        match p.size {
+            SizeSpec::IncrementalReduce { step, steps } => {
+                assert_eq!(step, 20);
+                assert_eq!(steps, 10);
+            }
+            _ => panic!("wrong size spec"),
+        }
+        match p.tso {
+            TsoSpec::IncrementalReduce { step, steps } => {
+                assert_eq!(step, 5);
+                assert_eq!(steps, 8);
+            }
+            _ => panic!("wrong tso spec"),
+        }
+    }
+
+    #[test]
+    fn delay_sampling_fraction_in_range() {
+        let mut rng = SimRng::new(1);
+        let spec = DelaySpec::UniformFraction {
+            lo_frac: 0.10,
+            hi_frac: 0.30,
+        };
+        let nominal = Nanos::from_micros(100);
+        for _ in 0..1000 {
+            let d = sample_delay(&spec, nominal, &mut rng);
+            assert!(
+                (Nanos::from_micros(10)..=Nanos::from_micros(30)).contains(&d),
+                "delay {d} out of 10-30% band"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_sampling_absolute_in_range() {
+        let mut rng = SimRng::new(2);
+        let spec = DelaySpec::UniformAbsolute {
+            lo: Nanos(100),
+            hi: Nanos(200),
+        };
+        for _ in 0..1000 {
+            let d = sample_delay(&spec, Nanos::ZERO, &mut rng);
+            assert!((100..=200).contains(&d.0));
+        }
+    }
+
+    #[test]
+    fn delay_sampling_histogram() {
+        let mut h = Histogram::new(0.0, 1000.0, 10);
+        for _ in 0..50 {
+            h.push(550.0); // all mass in 500-600 us
+        }
+        let mut rng = SimRng::new(3);
+        let spec = DelaySpec::FromHistogramMicros(h);
+        for _ in 0..100 {
+            let d = sample_delay(&spec, Nanos::ZERO, &mut rng);
+            assert!(
+                (Nanos::from_micros(500)..Nanos::from_micros(600)).contains(&d),
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn policies_serialize_round_trip() {
+        let p = ObfuscationPolicy::split_and_delay("rt");
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: ObfuscationPolicy = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.name, "rt");
+        assert!(matches!(back.size, SizeSpec::SplitAbove { threshold: 1200 }));
+    }
+}

@@ -1,0 +1,216 @@
+//! The shared policy table between applications and the stack.
+//!
+//! §4.1: policies "could be maintained in the shared memory between the
+//! application and stack". We model that as a registry protected by a
+//! `parking_lot::RwLock` behind an `Arc`: the application side publishes
+//! and updates policies; the stack side resolves them per flow or per
+//! destination with a read lock on the datapath. Policies are stored as
+//! `Arc<ObfuscationPolicy>` so a resolved policy never blocks behind a
+//! writer.
+
+use crate::policy::ObfuscationPolicy;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a policy is keyed on. Destination-scoped entries let many flows
+/// to the same server share one instance (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PolicyKey {
+    /// A specific flow.
+    Flow(u32),
+    /// All flows to a destination (server id in our model).
+    Destination(u32),
+    /// The host-wide default.
+    Default,
+}
+
+#[derive(Default)]
+struct Inner {
+    table: BTreeMap<PolicyKey, Arc<ObfuscationPolicy>>,
+    /// Bumped on every mutation; lets the stack cache resolutions.
+    version: u64,
+}
+
+/// Shared, concurrently readable policy registry.
+#[derive(Clone, Default)]
+pub struct PolicyRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl PolicyRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish (or replace) a policy under `key`.
+    pub fn publish(&self, key: PolicyKey, policy: ObfuscationPolicy) {
+        let mut g = self.inner.write();
+        g.table.insert(key, Arc::new(policy));
+        g.version += 1;
+    }
+
+    /// Remove a policy. Returns true if something was removed.
+    pub fn withdraw(&self, key: PolicyKey) -> bool {
+        let mut g = self.inner.write();
+        let removed = g.table.remove(&key).is_some();
+        if removed {
+            g.version += 1;
+        }
+        removed
+    }
+
+    /// Resolve the policy for a flow: exact flow match, then its
+    /// destination, then the default.
+    pub fn resolve(&self, flow: u32, destination: u32) -> Option<Arc<ObfuscationPolicy>> {
+        let g = self.inner.read();
+        g.table
+            .get(&PolicyKey::Flow(flow))
+            .or_else(|| g.table.get(&PolicyKey::Destination(destination)))
+            .or_else(|| g.table.get(&PolicyKey::Default))
+            .cloned()
+    }
+
+    /// Current mutation counter (for cache invalidation on the datapath).
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().table.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize the whole table — the administrator's view of the
+    /// host's obfuscation configuration (§4.1: policies are compact and
+    /// shareable).
+    pub fn export_json(&self) -> String {
+        let g = self.inner.read();
+        let entries: Vec<(PolicyKey, &ObfuscationPolicy)> = g
+            .table
+            .iter()
+            .map(|(k, v)| (*k, v.as_ref()))
+            .collect();
+        serde_json::to_string_pretty(&entries).expect("policies are serializable")
+    }
+
+    /// Merge policies from a JSON export into this registry.
+    pub fn import_json(&self, json: &str) -> Result<usize, serde_json::Error> {
+        let entries: Vec<(PolicyKey, ObfuscationPolicy)> = serde_json::from_str(json)?;
+        let n = entries.len();
+        let mut g = self.inner.write();
+        for (k, p) in entries {
+            g.table.insert(k, Arc::new(p));
+        }
+        g.version += 1;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_precedence_flow_then_dest_then_default() {
+        let r = PolicyRegistry::new();
+        r.publish(PolicyKey::Default, ObfuscationPolicy::passthrough("default"));
+        r.publish(
+            PolicyKey::Destination(7),
+            ObfuscationPolicy::passthrough("dest7"),
+        );
+        r.publish(PolicyKey::Flow(42), ObfuscationPolicy::passthrough("flow42"));
+
+        assert_eq!(r.resolve(42, 7).unwrap().name, "flow42");
+        assert_eq!(r.resolve(43, 7).unwrap().name, "dest7");
+        assert_eq!(r.resolve(43, 8).unwrap().name, "default");
+    }
+
+    #[test]
+    fn empty_registry_resolves_to_none() {
+        let r = PolicyRegistry::new();
+        assert!(r.resolve(1, 1).is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn withdraw_and_version_bumps() {
+        let r = PolicyRegistry::new();
+        let v0 = r.version();
+        r.publish(PolicyKey::Default, ObfuscationPolicy::passthrough("a"));
+        assert!(r.version() > v0);
+        let v1 = r.version();
+        assert!(r.withdraw(PolicyKey::Default));
+        assert!(r.version() > v1);
+        assert!(!r.withdraw(PolicyKey::Default));
+        assert!(r.resolve(1, 1).is_none());
+    }
+
+    #[test]
+    fn shared_between_clones_like_shared_memory() {
+        let app_side = PolicyRegistry::new();
+        let stack_side = app_side.clone();
+        app_side.publish(
+            PolicyKey::Destination(3),
+            ObfuscationPolicy::split_and_delay("srv3"),
+        );
+        // The stack side observes the publication immediately.
+        assert_eq!(stack_side.resolve(99, 3).unwrap().name, "srv3");
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let a = PolicyRegistry::new();
+        a.publish(PolicyKey::Default, ObfuscationPolicy::passthrough("d"));
+        a.publish(
+            PolicyKey::Destination(4),
+            ObfuscationPolicy::split_and_delay("cdn-4"),
+        );
+        a.publish(PolicyKey::Flow(9), ObfuscationPolicy::incremental("f9", 20));
+        let json = a.export_json();
+        let b = PolicyRegistry::new();
+        let n = b.import_json(&json).expect("valid export");
+        assert_eq!(n, 3);
+        assert_eq!(b.resolve(9, 4).expect("flow").name, "f9");
+        assert_eq!(b.resolve(1, 4).expect("dest").name, "cdn-4");
+        assert_eq!(b.resolve(1, 1).expect("default").name, "d");
+        assert!(b.import_json("[not json").is_err());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::thread;
+        let r = PolicyRegistry::new();
+        r.publish(PolicyKey::Default, ObfuscationPolicy::passthrough("d"));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let rr = r.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let p = rr.resolve(1, 1).expect("default always present");
+                        assert!(!p.name.is_empty());
+                    }
+                })
+            })
+            .collect();
+        let writer = {
+            let rw = r.clone();
+            thread::spawn(move || {
+                for i in 0..100 {
+                    rw.publish(
+                        PolicyKey::Destination(i),
+                        ObfuscationPolicy::passthrough("x"),
+                    );
+                }
+            })
+        };
+        for h in readers {
+            h.join().expect("reader panicked");
+        }
+        writer.join().expect("writer panicked");
+        assert_eq!(r.len(), 101);
+    }
+}

@@ -1,0 +1,238 @@
+//! The safety envelope: "Stob must ensure that it does not generate more
+//! aggressive traffic to the network (e.g., higher pacing rate than what
+//! CCA desired)" — §4.2.
+//!
+//! [`SafetyCap`] wraps any inner strategy and clamps every decision into
+//! the CCA-conformant region: segment sizes and packet sizes can only
+//! shrink relative to the stack's proposal, and departure delays can only
+//! be non-negative (the type system already forbids negative delays; the
+//! cap additionally bounds pathological delays that would stall the
+//! connection). Every clamped decision is counted in a [`SafetyAudit`]
+//! so misbehaving policies are observable.
+
+use netsim::Nanos;
+use stack::{ShapeCtx, Shaper};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters of clamped (would-have-been-unsafe) decisions.
+#[derive(Debug, Default)]
+pub struct SafetyAudit {
+    /// Inner strategy tried to grow the TSO segment past the proposal.
+    pub tso_grow_clamped: AtomicU64,
+    /// Inner strategy tried to grow a packet past the proposal.
+    pub pkt_grow_clamped: AtomicU64,
+    /// Inner strategy produced a delay above the configured ceiling.
+    pub delay_clamped: AtomicU64,
+    /// Total decisions audited.
+    pub decisions: AtomicU64,
+}
+
+impl SafetyAudit {
+    pub fn total_clamped(&self) -> u64 {
+        self.tso_grow_clamped.load(Ordering::Relaxed)
+            + self.pkt_grow_clamped.load(Ordering::Relaxed)
+            + self.delay_clamped.load(Ordering::Relaxed)
+    }
+}
+
+/// Wraps an inner shaper and enforces the §4.2 invariant.
+pub struct SafetyCap<S> {
+    inner: S,
+    /// Upper bound on a single extra delay (default 1 s): a policy must
+    /// obfuscate, not stall.
+    pub max_delay: Nanos,
+    pub audit: Arc<SafetyAudit>,
+}
+
+impl<S: Shaper> SafetyCap<S> {
+    pub fn new(inner: S) -> Self {
+        SafetyCap {
+            inner,
+            max_delay: Nanos::from_secs(1),
+            audit: Arc::new(SafetyAudit::default()),
+        }
+    }
+
+    pub fn with_max_delay(mut self, max_delay: Nanos) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    pub fn audit_handle(&self) -> Arc<SafetyAudit> {
+        Arc::clone(&self.audit)
+    }
+}
+
+impl<S: Shaper> Shaper for SafetyCap<S> {
+    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
+        self.audit.decisions.fetch_add(1, Ordering::Relaxed);
+        let want = self.inner.tso_segment_pkts(ctx, proposed);
+        if want > proposed {
+            self.audit.tso_grow_clamped.fetch_add(1, Ordering::Relaxed);
+            proposed
+        } else {
+            want.max(1)
+        }
+    }
+
+    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
+        self.audit.decisions.fetch_add(1, Ordering::Relaxed);
+        let want = self.inner.packet_ip_size(ctx, pkt_index, proposed);
+        if want > proposed {
+            self.audit.pkt_grow_clamped.fetch_add(1, Ordering::Relaxed);
+            proposed
+        } else {
+            want.max(1)
+        }
+    }
+
+    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
+        self.audit.decisions.fetch_add(1, Ordering::Relaxed);
+        let want = self.inner.extra_delay(ctx);
+        if want > self.max_delay {
+            self.audit.delay_clamped.fetch_add(1, Ordering::Relaxed);
+            self.max_delay
+        } else {
+            want
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &ShapeCtx) {
+        self.inner.on_ack(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::FlowId;
+    use proptest::prelude::*;
+
+    fn ctx() -> ShapeCtx {
+        ShapeCtx {
+            flow: FlowId(1),
+            now: Nanos(0),
+            cwnd: 14480,
+            pacing_rate_bps: None,
+            in_slow_start: false,
+            bytes_sent: 0,
+            pkts_sent: 0,
+            segs_sent: 0,
+            mtu_ip: 1500,
+            mss: 1448,
+        }
+    }
+
+    /// A hostile strategy that tries to be more aggressive everywhere.
+    struct Hostile;
+    impl Shaper for Hostile {
+        fn tso_segment_pkts(&mut self, _c: &ShapeCtx, p: u32) -> u32 {
+            p.saturating_mul(4)
+        }
+        fn packet_ip_size(&mut self, _c: &ShapeCtx, _i: u32, p: u32) -> u32 {
+            p.saturating_add(9000)
+        }
+        fn extra_delay(&mut self, _c: &ShapeCtx) -> Nanos {
+            Nanos::from_secs(3600)
+        }
+    }
+
+    #[test]
+    fn hostile_strategy_is_fully_clamped() {
+        let mut cap = SafetyCap::new(Hostile);
+        let c = ctx();
+        assert_eq!(cap.tso_segment_pkts(&c, 44), 44);
+        assert_eq!(cap.packet_ip_size(&c, 0, 1500), 1500);
+        assert_eq!(cap.extra_delay(&c), Nanos::from_secs(1));
+        assert_eq!(cap.audit.total_clamped(), 3);
+        assert_eq!(cap.audit.decisions.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn benign_strategy_passes_unclamped() {
+        struct Benign;
+        impl Shaper for Benign {
+            fn tso_segment_pkts(&mut self, _c: &ShapeCtx, p: u32) -> u32 {
+                p / 2
+            }
+            fn packet_ip_size(&mut self, _c: &ShapeCtx, _i: u32, p: u32) -> u32 {
+                p - 100
+            }
+            fn extra_delay(&mut self, _c: &ShapeCtx) -> Nanos {
+                Nanos::from_micros(50)
+            }
+        }
+        let mut cap = SafetyCap::new(Benign);
+        let c = ctx();
+        assert_eq!(cap.tso_segment_pkts(&c, 44), 22);
+        assert_eq!(cap.packet_ip_size(&c, 0, 1500), 1400);
+        assert_eq!(cap.extra_delay(&c), Nanos::from_micros(50));
+        assert_eq!(cap.audit.total_clamped(), 0);
+    }
+
+    #[test]
+    fn zero_floor_on_sizes() {
+        struct Zeroer;
+        impl Shaper for Zeroer {
+            fn tso_segment_pkts(&mut self, _c: &ShapeCtx, _p: u32) -> u32 {
+                0
+            }
+            fn packet_ip_size(&mut self, _c: &ShapeCtx, _i: u32, _p: u32) -> u32 {
+                0
+            }
+        }
+        let mut cap = SafetyCap::new(Zeroer);
+        let c = ctx();
+        assert_eq!(cap.tso_segment_pkts(&c, 44), 1, "segments need >=1 pkt");
+        assert_eq!(cap.packet_ip_size(&c, 0, 1500), 1);
+    }
+
+    #[test]
+    fn custom_delay_ceiling() {
+        let mut cap = SafetyCap::new(Hostile).with_max_delay(Nanos::from_millis(5));
+        let c = ctx();
+        assert_eq!(cap.extra_delay(&c), Nanos::from_millis(5));
+    }
+
+    /// A strategy parameterized by arbitrary (possibly absurd) outputs.
+    struct Arb {
+        tso: u32,
+        size: u32,
+        delay: u64,
+    }
+    impl Shaper for Arb {
+        fn tso_segment_pkts(&mut self, _c: &ShapeCtx, _p: u32) -> u32 {
+            self.tso
+        }
+        fn packet_ip_size(&mut self, _c: &ShapeCtx, _i: u32, _p: u32) -> u32 {
+            self.size
+        }
+        fn extra_delay(&mut self, _c: &ShapeCtx) -> Nanos {
+            Nanos(self.delay)
+        }
+    }
+
+    proptest! {
+        /// The §4.2 invariant, property-tested: for ANY inner strategy
+        /// output and ANY proposal, the capped decision never exceeds the
+        /// CCA's proposal and never stalls beyond the ceiling.
+        #[test]
+        fn cap_never_exceeds_proposal(
+            tso in 0u32..10_000,
+            size in 0u32..65_535,
+            delay in 0u64..u64::MAX / 2,
+            proposed_tso in 1u32..64,
+            proposed_size in 64u32..9000,
+        ) {
+            let mut cap = SafetyCap::new(Arb { tso, size, delay });
+            let c = ctx();
+            let got_tso = cap.tso_segment_pkts(&c, proposed_tso);
+            prop_assert!(got_tso >= 1 && got_tso <= proposed_tso);
+            let got_size = cap.packet_ip_size(&c, 0, proposed_size);
+            prop_assert!(got_size >= 1 && got_size <= proposed_size);
+            let got_delay = cap.extra_delay(&c);
+            prop_assert!(got_delay <= Nanos::from_secs(1));
+        }
+    }
+}

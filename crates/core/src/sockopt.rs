@@ -1,0 +1,164 @@
+//! The `setsockopt`-style control surface (§5.3).
+//!
+//! "The host stack already adjusts packet transmission behavior based on
+//! the application-informed policies through setsockopt, including
+//! TCP_NODELAY ... and TCP_CORK" — attaching an obfuscation policy to a
+//! connection is the same kind of cross-layer hint, not a layering
+//! violation. [`attach_policy`] is that one call: resolve the policy from
+//! the shared registry, build the live strategy, wrap it in the safety
+//! cap and the configured guards, and return the shaper plus an audit
+//! handle.
+
+use crate::guard::{CcaPhaseGuard, FirstNGuard};
+use crate::registry::PolicyRegistry;
+use crate::safety::{SafetyAudit, SafetyCap};
+use crate::strategies::build_shaper;
+use netsim::Nanos;
+use stack::{ShapeCtx, Shaper};
+use std::sync::Arc;
+
+/// A fully assembled per-connection shaper: policy strategy inside a
+/// safety cap inside optional guards.
+pub struct AttachedShaper {
+    inner: Box<dyn Shaper>,
+    pub policy_name: String,
+    pub audit: Arc<SafetyAudit>,
+}
+
+impl Shaper for AttachedShaper {
+    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
+        self.inner.tso_segment_pkts(ctx, proposed)
+    }
+    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
+        self.inner.packet_ip_size(ctx, pkt_index, proposed)
+    }
+    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
+        self.inner.extra_delay(ctx)
+    }
+    fn on_ack(&mut self, ctx: &ShapeCtx) {
+        self.inner.on_ack(ctx);
+    }
+}
+
+/// Resolve and assemble the shaper for `(flow, destination)` from the
+/// registry. Returns `None` when no policy applies.
+pub fn attach_policy(
+    registry: &PolicyRegistry,
+    flow: u32,
+    destination: u32,
+    seed: u64,
+) -> Option<AttachedShaper> {
+    let policy = registry.resolve(flow, destination)?;
+    let strategy = build_shaper(&policy, seed, flow as u64);
+    let cap = SafetyCap::new(BoxedShaper(strategy));
+    let audit = cap.audit_handle();
+    // Guard order: position guard innermost (counts data packets), CCA
+    // phase guard outermost (a policy that must respect slow start is
+    // silent there regardless of position).
+    let guarded: Box<dyn Shaper> = match (policy.respect_slow_start, policy.first_n_pkts) {
+        (true, 0) => Box::new(CcaPhaseGuard::new(cap)),
+        (true, n) => Box::new(CcaPhaseGuard::new(FirstNGuard::new(cap, n))),
+        (false, 0) => Box::new(cap),
+        (false, n) => Box::new(FirstNGuard::new(cap, n)),
+    };
+    Some(AttachedShaper {
+        inner: guarded,
+        policy_name: policy.name.clone(),
+        audit,
+    })
+}
+
+/// Adapter: `Box<dyn Shaper>` itself implements `Shaper` via this
+/// newtype (so it can sit inside the generic `SafetyCap`).
+struct BoxedShaper(Box<dyn Shaper>);
+
+impl Shaper for BoxedShaper {
+    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
+        self.0.tso_segment_pkts(ctx, proposed)
+    }
+    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
+        self.0.packet_ip_size(ctx, pkt_index, proposed)
+    }
+    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
+        self.0.extra_delay(ctx)
+    }
+    fn on_ack(&mut self, ctx: &ShapeCtx) {
+        self.0.on_ack(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ObfuscationPolicy;
+    use crate::registry::PolicyKey;
+    use netsim::FlowId;
+
+    fn ctx(in_ss: bool, pkts_sent: u64) -> ShapeCtx {
+        ShapeCtx {
+            flow: FlowId(1),
+            now: Nanos(0),
+            cwnd: 14480,
+            pacing_rate_bps: Some(1_000_000_000),
+            in_slow_start: in_ss,
+            bytes_sent: 0,
+            pkts_sent,
+            segs_sent: 0,
+            mtu_ip: 1500,
+            mss: 1448,
+        }
+    }
+
+    #[test]
+    fn attach_resolves_and_shapes() {
+        let reg = PolicyRegistry::new();
+        reg.publish(
+            PolicyKey::Destination(5),
+            ObfuscationPolicy::split_and_delay("dest5"),
+        );
+        let mut s = attach_policy(&reg, 1, 5, 42).expect("policy resolves");
+        assert_eq!(s.policy_name, "dest5");
+        assert_eq!(s.packet_ip_size(&ctx(false, 0), 0, 1500), 750);
+        assert!(s.extra_delay(&ctx(false, 0)) > Nanos::ZERO);
+    }
+
+    #[test]
+    fn attach_returns_none_without_policy() {
+        let reg = PolicyRegistry::new();
+        assert!(attach_policy(&reg, 1, 5, 42).is_none());
+    }
+
+    #[test]
+    fn slow_start_respecting_policy_is_silent_in_startup() {
+        let reg = PolicyRegistry::new();
+        let mut p = ObfuscationPolicy::split_and_delay("careful");
+        p.respect_slow_start = true;
+        reg.publish(PolicyKey::Default, p);
+        let mut s = attach_policy(&reg, 1, 1, 42).expect("resolves");
+        assert_eq!(s.packet_ip_size(&ctx(true, 0), 0, 1500), 1500);
+        assert_eq!(s.extra_delay(&ctx(true, 0)), Nanos::ZERO);
+        assert_eq!(s.packet_ip_size(&ctx(false, 0), 0, 1500), 750);
+    }
+
+    #[test]
+    fn first_n_policy_stops_after_n() {
+        let reg = PolicyRegistry::new();
+        let mut p = ObfuscationPolicy::split_and_delay("front");
+        p.first_n_pkts = 30;
+        reg.publish(PolicyKey::Default, p);
+        let mut s = attach_policy(&reg, 1, 1, 42).expect("resolves");
+        assert_eq!(s.packet_ip_size(&ctx(false, 29), 0, 1500), 750);
+        assert_eq!(s.packet_ip_size(&ctx(false, 30), 0, 1500), 1500);
+    }
+
+    #[test]
+    fn audit_survives_attachment() {
+        let reg = PolicyRegistry::new();
+        reg.publish(PolicyKey::Default, ObfuscationPolicy::split_and_delay("a"));
+        let mut s = attach_policy(&reg, 1, 1, 42).expect("resolves");
+        let audit = Arc::clone(&s.audit);
+        let _ = s.packet_ip_size(&ctx(false, 0), 0, 1500);
+        assert!(audit.decisions.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert_eq!(audit.total_clamped(), 0, "benign policy never clamps");
+    }
+}

@@ -1,0 +1,242 @@
+//! BuFLO-family defenses: constant-rate, fixed-size regularization
+//! (Dyer et al.), plus Tamaraw (Cai et al.), the stronger variant with
+//! per-direction rates and count padding to a multiple of L.
+//!
+//! These are the canonical *regularization* baselines of Table 1 — and
+//! the canonical example of §2.3's cost argument: they buy protection
+//! with massive padding bandwidth and added latency.
+
+use crate::overhead::Defended;
+use netsim::{Direction, Nanos};
+use traces::{Trace, TracePacket};
+
+/// BuFLO parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BufloConfig {
+    /// Fixed wire size every emitted packet gets.
+    pub packet_size: u32,
+    /// Inter-packet interval per direction.
+    pub rho: Nanos,
+    /// Minimum defended duration: keep sending dummies until then.
+    pub tau: Nanos,
+}
+
+impl Default for BufloConfig {
+    fn default() -> Self {
+        BufloConfig {
+            packet_size: 1514,
+            rho: Nanos::from_millis(10),
+            tau: Nanos::from_secs(10),
+        }
+    }
+}
+
+/// Regularize one direction's byte stream onto a constant-rate grid.
+/// Returns (packets, dummies, time real data finished).
+fn constant_rate(
+    total_real_bytes: u64,
+    dir: Direction,
+    size: u32,
+    rho: Nanos,
+    tau: Nanos,
+) -> (Vec<TracePacket>, usize, Nanos) {
+    let mut out = Vec::new();
+    let mut remaining = total_real_bytes;
+    let mut t = Nanos::ZERO;
+    let mut dummies = 0usize;
+    let mut real_done = Nanos::ZERO;
+    while remaining > 0 || t < tau {
+        out.push(TracePacket::new(t, dir, size));
+        if remaining > 0 {
+            remaining = remaining.saturating_sub(size as u64);
+            if remaining == 0 {
+                real_done = t;
+            }
+        } else {
+            dummies += 1;
+        }
+        t += rho;
+    }
+    (out, dummies, real_done)
+}
+
+/// Apply BuFLO to a trace.
+pub fn buflo(trace: &Trace, cfg: &BufloConfig) -> Defended {
+    let in_bytes = trace.bytes(Direction::In);
+    let out_bytes = trace.bytes(Direction::Out);
+    let (mut pkts, d_in, done_in) =
+        constant_rate(in_bytes, Direction::In, cfg.packet_size, cfg.rho, cfg.tau);
+    let (pkts_out, d_out, done_out) =
+        constant_rate(out_bytes, Direction::Out, cfg.packet_size, cfg.rho, cfg.tau);
+    pkts.extend(pkts_out);
+    let mut t = Trace::new(trace.label, trace.visit, pkts);
+    t.normalize();
+    let dummy_pkts = d_in + d_out;
+    Defended {
+        trace: t,
+        dummy_pkts,
+        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
+        real_done: done_in.max(done_out),
+    }
+}
+
+/// Tamaraw parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TamarawConfig {
+    pub packet_size: u32,
+    /// Interval for outgoing (client->server) packets.
+    pub rho_out: Nanos,
+    /// Interval for incoming packets (faster: downloads dominate).
+    pub rho_in: Nanos,
+    /// Pad each direction's packet count to a multiple of L.
+    pub l: usize,
+}
+
+impl Default for TamarawConfig {
+    fn default() -> Self {
+        TamarawConfig {
+            packet_size: 1514,
+            rho_out: Nanos::from_millis(40),
+            rho_in: Nanos::from_millis(5),
+            l: 100,
+        }
+    }
+}
+
+/// Apply Tamaraw to a trace.
+pub fn tamaraw(trace: &Trace, cfg: &TamarawConfig) -> Defended {
+    let mut all = Vec::new();
+    let mut dummy_pkts = 0usize;
+    let mut real_done = Nanos::ZERO;
+    for (dir, rho) in [
+        (Direction::In, cfg.rho_in),
+        (Direction::Out, cfg.rho_out),
+    ] {
+        let real_bytes = trace.bytes(dir);
+        let n_real = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
+        let n_total = n_real.div_ceil(cfg.l).max(1) * cfg.l;
+        for i in 0..n_total {
+            let t = rho * i as u64;
+            all.push(TracePacket::new(t, dir, cfg.packet_size));
+            if i + 1 == n_real {
+                real_done = real_done.max(t);
+            }
+        }
+        dummy_pkts += n_total - n_real;
+    }
+    let mut t = Trace::new(trace.label, trace.visit, all);
+    t.normalize();
+    Defended {
+        trace: t,
+        dummy_pkts,
+        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
+        real_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overhead::{bandwidth_overhead, latency_overhead};
+    use traces::sites::paper_sites;
+    use traces::statgen::generate;
+
+    fn sample() -> Trace {
+        generate(&paper_sites()[0], 0, 0, 1)
+    }
+
+    #[test]
+    fn buflo_output_is_perfectly_regular() {
+        let t = sample();
+        let d = buflo(&t, &BufloConfig::default());
+        // All packets the same size.
+        assert!(d.trace.packets.iter().all(|p| p.size == 1514));
+        // Per-direction IATs constant at rho.
+        for dir in [Direction::In, Direction::Out] {
+            let times: Vec<Nanos> = d
+                .trace
+                .packets
+                .iter()
+                .filter(|p| p.dir == dir)
+                .map(|p| p.ts)
+                .collect();
+            assert!(times
+                .windows(2)
+                .all(|w| w[1] - w[0] == Nanos::from_millis(10)));
+        }
+    }
+
+    #[test]
+    fn buflo_runs_at_least_tau() {
+        let t = sample();
+        let cfg = BufloConfig {
+            tau: Nanos::from_secs(12),
+            ..BufloConfig::default()
+        };
+        let d = buflo(&t, &cfg);
+        assert!(d.trace.duration() >= Nanos::from_secs(11));
+    }
+
+    #[test]
+    fn buflo_pads_heavily() {
+        let t = sample();
+        let d = buflo(&t, &BufloConfig::default());
+        assert!(d.dummy_pkts > 0);
+        let bw = bandwidth_overhead(&t, &d);
+        assert!(bw > 0.5, "BuFLO should be expensive, got {bw}");
+    }
+
+    #[test]
+    fn buflo_carries_all_real_bytes() {
+        let t = sample();
+        let d = buflo(&t, &BufloConfig::default());
+        let capacity: u64 = d.trace.bytes(Direction::In);
+        assert!(capacity >= t.bytes(Direction::In));
+    }
+
+    #[test]
+    fn tamaraw_pads_to_multiple_of_l() {
+        let t = sample();
+        let cfg = TamarawConfig::default();
+        let d = tamaraw(&t, &cfg);
+        for dir in [Direction::In, Direction::Out] {
+            let n = d.trace.packets.iter().filter(|p| p.dir == dir).count();
+            assert_eq!(n % cfg.l, 0, "direction count {n} not multiple of L");
+            assert!(n > 0);
+        }
+    }
+
+    #[test]
+    fn tamaraw_anonymity_set_same_bucket_same_shape() {
+        // Two different visits whose packet counts land in the same L
+        // bucket produce identical defended shapes - the regularization
+        // promise.
+        let sites = paper_sites();
+        let a = generate(&sites[6], 6, 0, 1);
+        let b = generate(&sites[6], 6, 1, 1);
+        let cfg = TamarawConfig::default();
+        let da = tamaraw(&a, &cfg);
+        let db = tamaraw(&b, &cfg);
+        let shape = |d: &Defended| {
+            (
+                d.trace.packets.iter().filter(|p| p.dir == Direction::In).count(),
+                d.trace.packets.iter().filter(|p| p.dir == Direction::Out).count(),
+            )
+        };
+        // Same bucket (likely for same site) -> same shape; if bucket
+        // differs the counts differ by a multiple of L.
+        let (ia, oa) = shape(&da);
+        let (ib, ob) = shape(&db);
+        assert_eq!((ia as i64 - ib as i64) % cfg.l as i64, 0);
+        assert_eq!((oa as i64 - ob as i64) % cfg.l as i64, 0);
+    }
+
+    #[test]
+    fn tamaraw_latency_tracks_slowest_direction() {
+        let t = sample();
+        let d = tamaraw(&t, &TamarawConfig::default());
+        let lat = latency_overhead(&t, &d);
+        assert!(lat.is_finite());
+        assert!(d.real_done <= d.trace.duration() + Nanos(1));
+    }
+}

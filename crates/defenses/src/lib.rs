@@ -1,0 +1,32 @@
+//! # defenses — WF defense implementations and baselines
+//!
+//! Two families live here:
+//!
+//! 1. **The paper's §3 countermeasures**, emulated at trace level exactly
+//!    as the paper does before proposing to move them into the stack:
+//!    packet *splitting* (packets larger than 1200 bytes become two
+//!    halves), packet *delaying* (inter-arrival times stretched by a
+//!    uniform 10-30%), their combination, restriction to server-side
+//!    (incoming) traffic, and application to only the first N packets
+//!    ([`emulate`]).
+//! 2. **Literature baselines** from Table 1, for the taxonomy and the
+//!    overhead comparison of §2.3 (padding is expensive; timing-only is
+//!    work-conserving): BuFLO, Tamaraw, WTF-PAD-lite, FRONT,
+//!    RegulaTor-lite and HTTPOS-lite.
+//!
+//! [`overhead`] measures what §2.3 argues about: bandwidth overhead of
+//! padding vs. the work-conserving cost of timing-only defenses.
+//! [`taxonomy`] is the machine-readable Table 1.
+
+pub mod buflo;
+pub mod emulate;
+pub mod front;
+pub mod overhead;
+pub mod regulator;
+pub mod surakav;
+pub mod taxonomy;
+pub mod wtfpad;
+
+pub use emulate::{CounterMeasure, EmulateConfig};
+pub use overhead::{latency_overhead, bandwidth_overhead, Defended};
+pub use taxonomy::{table1, Manipulation, Strategy, Target, TaxonomyEntry};

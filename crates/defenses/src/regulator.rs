@@ -1,0 +1,201 @@
+//! RegulaTor-lite (Holland & Hopper, PETS 2022): surge-based
+//! regularization. Downloads start as bursts ("surges"); RegulaTor
+//! re-emits the incoming stream on a schedule whose rate starts at R and
+//! decays geometrically, restarting the schedule when a new surge
+//! arrives. Slots with no queued real packet emit a dummy, up to a
+//! padding budget. Outgoing traffic is sent at a fraction of the
+//! incoming rate.
+//!
+//! "Lite": we keep the surge schedule and dummy fill, but skip the
+//! upload-threshold machinery of the full design.
+
+use crate::overhead::Defended;
+use netsim::{Direction, Nanos};
+use traces::{Trace, TracePacket};
+
+#[derive(Debug, Clone, Copy)]
+pub struct RegulatorConfig {
+    /// Initial surge rate, packets/second.
+    pub rate: f64,
+    /// Geometric decay per second of schedule age.
+    pub decay: f64,
+    /// A queued backlog of more than this fraction of the surge restart
+    /// threshold re-starts the schedule.
+    pub surge_threshold: usize,
+    /// Dummy budget as a fraction of real incoming packets.
+    pub padding_budget: f64,
+    pub packet_size: u32,
+}
+
+impl Default for RegulatorConfig {
+    fn default() -> Self {
+        RegulatorConfig {
+            rate: 300.0,
+            decay: 0.9,
+            surge_threshold: 60,
+            padding_budget: 0.4,
+            packet_size: 1514,
+        }
+    }
+}
+
+/// Apply RegulaTor-lite to a trace.
+pub fn regulator(trace: &Trace, cfg: &RegulatorConfig) -> Defended {
+    let incoming: Vec<&TracePacket> = trace
+        .packets
+        .iter()
+        .filter(|p| p.dir == Direction::In)
+        .collect();
+    let mut out: Vec<TracePacket> = trace
+        .packets
+        .iter()
+        .filter(|p| p.dir == Direction::Out)
+        .copied()
+        .collect();
+
+    let mut dummy_pkts = 0usize;
+    let dummy_budget = (incoming.len() as f64 * cfg.padding_budget) as usize;
+    let mut next_real = 0usize; // index into `incoming`
+    let mut schedule_start = incoming.first().map(|p| p.ts).unwrap_or(Nanos::ZERO);
+    let mut emitted_since_start = 0u64;
+    let mut t = schedule_start;
+    let mut real_done = Nanos::ZERO;
+
+    while next_real < incoming.len() {
+        // Current schedule rate with geometric decay.
+        let age = (t.saturating_sub(schedule_start)).as_secs_f64();
+        let rate = (cfg.rate * cfg.decay.powf(age)).max(10.0);
+        let slot = Nanos::from_secs_f64(1.0 / rate);
+
+        // Queue backlog: real packets that have arrived but not been
+        // re-emitted yet.
+        let backlog = incoming[next_real..]
+            .iter()
+            .take_while(|p| p.ts <= t)
+            .count();
+        if backlog > cfg.surge_threshold {
+            // New surge: restart the schedule at full rate.
+            schedule_start = t;
+            emitted_since_start = 0;
+        }
+
+        if backlog > 0 {
+            out.push(TracePacket::new(t, Direction::In, cfg.packet_size));
+            real_done = t;
+            next_real += 1;
+        } else if dummy_pkts < dummy_budget {
+            out.push(TracePacket::new(t, Direction::In, cfg.packet_size));
+            dummy_pkts += 1;
+        }
+        emitted_since_start += 1;
+        let _ = emitted_since_start;
+        t += slot;
+    }
+
+    let mut defended = Trace::new(trace.label, trace.visit, out);
+    defended.normalize();
+    Defended {
+        trace: defended,
+        dummy_pkts,
+        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
+        real_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overhead::bandwidth_overhead;
+    use traces::sites::paper_sites;
+    use traces::statgen::generate;
+
+    fn sample() -> Trace {
+        generate(&paper_sites()[2], 2, 0, 1)
+    }
+
+    #[test]
+    fn all_real_incoming_packets_are_reemitted() {
+        let t = sample();
+        let d = regulator(&t, &RegulatorConfig::default());
+        let n_in_orig = t
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .count();
+        let n_in_def = d
+            .trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .count();
+        assert_eq!(n_in_def, n_in_orig + d.dummy_pkts);
+    }
+
+    #[test]
+    fn incoming_sizes_are_uniform() {
+        let t = sample();
+        let d = regulator(&t, &RegulatorConfig::default());
+        assert!(d
+            .trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .all(|p| p.size == 1514));
+    }
+
+    #[test]
+    fn outgoing_traffic_is_untouched() {
+        let t = sample();
+        let d = regulator(&t, &RegulatorConfig::default());
+        let orig: Vec<_> = t
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::Out)
+            .collect();
+        let def: Vec<_> = d
+            .trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::Out)
+            .collect();
+        assert_eq!(orig.len(), def.len());
+    }
+
+    #[test]
+    fn padding_respects_budget() {
+        let t = sample();
+        let cfg = RegulatorConfig::default();
+        let d = regulator(&t, &cfg);
+        let n_in = t.packets.iter().filter(|p| p.dir == Direction::In).count();
+        assert!(d.dummy_pkts <= (n_in as f64 * cfg.padding_budget) as usize);
+    }
+
+    #[test]
+    fn cheaper_than_buflo_more_than_nothing() {
+        let t = sample();
+        let d = regulator(&t, &RegulatorConfig::default());
+        let bw = bandwidth_overhead(&t, &d);
+        let bf = crate::buflo::buflo(&t, &crate::buflo::BufloConfig::default());
+        let bw_bf = bandwidth_overhead(&t, &bf);
+        assert!(bw > 0.0, "RegulaTor pads at least a little: {bw}");
+        assert!(bw < bw_bf, "RegulaTor ({bw}) must undercut BuFLO ({bw_bf})");
+    }
+
+    #[test]
+    fn decaying_rate_spreads_the_tail() {
+        // Later slots are wider than early ones within one surge.
+        let t = sample();
+        let d = regulator(&t, &RegulatorConfig::default());
+        let times: Vec<Nanos> = d
+            .trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .map(|p| p.ts)
+            .collect();
+        assert!(times.len() > 10);
+        let early = times[1] - times[0];
+        let late = times[times.len() - 1] - times[times.len() - 2];
+        assert!(late >= early, "late gap {late} vs early {early}");
+    }
+}

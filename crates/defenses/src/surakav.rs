@@ -1,0 +1,285 @@
+//! Surakav-lite (Gong et al., IEEE S&P 2022): reference-trace
+//! regularization. The full system generates realistic reference traces
+//! with a GAN and forces the real flow to follow the generated schedule,
+//! sending dummies when the queue is empty and deferring data when it is
+//! ahead. The lite variant keeps that enforcement loop but draws the
+//! reference from a *bank of real traces of other sites* instead of a
+//! generator — every defended download is re-emitted on the schedule of
+//! somebody else's page load.
+//!
+//! Table 1 row: Tor, regularization, padding + timing modification.
+
+use crate::overhead::Defended;
+use netsim::{Direction, Nanos, SimRng};
+use traces::{Trace, TracePacket};
+
+#[derive(Debug, Clone, Copy)]
+pub struct SurakavConfig {
+    /// Wire size of every re-emitted incoming packet.
+    pub packet_size: u32,
+    /// When the real flow outlives the reference schedule, its tail IAT
+    /// pattern is replayed; this caps the replay loop as a safety net
+    /// against degenerate references.
+    pub max_tail_replays: usize,
+}
+
+impl Default for SurakavConfig {
+    fn default() -> Self {
+        SurakavConfig {
+            packet_size: 1514,
+            max_tail_replays: 100_000,
+        }
+    }
+}
+
+/// Apply Surakav-lite: re-emit `trace`'s incoming bytes on `reference`'s
+/// incoming schedule.
+pub fn surakav(trace: &Trace, reference: &Trace, cfg: &SurakavConfig) -> Defended {
+    let ref_times: Vec<Nanos> = reference
+        .packets
+        .iter()
+        .filter(|p| p.dir == Direction::In)
+        .map(|p| p.ts)
+        .collect();
+    let real_bytes = trace.bytes(Direction::In);
+    // Causality: the k-th real byte cannot leave before it existed in the
+    // original flow. Track the original arrival time of each byte offset.
+    let orig_in: Vec<(Nanos, u64)> = {
+        let mut acc = 0u64;
+        trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .map(|p| {
+                acc += p.size as u64;
+                (p.ts, acc)
+            })
+            .collect()
+    };
+    // Earliest time at which `bytes` of real data are available.
+    let available_at = |bytes: u64| -> Nanos {
+        match orig_in.iter().find(|&&(_, cum)| cum >= bytes) {
+            Some(&(t, _)) => t,
+            None => orig_in.last().map(|&(t, _)| t).unwrap_or(Nanos::ZERO),
+        }
+    };
+    let mut out: Vec<TracePacket> = trace
+        .packets
+        .iter()
+        .filter(|p| p.dir == Direction::Out)
+        .copied()
+        .collect();
+
+    let mut remaining = real_bytes;
+    let mut dummy_pkts = 0usize;
+    let mut real_done = Nanos::ZERO;
+    let mut schedule: Vec<Nanos> = ref_times.clone();
+    // If the reference is shorter than the data needs, replay its tail
+    // IAT pattern.
+    if !ref_times.is_empty() {
+        let need = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
+        let mut replays = 0;
+        while schedule.len() < need && replays < cfg.max_tail_replays {
+            let base = *schedule.last().expect("nonempty");
+            let tail_start = ref_times.len().saturating_sub(32);
+            let tail = &ref_times[tail_start..];
+            if tail.len() < 2 {
+                // Degenerate reference: fall back to a fixed cadence.
+                schedule.push(base + Nanos::from_millis(5));
+            } else {
+                for w in tail.windows(2) {
+                    schedule.push(base + (w[1] - w[0]).max(Nanos(1)));
+                    if schedule.len() >= need {
+                        break;
+                    }
+                }
+            }
+            replays += 1;
+        }
+    }
+    // When the schedule runs ahead of the data, the whole remaining
+    // schedule shifts (the send queue stalls), as in the real system.
+    let mut shift = Nanos::ZERO;
+    let mut sent_real = 0u64;
+    for &sched_t in &schedule {
+        let mut t = sched_t + shift;
+        if remaining > 0 {
+            let need_bytes = (sent_real + cfg.packet_size as u64).min(real_bytes);
+            let ready = available_at(need_bytes);
+            if t < ready {
+                shift += ready - t;
+                t = ready;
+            }
+            sent_real = need_bytes;
+            remaining = real_bytes - sent_real;
+            if remaining == 0 {
+                real_done = t;
+            }
+        } else {
+            dummy_pkts += 1;
+        }
+        out.push(TracePacket::new(t, Direction::In, cfg.packet_size));
+    }
+    let mut defended = Trace::new(trace.label, trace.visit, out);
+    defended.normalize();
+    Defended {
+        trace: defended,
+        dummy_pkts,
+        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
+        real_done,
+    }
+}
+
+/// Convenience: pick a reference from a bank (a different label than the
+/// victim when possible).
+pub fn surakav_from_bank<'a>(
+    trace: &Trace,
+    bank: &'a [Trace],
+    cfg: &SurakavConfig,
+    rng: &mut SimRng,
+) -> (Defended, &'a Trace) {
+    assert!(!bank.is_empty(), "empty reference bank");
+    let others: Vec<&Trace> = bank.iter().filter(|t| t.label != trace.label).collect();
+    let reference = if others.is_empty() {
+        &bank[rng.range_usize(0, bank.len() - 1)]
+    } else {
+        others[rng.range_usize(0, others.len() - 1)]
+    };
+    (surakav(trace, reference, cfg), reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overhead::bandwidth_overhead;
+    use traces::sites::paper_sites;
+    use traces::statgen::{generate, generate_corpus};
+
+    fn victim() -> Trace {
+        generate(&paper_sites()[8], 8, 0, 1) // heavy site
+    }
+    fn reference() -> Trace {
+        generate(&paper_sites()[6], 6, 0, 1) // light site
+    }
+
+    #[test]
+    fn defended_gaps_never_undercut_the_reference() {
+        // Causality can stall the schedule (gaps grow) but never
+        // compress it below the reference's spacing.
+        let v = victim();
+        let r = reference();
+        let d = surakav(&v, &r, &SurakavConfig::default());
+        let gaps = |t: &Trace| {
+            let times: Vec<Nanos> = t
+                .packets
+                .iter()
+                .filter(|p| p.dir == Direction::In)
+                .map(|p| p.ts)
+                .collect();
+            times.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>()
+        };
+        let rg = gaps(&r);
+        let dg = gaps(&d.trace);
+        for (i, (gr, gd)) in rg.iter().zip(&dg).enumerate().take(50) {
+            assert!(gd >= gr, "gap {i}: defended {gd} < reference {gr}");
+        }
+    }
+
+    #[test]
+    fn all_real_bytes_are_carried() {
+        let v = victim();
+        let r = reference();
+        let d = surakav(&v, &r, &SurakavConfig::default());
+        let capacity = d
+            .trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .count() as u64
+            * 1514;
+        assert!(
+            capacity >= v.bytes(Direction::In),
+            "schedule too short for the data"
+        );
+    }
+
+    #[test]
+    fn causality_no_byte_leaves_before_it_existed() {
+        // A fast reference cannot make the data arrive earlier than the
+        // original flow delivered it.
+        let v = victim();
+        let mut fast_ref = reference();
+        for p in &mut fast_ref.packets {
+            p.ts = Nanos(p.ts.0 / 50); // absurdly fast schedule
+        }
+        let d = surakav(&v, &fast_ref, &SurakavConfig::default());
+        assert!(
+            d.real_done >= v.duration(),
+            "real data finished at {} before the original {}",
+            d.real_done,
+            v.duration()
+        );
+    }
+
+    #[test]
+    fn light_victim_on_heavy_reference_pads() {
+        let v = reference(); // light
+        let r = victim(); // heavy schedule
+        let d = surakav(&v, &r, &SurakavConfig::default());
+        assert!(d.dummy_pkts > 0, "must pad to fill the reference");
+        let bw = bandwidth_overhead(&v, &d);
+        assert!(bw > 0.5, "imitating a heavy site is expensive: {bw}");
+    }
+
+    #[test]
+    fn regularization_pulls_sites_toward_the_same_shape() {
+        // Two different sites defended with the same reference share the
+        // reference's exact inter-packet gaps wherever neither flow
+        // stalled for data; undefended, two sites essentially never
+        // produce identical gaps. (Stall positions still differ — the
+        // leakage the real system trades against its rate parameter.)
+        let a = generate(&paper_sites()[1], 1, 0, 3);
+        let b = generate(&paper_sites()[4], 4, 0, 3);
+        let r = victim();
+        let cfg = SurakavConfig::default();
+        let da = surakav(&a, &r, &cfg);
+        let db = surakav(&b, &r, &cfg);
+        let gaps = |t: &Trace| {
+            let times: Vec<Nanos> = t
+                .packets
+                .iter()
+                .filter(|p| p.dir == Direction::In)
+                .map(|p| p.ts)
+                .collect();
+            times.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>()
+        };
+        let equal_frac = |x: &[Nanos], y: &[Nanos]| {
+            let n = x.len().min(y.len()).min(150);
+            x.iter().zip(y).take(n).filter(|(a, b)| a == b).count() as f64 / n.max(1) as f64
+        };
+        // Note: statgen traces serialize full packets at a fixed rate, so
+        // even undefended gap agreement is high on this corpus; the
+        // meaningful assertion is that defended flows agree almost
+        // everywhere (only stall positions differ) and never less than
+        // undefended ones.
+        let before = equal_frac(&gaps(&a), &gaps(&b));
+        let after = equal_frac(&gaps(&da.trace), &gaps(&db.trace));
+        assert!(after >= 0.9, "defended gap agreement {after:.2} too low");
+        assert!(
+            after >= before,
+            "defense must not reduce agreement: {after:.2} vs {before:.2}"
+        );
+    }
+
+    #[test]
+    fn bank_selection_avoids_own_label() {
+        let sites: Vec<_> = paper_sites().into_iter().take(3).collect();
+        let bank = generate_corpus(&sites, 2, 5);
+        let v = generate(&sites[0], 0, 9, 6);
+        let mut rng = SimRng::new(4);
+        for _ in 0..10 {
+            let (_, r) = surakav_from_bank(&v, &bank, &SurakavConfig::default(), &mut rng);
+            assert_ne!(r.label, v.label);
+        }
+    }
+}

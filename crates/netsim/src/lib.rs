@@ -1,0 +1,29 @@
+//! # netsim — deterministic discrete-event network simulation substrate
+//!
+//! This crate provides the building blocks under the `stack` crate's host
+//! network-stack model: a virtual clock, an event queue with deterministic
+//! tie-breaking, seeded random number generation, packet and link models,
+//! router queues, and a vantage-point capture facility that plays the role
+//! of `tcpdump` in the paper's data-collection methodology.
+//!
+//! Everything here is single-threaded and fully deterministic: two runs
+//! with the same seed produce byte-identical traces. That property is what
+//! makes the reproduction's experiments (Table 2, Figure 3) repeatable.
+
+pub mod capture;
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use capture::{Capture, CaptureRecord, Direction};
+pub use event::EventQueue;
+pub use link::Link;
+pub use packet::{FlowId, Packet, PacketKind, PacketMeta};
+pub use queue::{DropTailQueue, QueueStats};
+pub use rng::SimRng;
+pub use stats::{percentile, Histogram, RunningStats};
+pub use time::Nanos;

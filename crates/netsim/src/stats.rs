@@ -1,0 +1,288 @@
+//! Small statistics toolkit shared by the experiment harnesses.
+//!
+//! Welford running moments, exact percentiles over collected samples, and
+//! a fixed-bin histogram (the compact distribution representation §4.1 of
+//! the paper proposes for sharing obfuscation policies between the
+//! application and the stack).
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance (Welford).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Sample standard deviation (n-1 denominator), 0 for n < 2.
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile by sorting a copy. `p` in [0, 100], linear
+/// interpolation between ranks (the same convention as numpy's default).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p));
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Fixed-width-bin histogram over [lo, hi). Out-of-range samples clamp to
+/// the edge bins, so the histogram always accounts for every sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+    pub total: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    pub fn bin_of(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        if x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return bins - 1;
+        }
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64) as usize;
+        idx.min(bins - 1)
+    }
+
+    pub fn push(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Midpoint value of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Draw from the empirical distribution using uniforms `u1, u2` in
+    /// [0,1): pick a bin by mass, then a uniform point inside it. This is
+    /// the sampling operation Stob policies perform on the datapath.
+    pub fn sample(&self, u1: f64, u2: f64) -> f64 {
+        assert!(self.total > 0, "sampling an empty histogram");
+        let target = (u1 * self.total as f64) as u64;
+        let mut acc = 0u64;
+        let mut bin = self.counts.len() - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if target < acc {
+                bin = i;
+                break;
+            }
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + bin as f64 * w + u2 * w
+    }
+
+    /// Normalized probability mass per bin.
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        let mut s1 = RunningStats::new();
+        s1.push(3.0);
+        assert_eq!(s1.mean(), 3.0);
+        assert_eq!(s1.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        xs.iter().for_each(|&x| all.push(x));
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        xs[..37].iter().for_each(|&x| a.push(x));
+        xs[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert!((percentile(&v, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&v, 25.0) - 25.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-5.0); // clamps to bin 0
+        h.push(0.5);
+        h.push(9.9);
+        h.push(50.0); // clamps to last bin
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[9], 2);
+        assert_eq!(h.total, 4);
+        assert!((h.bin_mid(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sampling_tracks_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        // All mass in bin 3 (30..40).
+        for _ in 0..100 {
+            h.push(35.0);
+        }
+        for i in 0..10 {
+            let x = h.sample(i as f64 / 10.0, 0.5);
+            assert!((30.0..40.0).contains(&x), "sample {x}");
+        }
+    }
+
+    #[test]
+    fn histogram_pmf_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.1, 0.3, 0.6, 0.9, 0.95] {
+            h.push(x);
+        }
+        let s: f64 = h.pmf().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

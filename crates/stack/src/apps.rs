@@ -1,0 +1,150 @@
+//! Reusable application endpoints for experiments and tests.
+//!
+//! `BulkSender` + `Sink` form the iperf3-style memory-to-memory transfer
+//! used by Figure 3; `NullApp` is the do-nothing peer.
+
+use crate::net::{Api, App};
+use netsim::FlowId;
+
+/// How much a bulk sender tries to write per `send()` call. Large enough
+/// to keep the socket buffer full, mirroring iperf3's behaviour.
+const CHUNK: u64 = 1 << 20;
+
+/// Client app that opens one connection and pumps bytes as fast as the
+/// socket buffer accepts them.
+pub struct BulkSender {
+    /// Total payload to send; `None` = run forever (until the simulation
+    /// deadline stops it).
+    total: Option<u64>,
+    written: u64,
+    flow: Option<FlowId>,
+    closed: bool,
+}
+
+impl BulkSender {
+    pub fn new(total: u64) -> Self {
+        BulkSender {
+            total: Some(total),
+            written: 0,
+            flow: None,
+            closed: false,
+        }
+    }
+
+    /// An endless sender for steady-state throughput measurements.
+    pub fn endless() -> Self {
+        BulkSender {
+            total: None,
+            written: 0,
+            flow: None,
+            closed: false,
+        }
+    }
+
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    fn pump(&mut self, api: &mut Api, flow: FlowId) {
+        loop {
+            let want = match self.total {
+                Some(t) => (t - self.written).min(CHUNK),
+                None => CHUNK,
+            };
+            if want == 0 {
+                if !self.closed {
+                    self.closed = true;
+                    api.close(flow);
+                }
+                return;
+            }
+            let accepted = api.send(flow, want);
+            self.written += accepted;
+            if accepted < want {
+                return; // buffer full; wait for on_sendable
+            }
+        }
+    }
+}
+
+impl App for BulkSender {
+    fn on_start(&mut self, api: &mut Api) {
+        self.flow = Some(api.connect());
+    }
+    fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+        self.pump(api, flow);
+    }
+    fn on_sendable(&mut self, api: &mut Api, flow: FlowId) {
+        self.pump(api, flow);
+    }
+}
+
+/// Server app that consumes everything it receives.
+#[derive(Default)]
+pub struct Sink {
+    pub received: u64,
+}
+
+impl App for Sink {
+    fn on_data(&mut self, _api: &mut Api, _flow: FlowId, bytes: u64) {
+        self.received += bytes;
+    }
+    fn on_peer_closed(&mut self, api: &mut Api, flow: FlowId) {
+        api.close(flow);
+    }
+}
+
+/// An app that does nothing at all.
+pub struct NullApp;
+
+impl App for NullApp {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HostConfig;
+    use crate::cpu::CpuModel;
+    use crate::net::Network;
+    use crate::PathConfig;
+    use netsim::Nanos;
+
+    #[test]
+    fn bulk_sender_stops_at_total_and_closes() {
+        let mut h = HostConfig::default();
+        h.cpu = CpuModel::infinitely_fast();
+        let mut net = Network::new(
+            h.clone(),
+            h,
+            PathConfig::internet(100, 10),
+            Box::new(BulkSender::new(300_000)),
+            Box::new(Sink::default()),
+            11,
+        );
+        net.run_to_idle();
+        let s = net.conn_stats(crate::net::SERVER, FlowId(1)).unwrap();
+        assert_eq!(s.bytes_delivered, 300_000);
+        // FIN seen at the server vantage.
+        assert!(net
+            .server_capture
+            .records
+            .iter()
+            .any(|r| r.kind == netsim::PacketKind::TcpFin));
+    }
+
+    #[test]
+    fn endless_sender_runs_until_deadline() {
+        let mut h = HostConfig::default();
+        h.cpu = CpuModel::infinitely_fast();
+        let mut net = Network::new(
+            h.clone(),
+            h,
+            PathConfig::internet(100, 10),
+            Box::new(BulkSender::endless()),
+            Box::new(Sink::default()),
+            12,
+        );
+        net.run_until(Nanos::from_millis(200));
+        let s = net.conn_stats(crate::net::SERVER, FlowId(1)).unwrap();
+        assert!(s.bytes_delivered > 500_000, "only {}", s.bytes_delivered);
+    }
+}

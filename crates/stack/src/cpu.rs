@@ -1,0 +1,167 @@
+//! Host CPU cost model.
+//!
+//! The paper's Figure 3 exists because packetization decisions have CPU
+//! consequences: smaller TSO segments mean more stack traversals per byte,
+//! and smaller packets mean more per-packet NIC work. We model a host CPU
+//! as a single core with a `busy_until` horizon and charge each stack
+//! operation a calibrated cost. Work requested while the core is busy
+//! executes when the core frees up — which is exactly how throughput
+//! becomes CPU-bound.
+//!
+//! Calibration (see `EXPERIMENTS.md`): with the defaults below, a single
+//! bulk TCP flow over a 100 Gb/s path achieves ~40 Gb/s with default
+//! packetization (1500-byte packets, 44-packet TSO) and ~20 Gb/s at the
+//! paper's maximum reduction degree — matching Figure 3's reported band
+//! ("preserves 19.7 Gb/s or higher").
+
+use netsim::Nanos;
+
+/// Costs of the stack operations we account for.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Fixed cost per transport segment built and pushed through the
+    /// stack (syscall amortization, TCP/IP, qdisc, driver per-descriptor
+    /// chain). Dominates when TSO segments shrink.
+    pub per_segment: Nanos,
+    /// Cost per wire packet (NIC descriptor, doorbell share, completion).
+    pub per_packet: Nanos,
+    /// Cost per payload byte (copy + checksum/crypto touch), in
+    /// femtoseconds per byte to keep integer math exact.
+    pub per_byte_fs: u64,
+    /// Cost to process one incoming ACK at the sender.
+    pub per_ack_rx: Nanos,
+    /// Cost to process one incoming data packet at the receiver.
+    pub per_data_rx: Nanos,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            per_segment: Nanos::from_nanos(4_800),
+            per_packet: Nanos::from_nanos(40),
+            per_byte_fs: 50_000, // 0.05 ns/byte = 20 GB/s touch rate
+            per_ack_rx: Nanos::from_nanos(100),
+            per_data_rx: Nanos::from_nanos(200),
+        }
+    }
+}
+
+impl CpuModel {
+    /// An effectively free CPU, for tests that want pure network dynamics.
+    pub fn infinitely_fast() -> Self {
+        CpuModel {
+            per_segment: Nanos::ZERO,
+            per_packet: Nanos::ZERO,
+            per_byte_fs: 0,
+            per_ack_rx: Nanos::ZERO,
+            per_data_rx: Nanos::ZERO,
+        }
+    }
+
+    /// Cost of building and sending one segment of `payload` bytes split
+    /// into `pkts` wire packets.
+    pub fn segment_cost(&self, payload: u64, pkts: u32) -> Nanos {
+        self.per_segment
+            + self.per_packet * pkts as u64
+            + Nanos::from_nanos(payload * self.per_byte_fs / 1_000_000)
+    }
+}
+
+/// A single-core CPU with a busy horizon.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    pub model: CpuModel,
+    busy_until: Nanos,
+    /// Total busy time accumulated (for utilization reporting).
+    pub busy_total: Nanos,
+}
+
+impl Cpu {
+    pub fn new(model: CpuModel) -> Self {
+        Cpu {
+            model,
+            busy_until: Nanos::ZERO,
+            busy_total: Nanos::ZERO,
+        }
+    }
+
+    /// Charge `cost` of work requested at `now`. Returns the completion
+    /// time: `max(now, previous horizon) + cost`.
+    pub fn charge(&mut self, now: Nanos, cost: Nanos) -> Nanos {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + cost;
+        self.busy_total += cost;
+        self.busy_until
+    }
+
+    pub fn free_at(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Utilization over an interval of simulated time.
+    pub fn utilization(&self, elapsed: Nanos) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy_total.as_nanos() as f64 / elapsed.as_nanos() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_serializes_work() {
+        let mut cpu = Cpu::new(CpuModel::default());
+        let a = cpu.charge(Nanos(0), Nanos(100));
+        assert_eq!(a, Nanos(100));
+        // Requested while busy: queues behind.
+        let b = cpu.charge(Nanos(50), Nanos(100));
+        assert_eq!(b, Nanos(200));
+        // Requested after idle gap: starts at request time.
+        let c = cpu.charge(Nanos(1_000), Nanos(10));
+        assert_eq!(c, Nanos(1_010));
+        assert_eq!(cpu.busy_total, Nanos(210));
+    }
+
+    #[test]
+    fn segment_cost_components() {
+        let m = CpuModel {
+            per_segment: Nanos(1_000),
+            per_packet: Nanos(100),
+            per_byte_fs: 1_000_000, // 1 ns/byte
+            per_ack_rx: Nanos::ZERO,
+            per_data_rx: Nanos::ZERO,
+        };
+        // 1000 bytes over 2 packets: 1000 + 200 + 1000 ns.
+        assert_eq!(m.segment_cost(1000, 2), Nanos(2_200));
+    }
+
+    #[test]
+    fn default_costs_bound_throughput_plausibly() {
+        // Full 44-packet TSO segment: ~44*1448 bytes payload.
+        let m = CpuModel::default();
+        let payload = 44u64 * 1448;
+        let cost = m.segment_cost(payload, 44);
+        // Implied CPU-bound goodput, ignoring ACK processing.
+        let gbps = payload as f64 * 8.0 / cost.as_nanos() as f64;
+        assert!(
+            (40.0..70.0).contains(&gbps),
+            "default segment cost implies {gbps:.1} Gb/s"
+        );
+        // One packet per segment (TSO off): far more expensive per byte.
+        let cost1 = m.segment_cost(1448, 1);
+        let gbps1 = 1448.0 * 8.0 / cost1.as_nanos() as f64;
+        assert!(gbps1 < 3.0, "no-TSO goodput {gbps1:.1} Gb/s");
+    }
+
+    #[test]
+    fn utilization() {
+        let mut cpu = Cpu::new(CpuModel::infinitely_fast());
+        cpu.charge(Nanos(0), Nanos(500));
+        assert!((cpu.utilization(Nanos(1_000)) - 0.5).abs() < 1e-12);
+        assert_eq!(cpu.utilization(Nanos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,1027 @@
+//! The simulated network: two hosts (client and server) joined by a
+//! symmetric bottleneck, driven by a deterministic event loop.
+//!
+//! A passive vantage point at the client access link records every packet
+//! in both directions — the `tcpdump` of the paper's §3 data collection.
+//! A second vantage point at the server side supports server-side defense
+//! studies (§5.4 argues the server side is the right deployment point).
+
+use crate::config::{HostConfig, PathConfig, StackConfig};
+use crate::cpu::Cpu;
+use crate::nic::Nic;
+use crate::qdisc::{FqQdisc, SegDesc};
+use crate::quic::{QuicConn, QuicStats};
+use crate::shaper::BoxShaper;
+use crate::tcp::{ConnStats, TcpAction, TcpConn, TimerKind};
+use netsim::{
+    Capture, Direction, DropTailQueue, EventQueue, FlowId, Nanos, Packet, PacketKind, SimRng,
+};
+use std::collections::BTreeMap;
+
+pub const CLIENT: usize = 0;
+pub const SERVER: usize = 1;
+
+/// Callbacks through which applications drive the stack. All I/O is
+/// asynchronous: `Api::send` only fills the socket buffer, mirroring the
+/// `send()` semantics §2.3 builds its argument on.
+pub trait App {
+    fn on_start(&mut self, _api: &mut Api) {}
+    /// Client side: connection established.
+    fn on_connected(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// Server side: a new connection completed its handshake.
+    fn on_accept(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// `bytes` new in-order bytes arrived on `flow`.
+    fn on_data(&mut self, _api: &mut Api, _flow: FlowId, _bytes: u64) {}
+    /// Socket-buffer space is available again after a short write.
+    fn on_sendable(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// The peer closed its direction of the connection.
+    fn on_peer_closed(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// An application timer set via [`Api::set_timer`] fired.
+    fn on_timer(&mut self, _api: &mut Api, _token: u64) {}
+}
+
+/// Events flowing through the simulator.
+#[derive(Debug)]
+enum Ev {
+    /// A packet arrives at a host (after the bottleneck + propagation).
+    Arrive { host: usize, pkt: Packet },
+    /// One wire packet's last bit left the host NIC.
+    PktLeaveNic { host: usize, pkt: Packet },
+    /// The NIC finished serializing a whole segment of `flow`.
+    SegTxDone { host: usize, flow: FlowId, wire: u64 },
+    /// Bottleneck transmitter finished the packet in flight.
+    BnTxDone { dir: usize },
+    /// Re-examine the qdisc (pacing eligibility or NIC became free).
+    QdiscCheck { host: usize },
+    /// Transport timer.
+    ConnTimer {
+        host: usize,
+        flow: FlowId,
+        kind: TimerKind,
+        gen: u64,
+    },
+    /// Application timer.
+    AppTimer { host: usize, token: u64 },
+}
+
+/// A transport endpoint: the stack supports TCP and QUIC side by side
+/// (Figure 1's columns share everything below the transport layer).
+enum Transport {
+    Tcp(TcpConn),
+    Quic(QuicConn),
+}
+
+impl Transport {
+    fn input(&mut self, pkt: &Packet, now: Nanos, cpu: &mut crate::cpu::Cpu) -> Vec<TcpAction> {
+        match self {
+            Transport::Tcp(c) => c.input(pkt, now, cpu),
+            Transport::Quic(c) => c.input(pkt, now, cpu),
+        }
+    }
+    fn output(&mut self, now: Nanos, cpu: &mut crate::cpu::Cpu) -> Vec<TcpAction> {
+        match self {
+            Transport::Tcp(c) => c.output(now, cpu),
+            Transport::Quic(c) => c.output(now, cpu),
+        }
+    }
+    fn on_timer(&mut self, kind: TimerKind, gen: u64, now: Nanos) -> Vec<TcpAction> {
+        match self {
+            Transport::Tcp(c) => c.on_timer(kind, gen, now),
+            Transport::Quic(c) => c.on_timer(kind, gen, now),
+        }
+    }
+    fn tsq_credit(&mut self, wire: u64) {
+        if let Transport::Tcp(c) = self {
+            c.tsq_credit(wire);
+        }
+    }
+    fn write(&mut self, len: u64) -> u64 {
+        match self {
+            Transport::Tcp(c) => c.write(len),
+            Transport::Quic(c) => c.write(len),
+        }
+    }
+    fn set_shaper(&mut self, shaper: BoxShaper) {
+        match self {
+            Transport::Tcp(c) => c.set_shaper(shaper),
+            Transport::Quic(c) => c.set_shaper(shaper),
+        }
+    }
+}
+
+struct Host {
+    cfg: HostConfig,
+    cpu: Cpu,
+    nic: Nic,
+    qdisc: FqQdisc,
+    conns: BTreeMap<FlowId, Transport>,
+    /// Earliest pending QdiscCheck, to avoid event storms.
+    next_check: Option<Nanos>,
+}
+
+impl Host {
+    fn new(cfg: HostConfig) -> Self {
+        Host {
+            cpu: Cpu::new(cfg.cpu),
+            nic: Nic::new(cfg.nic_rate_bps),
+            qdisc: FqQdisc::new(),
+            conns: BTreeMap::new(),
+            next_check: None,
+            cfg,
+        }
+    }
+}
+
+/// Counters for the path between the hosts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathStats {
+    pub random_drops: u64,
+    pub overflow_drops: u64,
+    pub delivered_pkts: u64,
+}
+
+/// The whole simulated world.
+pub struct Network {
+    q: EventQueue<Ev>,
+    hosts: [Host; 2],
+    apps: [Option<Box<dyn App>>; 2],
+    path: PathConfig,
+    bn_queue: [DropTailQueue; 2],
+    bn_inflight: [Option<Packet>; 2],
+    rng: SimRng,
+    next_flow: u32,
+    started: bool,
+    pub path_stats: PathStats,
+    /// Vantage point at the client access link (the paper's capture
+    /// position). `Out` = client→server.
+    pub client_capture: Capture,
+    /// Vantage point at the server access link. `Out` = server→client.
+    pub server_capture: Capture,
+}
+
+impl Network {
+    pub fn new(
+        client: HostConfig,
+        server: HostConfig,
+        path: PathConfig,
+        client_app: Box<dyn App>,
+        server_app: Box<dyn App>,
+        seed: u64,
+    ) -> Self {
+        Network {
+            q: EventQueue::new(),
+            hosts: [Host::new(client), Host::new(server)],
+            apps: [Some(client_app), Some(server_app)],
+            bn_queue: [
+                DropTailQueue::new(path.queue_bytes),
+                DropTailQueue::new(path.queue_bytes),
+            ],
+            bn_inflight: [None, None],
+            path,
+            rng: SimRng::new(seed),
+            next_flow: 1,
+            started: false,
+            path_stats: PathStats::default(),
+            client_capture: Capture::new(),
+            server_capture: Capture::new(),
+        }
+    }
+
+    pub fn now(&self) -> Nanos {
+        self.q.now()
+    }
+
+    /// Deliver `on_start` to both apps (server first, so it is listening
+    /// before the client connects).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.with_app(SERVER, |app, api| app.on_start(api));
+        self.with_app(CLIENT, |app, api| app.on_start(api));
+    }
+
+    /// Run until the event queue drains. Returns the final time.
+    pub fn run_to_idle(&mut self) -> Nanos {
+        self.start();
+        while let Some((_, ev)) = self.q.pop() {
+            self.handle(ev);
+        }
+        self.q.now()
+    }
+
+    /// Run until simulated `deadline`; later events stay queued.
+    pub fn run_until(&mut self, deadline: Nanos) {
+        self.start();
+        while let Some(t) = self.q.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (_, ev) = self.q.pop().expect("peeked event vanished");
+            self.handle(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn conn_stats(&self, host: usize, flow: FlowId) -> Option<ConnStats> {
+        match self.hosts[host].conns.get(&flow) {
+            Some(Transport::Tcp(c)) => Some(c.stats),
+            _ => None,
+        }
+    }
+
+    pub fn quic_stats(&self, host: usize, flow: FlowId) -> Option<QuicStats> {
+        match self.hosts[host].conns.get(&flow) {
+            Some(Transport::Quic(c)) => Some(c.stats),
+            _ => None,
+        }
+    }
+
+    pub fn cpu(&self, host: usize) -> &Cpu {
+        &self.hosts[host].cpu
+    }
+
+    pub fn nic_counters(&self, host: usize) -> (u64, u64) {
+        (self.hosts[host].nic.segments_tx, self.hosts[host].nic.packets_tx)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::QdiscCheck { host } => {
+                self.hosts[host].next_check = None;
+                self.qdisc_check(host);
+            }
+            Ev::PktLeaveNic { host, pkt } => self.pkt_leave_nic(host, pkt),
+            Ev::SegTxDone { host, flow, wire } => {
+                let now = self.q.now();
+                if let Some(conn) = self.hosts[host].conns.get_mut(&flow) {
+                    conn.tsq_credit(wire);
+                    let acts = {
+                        let h = &mut self.hosts[host];
+                        let conn = h.conns.get_mut(&flow).expect("conn vanished");
+                        conn.output(now, &mut h.cpu)
+                    };
+                    self.apply(host, flow, acts);
+                }
+            }
+            Ev::BnTxDone { dir } => self.bn_tx_done(dir),
+            Ev::Arrive { host, pkt } => self.arrive(host, pkt),
+            Ev::ConnTimer {
+                host,
+                flow,
+                kind,
+                gen,
+            } => {
+                let now = self.q.now();
+                let acts = match self.hosts[host].conns.get_mut(&flow) {
+                    Some(conn) => conn.on_timer(kind, gen, now),
+                    None => return,
+                };
+                self.apply(host, flow, acts);
+                let more = {
+                    let h = &mut self.hosts[host];
+                    match h.conns.get_mut(&flow) {
+                        Some(conn) => conn.output(now, &mut h.cpu),
+                        None => return,
+                    }
+                };
+                self.apply(host, flow, more);
+            }
+            Ev::AppTimer { host, token } => {
+                self.with_app(host, |app, api| app.on_timer(api, token));
+            }
+        }
+    }
+
+    /// Apply transport actions produced by conn `flow` on `host`.
+    fn apply(&mut self, host: usize, flow: FlowId, acts: Vec<TcpAction>) {
+        let now = self.q.now();
+        for act in acts {
+            match act {
+                TcpAction::SendSeg(seg) => {
+                    let at = seg.eligible_at;
+                    self.hosts[host].qdisc.enqueue(seg);
+                    self.schedule_check(host, at.max(now));
+                }
+                TcpAction::SendCtl(pkt) => {
+                    let seg = SegDesc::new(flow, vec![pkt], now);
+                    self.hosts[host].qdisc.enqueue_prio(seg);
+                    self.schedule_check(host, now);
+                }
+                TcpAction::ArmTimer { kind, at, gen } => {
+                    self.q.schedule_at(
+                        at.max(now),
+                        Ev::ConnTimer {
+                            host,
+                            flow,
+                            kind,
+                            gen,
+                        },
+                    );
+                }
+                TcpAction::Deliver(n) => {
+                    self.with_app(host, |app, api| app.on_data(api, flow, n));
+                }
+                TcpAction::Sendable => {
+                    self.with_app(host, |app, api| app.on_sendable(api, flow));
+                }
+                TcpAction::Connected => {
+                    if host == CLIENT {
+                        self.with_app(host, |app, api| app.on_connected(api, flow));
+                    } else {
+                        self.with_app(host, |app, api| app.on_accept(api, flow));
+                    }
+                }
+                TcpAction::PeerClosed => {
+                    self.with_app(host, |app, api| app.on_peer_closed(api, flow));
+                }
+            }
+        }
+    }
+
+    fn with_app(&mut self, host: usize, f: impl FnOnce(&mut dyn App, &mut Api)) {
+        if let Some(mut app) = self.apps[host].take() {
+            {
+                let mut api = Api { net: self, host };
+                f(app.as_mut(), &mut api);
+            }
+            debug_assert!(self.apps[host].is_none(), "reentrant app callback");
+            self.apps[host] = Some(app);
+        }
+    }
+
+    fn schedule_check(&mut self, host: usize, at: Nanos) {
+        let at = at.max(self.q.now());
+        match self.hosts[host].next_check {
+            Some(t) if t <= at => {}
+            _ => {
+                self.hosts[host].next_check = Some(at);
+                self.q.schedule_at(at, Ev::QdiscCheck { host });
+            }
+        }
+    }
+
+    /// Try to feed the NIC from the qdisc.
+    fn qdisc_check(&mut self, host: usize) {
+        let now = self.q.now();
+        let h = &mut self.hosts[host];
+        if !h.nic.idle_at(now) {
+            let free = h.nic.free_at();
+            self.schedule_check(host, free);
+            return;
+        }
+        match h.qdisc.dequeue(now) {
+            Some(seg) => {
+                let flow = seg.flow;
+                let wire = seg.wire_bytes;
+                let (done, pkts) = h.nic.transmit_segment(now, seg);
+                for (t, pkt) in pkts {
+                    self.q.schedule_at(t, Ev::PktLeaveNic { host, pkt });
+                }
+                self.q.schedule_at(done, Ev::SegTxDone { host, flow, wire });
+                // Check again when the NIC frees up.
+                self.schedule_check(host, done);
+            }
+            None => {
+                if let Some(t) = h.qdisc.next_eligible() {
+                    let t = t.max(now);
+                    self.schedule_check(host, t);
+                }
+            }
+        }
+    }
+
+    /// A packet's last bit left a host NIC: record it at the local
+    /// vantage point, then enter the bottleneck toward the other host.
+    fn pkt_leave_nic(&mut self, host: usize, pkt: Packet) {
+        let now = self.q.now();
+        match host {
+            CLIENT => self.client_capture.observe(now, Direction::Out, &pkt),
+            _ => self.server_capture.observe(now, Direction::Out, &pkt),
+        }
+        // Random loss (configured paths only).
+        if self.path.loss > 0.0 && self.rng.chance(self.path.loss) {
+            self.path_stats.random_drops += 1;
+            return;
+        }
+        let dir = host; // direction index = source host
+        if self.bn_inflight[dir].is_none() {
+            let tx = Nanos::for_bytes_at_rate(pkt.wire_len as u64, self.path.bottleneck_bps);
+            self.bn_inflight[dir] = Some(pkt);
+            self.q.schedule_at(now + tx, Ev::BnTxDone { dir });
+        } else if !self.bn_queue[dir].enqueue(pkt) {
+            self.path_stats.overflow_drops += 1;
+        }
+    }
+
+    fn bn_tx_done(&mut self, dir: usize) {
+        let now = self.q.now();
+        let pkt = self.bn_inflight[dir].take().expect("no packet in flight");
+        let dst = 1 - dir;
+        self.path_stats.delivered_pkts += 1;
+        self.q
+            .schedule_at(now + self.path.one_way_delay, Ev::Arrive { host: dst, pkt });
+        if let Some(next) = self.bn_queue[dir].dequeue() {
+            let tx = Nanos::for_bytes_at_rate(next.wire_len as u64, self.path.bottleneck_bps);
+            self.bn_inflight[dir] = Some(next);
+            self.q.schedule_at(now + tx, Ev::BnTxDone { dir });
+        }
+    }
+
+    fn arrive(&mut self, host: usize, pkt: Packet) {
+        let now = self.q.now();
+        match host {
+            CLIENT => self.client_capture.observe(now, Direction::In, &pkt),
+            _ => self.server_capture.observe(now, Direction::In, &pkt),
+        }
+        let flow = pkt.flow;
+        // Passive open: a SYN (TCP) or Initial (QUIC) for an unknown
+        // flow creates the server connection.
+        if !self.hosts[host].conns.contains_key(&flow) {
+            if pkt.kind == PacketKind::TcpSyn && host == SERVER {
+                let cfg = self.hosts[host].cfg.stack.clone();
+                self.hosts[host]
+                    .conns
+                    .insert(flow, Transport::Tcp(TcpConn::new(flow, cfg, false)));
+            } else if pkt.kind == PacketKind::QuicInit && host == SERVER {
+                let cfg = self.hosts[host].cfg.stack.clone();
+                self.hosts[host]
+                    .conns
+                    .insert(flow, Transport::Quic(QuicConn::new(flow, cfg, false)));
+            } else {
+                return; // stray packet for a dead/unknown flow
+            }
+        }
+        let acts = {
+            let h = &mut self.hosts[host];
+            let conn = h.conns.get_mut(&flow).expect("conn just ensured");
+            conn.input(&pkt, now, &mut h.cpu)
+        };
+        self.apply(host, flow, acts);
+        let more = {
+            let h = &mut self.hosts[host];
+            match h.conns.get_mut(&flow) {
+                Some(conn) => conn.output(now, &mut h.cpu),
+                None => return,
+            }
+        };
+        self.apply(host, flow, more);
+    }
+}
+
+/// Application-facing handle, passed into every [`App`] callback.
+pub struct Api<'a> {
+    net: &'a mut Network,
+    host: usize,
+}
+
+/// Kinds of application-visible events (used by recording apps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppEvent {
+    Connected,
+    Data(u64),
+    Sendable,
+    PeerClosed,
+    Timer(u64),
+}
+
+impl<'a> Api<'a> {
+    pub fn now(&self) -> Nanos {
+        self.net.q.now()
+    }
+
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// Open a TCP connection to the other host (client side only) using
+    /// the host's default stack config.
+    pub fn connect(&mut self) -> FlowId {
+        let cfg = self.net.hosts[self.host].cfg.stack.clone();
+        self.connect_with(cfg, None)
+    }
+
+    /// Open a connection with an explicit stack config and optional
+    /// shaper (the `setsockopt`-style control surface §5.3 points at).
+    pub fn connect_with(&mut self, cfg: StackConfig, shaper: Option<BoxShaper>) -> FlowId {
+        assert_eq!(self.host, CLIENT, "only the client opens connections");
+        let flow = FlowId(self.net.next_flow);
+        self.net.next_flow += 1;
+        let mut conn = TcpConn::new(flow, cfg, true);
+        if let Some(s) = shaper {
+            conn.set_shaper(s);
+        }
+        let now = self.net.q.now();
+        let acts = conn.connect(now);
+        self.net.hosts[self.host]
+            .conns
+            .insert(flow, Transport::Tcp(conn));
+        self.net.apply(self.host, flow, acts);
+        flow
+    }
+
+    /// Open a QUIC connection to the other host (client side only).
+    pub fn connect_quic(&mut self, cfg: StackConfig, shaper: Option<BoxShaper>) -> FlowId {
+        assert_eq!(self.host, CLIENT, "only the client opens connections");
+        let flow = FlowId(self.net.next_flow);
+        self.net.next_flow += 1;
+        let mut conn = QuicConn::new(flow, cfg, true);
+        if let Some(s) = shaper {
+            conn.set_shaper(s);
+        }
+        let now = self.net.q.now();
+        let acts = conn.connect(now);
+        self.net.hosts[self.host]
+            .conns
+            .insert(flow, Transport::Quic(conn));
+        self.net.apply(self.host, flow, acts);
+        flow
+    }
+
+    /// Install a shaper on an existing connection (either host). This is
+    /// how a server-side deployment (§5.4) attaches Stob policies to
+    /// accepted connections.
+    pub fn set_shaper(&mut self, flow: FlowId, shaper: BoxShaper) {
+        if let Some(conn) = self.net.hosts[self.host].conns.get_mut(&flow) {
+            conn.set_shaper(shaper);
+        }
+    }
+
+    /// Write up to `bytes` into the socket buffer; returns bytes accepted.
+    pub fn send(&mut self, flow: FlowId, bytes: u64) -> u64 {
+        let now = self.net.q.now();
+        let (accepted, acts) = {
+            let h = &mut self.net.hosts[self.host];
+            let Some(conn) = h.conns.get_mut(&flow) else {
+                return 0;
+            };
+            let accepted = conn.write(bytes);
+            let acts = conn.output(now, &mut h.cpu);
+            (accepted, acts)
+        };
+        self.net.apply(self.host, flow, acts);
+        accepted
+    }
+
+    /// Close our direction of the connection (FIN after queued data).
+    pub fn close(&mut self, flow: FlowId) {
+        let now = self.net.q.now();
+        let acts = {
+            let h = &mut self.net.hosts[self.host];
+            match h.conns.get_mut(&flow) {
+                // QUIC-lite models no CONNECTION_CLOSE frame; closing is
+                // a TCP-only operation here.
+                Some(Transport::Tcp(conn)) => {
+                    conn.close();
+                    conn.output(now, &mut h.cpu)
+                }
+                _ => return,
+            }
+        };
+        self.net.apply(self.host, flow, acts);
+    }
+
+    /// Arm an application timer delivering `token` after `delay`.
+    pub fn set_timer(&mut self, delay: Nanos, token: u64) {
+        let host = self.host;
+        self.net
+            .q
+            .schedule_in(delay, Ev::AppTimer { host, token });
+    }
+
+    /// Stats of one of this host's connections.
+    pub fn conn_stats(&self, flow: FlowId) -> Option<ConnStats> {
+        self.net.conn_stats(self.host, flow)
+    }
+
+    /// Smoothed RTT of a connection, if measured.
+    pub fn srtt(&self, flow: FlowId) -> Option<Nanos> {
+        match self.net.hosts[self.host].conns.get(&flow) {
+            Some(Transport::Tcp(c)) => c.srtt(),
+            _ => None,
+        }
+    }
+
+    /// Deterministic per-app randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.net.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{BulkSender, NullApp, Sink};
+    use crate::config::CcKind;
+    use crate::cpu::CpuModel;
+
+    fn fast_hosts() -> (HostConfig, HostConfig) {
+        let mut h = HostConfig::default();
+        h.cpu = CpuModel::infinitely_fast();
+        (h.clone(), h)
+    }
+
+    #[test]
+    fn bulk_transfer_is_exact_over_internet_path() {
+        let (hc, hs) = fast_hosts();
+        let total = 5_000_000;
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 30),
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            1,
+        );
+        let end = net.run_to_idle();
+        let sink_bytes = net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered;
+        assert_eq!(sink_bytes, total, "delivery must be exact");
+        // Sanity on elapsed: 5 MB at 50 Mb/s is >= 0.8 s.
+        assert!(end > Nanos::from_millis(800), "finished too fast: {end}");
+        assert!(end < Nanos::from_secs(10), "took too long: {end}");
+    }
+
+    #[test]
+    fn handshake_takes_one_rtt() {
+        struct Probe {
+            connected_at: Option<Nanos>,
+        }
+        impl App for Probe {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect();
+            }
+            fn on_connected(&mut self, api: &mut Api, _f: FlowId) {
+                self.connected_at = Some(api.now());
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let path = PathConfig::internet(100, 40);
+        let mut net = Network::new(
+            hc,
+            hs,
+            path,
+            Box::new(Probe { connected_at: None }),
+            Box::new(NullApp),
+            2,
+        );
+        net.run_to_idle();
+        // Reach into the capture to find when the client learned.
+        let synack = net
+            .client_capture
+            .records
+            .iter()
+            .find(|r| r.kind == PacketKind::TcpSynAck)
+            .expect("SYN-ACK captured");
+        let rtt_ms = synack.ts.as_millis_f64();
+        assert!(
+            (39.0..45.0).contains(&rtt_ms),
+            "SYN-ACK after {rtt_ms} ms, expected ~40"
+        );
+    }
+
+    #[test]
+    fn capture_sees_handshake_then_data_in_order() {
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(BulkSender::new(100_000)),
+            Box::new(Sink::default()),
+            3,
+        );
+        net.run_to_idle();
+        let recs = &net.client_capture.records;
+        assert!(net.client_capture.is_time_ordered());
+        assert_eq!(recs[0].kind, PacketKind::TcpSyn);
+        assert_eq!(recs[0].dir, Direction::Out);
+        assert_eq!(recs[1].kind, PacketKind::TcpSynAck);
+        assert_eq!(recs[1].dir, Direction::In);
+        assert!(recs.iter().any(|r| r.kind == PacketKind::TcpData));
+        assert!(recs.iter().any(|r| r.kind == PacketKind::TcpFin));
+    }
+
+    #[test]
+    fn loss_is_recovered_exactly() {
+        let (hc, hs) = fast_hosts();
+        let mut path = PathConfig::internet(50, 20);
+        path.loss = 0.02;
+        let total = 2_000_000;
+        let mut net = Network::new(
+            hc,
+            hs,
+            path,
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            4,
+        );
+        net.run_to_idle();
+        assert_eq!(
+            net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+            total
+        );
+        assert!(net.path_stats.random_drops > 0, "loss never injected");
+        let cs = net.conn_stats(CLIENT, FlowId(1)).unwrap();
+        assert!(
+            cs.fast_retransmits + cs.rtos > 0,
+            "loss must trigger recovery"
+        );
+    }
+
+    #[test]
+    fn tso_microburst_visible_at_line_rate() {
+        // Over the 100 Gb/s lab path, packets of one TSO segment leave
+        // back-to-back at line rate (§4.2's micro burst).
+        let (mut hc, hs) = fast_hosts();
+        hc.stack.pacing = false;
+        hc.stack.cc = CcKind::Cubic;
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::lab_100g(),
+            Box::new(BulkSender::new(10_000_000)),
+            Box::new(Sink::default()),
+            5,
+        );
+        net.run_until(Nanos::from_millis(50));
+        let data: Vec<_> = net
+            .client_capture
+            .records
+            .iter()
+            .filter(|r| r.kind == PacketKind::TcpData && r.dir == Direction::Out)
+            .collect();
+        assert!(data.len() > 50, "need a burst, got {}", data.len());
+        // Find at least one run of >= 8 packets with ~121 ns spacing.
+        let mut run = 0;
+        let mut best = 0;
+        for w in data.windows(2) {
+            let gap = (w[1].ts - w[0].ts).as_nanos();
+            if gap <= 125 {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best >= 8, "longest line-rate run {best}");
+    }
+
+    #[test]
+    fn cpu_model_bounds_throughput_on_lab_path() {
+        // With the calibrated default CPU model, a single flow over
+        // 100 Gb/s is CPU-bound around 35-55 Gb/s (Figure 3's default
+        // operating point).
+        let hc = HostConfig::default();
+        let hs = HostConfig::default();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::lab_100g(),
+            Box::new(BulkSender::endless()),
+            Box::new(Sink::default()),
+            6,
+        );
+        let warmup = Nanos::from_millis(30);
+        net.run_until(warmup);
+        let base = net
+            .conn_stats(SERVER, FlowId(1))
+            .map(|s| s.bytes_delivered)
+            .unwrap_or(0);
+        let window = Nanos::from_millis(50);
+        net.run_until(warmup + window);
+        let bytes = net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered - base;
+        let gbps = bytes as f64 * 8.0 / window.as_secs_f64() / 1e9;
+        assert!(
+            (30.0..60.0).contains(&gbps),
+            "CPU-bound goodput {gbps:.1} Gb/s out of calibration band"
+        );
+    }
+
+    #[test]
+    fn two_flows_share_the_bottleneck() {
+        struct TwoFlows;
+        impl App for TwoFlows {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect();
+                api.connect();
+            }
+            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+                api.send(flow, 2_000_000);
+                api.close(flow);
+            }
+            fn on_sendable(&mut self, _api: &mut Api, _flow: FlowId) {}
+        }
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(TwoFlows),
+            Box::new(Sink::default()),
+            7,
+        );
+        net.run_to_idle();
+        let d1 = net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered;
+        let d2 = net.conn_stats(SERVER, FlowId(2)).unwrap().bytes_delivered;
+        assert_eq!(d1, 2_000_000);
+        assert_eq!(d2, 2_000_000);
+    }
+
+    #[test]
+    fn quic_transfer_end_to_end() {
+        struct QuicSender {
+            written: bool,
+        }
+        impl App for QuicSender {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect_quic(StackConfig::default(), None);
+            }
+            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+                if !self.written {
+                    self.written = true;
+                    api.send(flow, 1_000_000);
+                }
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(100, 20),
+            Box::new(QuicSender { written: false }),
+            Box::new(Sink::default()),
+            21,
+        );
+        net.run_until(Nanos::from_secs(20));
+        let st = net.quic_stats(SERVER, FlowId(1)).expect("server quic conn");
+        assert_eq!(st.bytes_delivered, 1_000_000);
+        // The capture contains the Initial handshake and QUIC data.
+        assert!(net
+            .client_capture
+            .records
+            .iter()
+            .any(|r| r.kind == PacketKind::QuicInit));
+        let data = net
+            .client_capture
+            .records
+            .iter()
+            .filter(|r| r.kind == PacketKind::QuicData)
+            .count();
+        assert!(data >= 700, "expected ~741 datagrams, saw {data}");
+    }
+
+    #[test]
+    fn quic_flow_survives_loss() {
+        struct QuicSender;
+        impl App for QuicSender {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect_quic(StackConfig::default(), None);
+            }
+            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+                api.send(flow, 500_000);
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let mut path = PathConfig::internet(50, 20);
+        path.loss = 0.02;
+        let mut net = Network::new(
+            hc,
+            hs,
+            path,
+            Box::new(QuicSender),
+            Box::new(Sink::default()),
+            22,
+        );
+        net.run_until(Nanos::from_secs(30));
+        let st = net.quic_stats(SERVER, FlowId(1)).expect("server conn");
+        assert_eq!(st.bytes_delivered, 500_000, "QUIC must recover from loss");
+        let cs = net.quic_stats(CLIENT, FlowId(1)).expect("client conn");
+        assert!(cs.retransmissions > 0);
+    }
+
+    #[test]
+    fn quic_shaper_applies_on_the_wire() {
+        struct Shaped;
+        impl App for Shaped {
+            fn on_start(&mut self, api: &mut Api) {
+                struct Small;
+                impl crate::shaper::Shaper for Small {
+                    fn packet_ip_size(
+                        &mut self,
+                        _c: &crate::shaper::ShapeCtx,
+                        _i: u32,
+                        p: u32,
+                    ) -> u32 {
+                        p.min(700)
+                    }
+                }
+                api.connect_quic(StackConfig::default(), Some(Box::new(Small)));
+            }
+            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+                api.send(flow, 200_000);
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(100, 10),
+            Box::new(Shaped),
+            Box::new(Sink::default()),
+            23,
+        );
+        net.run_until(Nanos::from_secs(10));
+        let st = net.quic_stats(SERVER, FlowId(1)).expect("server conn");
+        assert_eq!(st.bytes_delivered, 200_000);
+        for r in &net.client_capture.records {
+            if r.kind == PacketKind::QuicData && r.dir == Direction::Out {
+                assert!(r.wire_len <= 700 + 14, "datagram {} too big", r.wire_len);
+            }
+        }
+    }
+
+    #[test]
+    fn fq_shares_the_nic_between_flows_fairly() {
+        // Two simultaneous bulk flows from the same host: FQ's
+        // earliest-eligible-first scheduling plus per-flow pacing should
+        // split the bottleneck roughly evenly.
+        struct TwoBulk {
+            pumped: std::collections::BTreeSet<u32>,
+        }
+        impl App for TwoBulk {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect();
+                api.connect();
+            }
+            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+                self.pumped.insert(flow.0);
+                api.send(flow, 1 << 30);
+            }
+            fn on_sendable(&mut self, api: &mut Api, flow: FlowId) {
+                api.send(flow, 1 << 30);
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(100, 20),
+            Box::new(TwoBulk {
+                pumped: Default::default(),
+            }),
+            Box::new(Sink::default()),
+            31,
+        );
+        net.run_until(Nanos::from_secs(8));
+        let d1 = net.conn_stats(SERVER, FlowId(1)).expect("f1").bytes_delivered;
+        let d2 = net.conn_stats(SERVER, FlowId(2)).expect("f2").bytes_delivered;
+        let ratio = d1.max(d2) as f64 / d1.min(d2).max(1) as f64;
+        assert!(
+            ratio < 2.0,
+            "flows too unfair: {d1} vs {d2} (ratio {ratio:.2})"
+        );
+        // And together they saturate a good share of the bottleneck.
+        let total_gbps = (d1 + d2) as f64 * 8.0 / 8.0 / 1e9;
+        assert!(
+            total_gbps > 0.05,
+            "aggregate goodput {total_gbps:.3} Gb/s too low"
+        );
+    }
+
+    #[test]
+    fn app_timers_fire_in_order() {
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl App for Timers {
+            fn on_start(&mut self, api: &mut Api) {
+                api.set_timer(Nanos::from_millis(5), 1);
+                api.set_timer(Nanos::from_millis(1), 2);
+                api.set_timer(Nanos::from_millis(3), 3);
+            }
+            fn on_timer(&mut self, _api: &mut Api, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::default(),
+            Box::new(Timers { fired: vec![] }),
+            Box::new(NullApp),
+            8,
+        );
+        net.run_to_idle();
+        // We can't reach into the boxed app; assert via time instead.
+        assert_eq!(net.now(), Nanos::from_millis(5));
+    }
+}

@@ -1,0 +1,190 @@
+//! TLS record-layer model.
+//!
+//! Figure 1's left two columns differ in *where* TLS records are formed:
+//! in the application (userspace TLS) or inside the stack (kTLS). For
+//! traffic analysis what matters is the byte inflation and framing TLS
+//! imposes between application objects and the TCP byte stream, plus the
+//! record-padding facility (TLS 1.3 allows zero-padding records, which is
+//! where the paper expects *application-driven* padding policies to be
+//! implemented — Stob deliberately leaves padding to the application,
+//! §4.2).
+//!
+//! We model records as byte accounting: `wrap(n)` returns how many
+//! ciphertext bytes enter the TCP stream for `n` plaintext bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum plaintext fragment per TLS record (RFC 8446).
+pub const MAX_RECORD_PLAINTEXT: u64 = 16_384;
+/// Per-record overhead: 5-byte header + 16-byte AEAD tag + 1-byte content
+/// type (TLS 1.3 inner type).
+pub const RECORD_OVERHEAD: u64 = 22;
+
+/// Where records are produced (affects which layer may pad).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlsMode {
+    /// Records formed by the application library before `send()`.
+    Userspace,
+    /// Records formed inside the stack (kTLS): the stack sees plaintext
+    /// sizes and may apply record padding itself.
+    Kernel,
+}
+
+/// Record padding policy: pad each record's plaintext up to a multiple of
+/// `quantum` bytes (0 or 1 = no padding). This is the TLS 1.3 padding
+/// mechanism several app-level defenses (ALPaCA-style) build on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordPadding {
+    pub quantum: u64,
+}
+
+impl RecordPadding {
+    pub const NONE: RecordPadding = RecordPadding { quantum: 0 };
+
+    pub fn padded_len(&self, plaintext: u64) -> u64 {
+        if self.quantum <= 1 || plaintext == 0 {
+            return plaintext;
+        }
+        plaintext.div_ceil(self.quantum) * self.quantum
+    }
+}
+
+/// A TLS session's record-layer accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TlsSession {
+    pub mode: TlsMode,
+    pub padding: RecordPadding,
+    /// Total plaintext bytes wrapped.
+    pub plaintext_bytes: u64,
+    /// Total ciphertext bytes produced.
+    pub ciphertext_bytes: u64,
+    pub records: u64,
+}
+
+impl TlsSession {
+    pub fn new(mode: TlsMode) -> Self {
+        TlsSession {
+            mode,
+            padding: RecordPadding::NONE,
+            plaintext_bytes: 0,
+            ciphertext_bytes: 0,
+            records: 0,
+        }
+    }
+
+    pub fn with_padding(mode: TlsMode, quantum: u64) -> Self {
+        let mut s = Self::new(mode);
+        s.padding = RecordPadding { quantum };
+        s
+    }
+
+    /// Wrap `n` plaintext bytes into records; returns ciphertext bytes to
+    /// write to the transport.
+    pub fn wrap(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let mut remaining = n;
+        let mut out = 0;
+        while remaining > 0 {
+            let frag = remaining.min(MAX_RECORD_PLAINTEXT);
+            let padded = self
+                .padding
+                .padded_len(frag)
+                .min(MAX_RECORD_PLAINTEXT);
+            out += padded + RECORD_OVERHEAD;
+            self.records += 1;
+            remaining -= frag;
+        }
+        self.plaintext_bytes += n;
+        self.ciphertext_bytes += out;
+        out
+    }
+
+    /// Bandwidth overhead ratio so far: extra bytes / plaintext bytes.
+    pub fn overhead(&self) -> f64 {
+        if self.plaintext_bytes == 0 {
+            0.0
+        } else {
+            (self.ciphertext_bytes - self.plaintext_bytes) as f64 / self.plaintext_bytes as f64
+        }
+    }
+
+    /// Size in ciphertext bytes of the TLS 1.3 handshake flights we
+    /// emulate at connection setup: (client hello, server hello + cert
+    /// flight, client finished).
+    pub fn handshake_flights() -> (u64, u64, u64) {
+        (517, 3700, 80)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_small_record() {
+        let mut s = TlsSession::new(TlsMode::Userspace);
+        let out = s.wrap(1000);
+        assert_eq!(out, 1000 + RECORD_OVERHEAD);
+        assert_eq!(s.records, 1);
+    }
+
+    #[test]
+    fn fragments_at_16k() {
+        let mut s = TlsSession::new(TlsMode::Userspace);
+        let out = s.wrap(MAX_RECORD_PLAINTEXT * 2 + 5);
+        assert_eq!(s.records, 3);
+        assert_eq!(out, MAX_RECORD_PLAINTEXT * 2 + 5 + 3 * RECORD_OVERHEAD);
+    }
+
+    #[test]
+    fn zero_bytes_produce_nothing() {
+        let mut s = TlsSession::new(TlsMode::Kernel);
+        assert_eq!(s.wrap(0), 0);
+        assert_eq!(s.records, 0);
+    }
+
+    #[test]
+    fn padding_rounds_up_to_quantum() {
+        let p = RecordPadding { quantum: 1024 };
+        assert_eq!(p.padded_len(1), 1024);
+        assert_eq!(p.padded_len(1024), 1024);
+        assert_eq!(p.padded_len(1025), 2048);
+        assert_eq!(p.padded_len(0), 0);
+        assert_eq!(RecordPadding::NONE.padded_len(777), 777);
+    }
+
+    #[test]
+    fn padded_session_inflates() {
+        let mut s = TlsSession::with_padding(TlsMode::Kernel, 4096);
+        let out = s.wrap(100);
+        assert_eq!(out, 4096 + RECORD_OVERHEAD);
+        assert!(s.overhead() > 40.0);
+    }
+
+    #[test]
+    fn padding_never_exceeds_record_max() {
+        // 12000 fits one fragment; padding would round to 20000, which
+        // exceeds the record maximum and clamps to 16384.
+        let mut s = TlsSession::with_padding(TlsMode::Kernel, 10_000);
+        assert_eq!(s.wrap(12_000), 16_384 + RECORD_OVERHEAD);
+        assert_eq!(s.records, 1);
+    }
+
+    #[test]
+    fn overhead_ratio() {
+        let mut s = TlsSession::new(TlsMode::Userspace);
+        s.wrap(MAX_RECORD_PLAINTEXT);
+        let expect = RECORD_OVERHEAD as f64 / MAX_RECORD_PLAINTEXT as f64;
+        assert!((s.overhead() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handshake_flight_sizes_plausible() {
+        let (ch, sh, fin) = TlsSession::handshake_flights();
+        assert!(ch > 100 && ch < 2000);
+        assert!(sh > 2000 && sh < 10_000);
+        assert!(fin > 0 && fin < 500);
+    }
+}

@@ -1,0 +1,60 @@
+//! Dataset persistence: plain JSON, so corpora collected by one binary
+//! (e.g. a slow full-stack collection) can be reused by another (attack
+//! sweeps, defense matrices) without re-simulation.
+
+use crate::dataset::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Save a dataset as JSON.
+pub fn save_dataset(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(dataset)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Load a dataset from JSON.
+pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::paper_sites;
+    use crate::statgen::generate_corpus;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let sites: Vec<_> = paper_sites().into_iter().take(2).collect();
+        let names = sites.iter().map(|s| s.name.to_string()).collect();
+        let d = Dataset::new(generate_corpus(&sites, 3, 1), names);
+        let dir = std::env::temp_dir().join("stob-io-test");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("corpus.json");
+        save_dataset(&d, &path).expect("save");
+        let back = load_dataset(&path).expect("load");
+        assert_eq!(back.class_names, d.class_names);
+        assert_eq!(back.traces, d.traces);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_dataset(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("stob-io-test");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("garbage.json");
+        fs::write(&path, "not json at all").expect("write");
+        let err = load_dataset(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,177 @@
+//! Data sanitization (§3): "After sanitizing the data by checking for
+//! connection errors and removing outliers outside of the interquartile
+//! range of total download size, we were left with 74 traces for each
+//! site."
+//!
+//! Per site we (1) drop incomplete/failed visits, (2) drop traces whose
+//! total download size falls outside the Tukey fences
+//! `[Q1 - 1.5*IQR, Q3 + 1.5*IQR]`, and (3) equalize class sizes to the
+//! smallest surviving site so the closed-world dataset stays balanced
+//! (the paper's uniform 74 per site).
+
+use crate::model::Trace;
+use netsim::percentile;
+
+/// What happened during sanitization (per site).
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeReport {
+    pub input: usize,
+    pub dropped_errors: usize,
+    pub dropped_outliers: usize,
+    pub kept: usize,
+}
+
+/// Minimum packets for a visit to count as a successful load.
+pub const MIN_PACKETS: usize = 20;
+
+/// IQR-filter one site's traces. `complete[i]` says whether visit `i`
+/// finished (connection-error check).
+pub fn sanitize_site(traces: Vec<Trace>, complete: &[bool]) -> (Vec<Trace>, SanitizeReport) {
+    let mut report = SanitizeReport {
+        input: traces.len(),
+        ..Default::default()
+    };
+    let ok: Vec<Trace> = traces
+        .into_iter()
+        .zip(complete.iter().copied())
+        .filter_map(|(t, c)| {
+            if c && t.len() >= MIN_PACKETS {
+                Some(t)
+            } else {
+                report.dropped_errors += 1;
+                None
+            }
+        })
+        .collect();
+    if ok.len() < 4 {
+        report.kept = ok.len();
+        return (ok, report);
+    }
+    let sizes: Vec<f64> = ok.iter().map(|t| t.download_bytes() as f64).collect();
+    let q1 = percentile(&sizes, 25.0);
+    let q3 = percentile(&sizes, 75.0);
+    let iqr = q3 - q1;
+    let lo = q1 - 1.5 * iqr;
+    let hi = q3 + 1.5 * iqr;
+    let kept: Vec<Trace> = ok
+        .into_iter()
+        .filter(|t| {
+            let s = t.download_bytes() as f64;
+            if s < lo || s > hi {
+                report.dropped_outliers += 1;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    report.kept = kept.len();
+    (kept, report)
+}
+
+/// Sanitize a whole corpus (one inner Vec per site) and equalize class
+/// sizes. Returns (balanced corpus, per-site reports, per-site count).
+pub fn sanitize(
+    per_site: Vec<(Vec<Trace>, Vec<bool>)>,
+) -> (Vec<Trace>, Vec<SanitizeReport>, usize) {
+    let mut cleaned: Vec<Vec<Trace>> = Vec::new();
+    let mut reports = Vec::new();
+    for (traces, complete) in per_site {
+        let (kept, rep) = sanitize_site(traces, &complete);
+        cleaned.push(kept);
+        reports.push(rep);
+    }
+    let per_class = cleaned.iter().map(|v| v.len()).min().unwrap_or(0);
+    let mut out = Vec::new();
+    for site in cleaned {
+        out.extend(site.into_iter().take(per_class));
+    }
+    (out, reports, per_class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TracePacket;
+    use netsim::{Direction, Nanos};
+
+    fn trace_of_bytes(label: usize, visit: usize, dl_pkts: usize) -> Trace {
+        let mut pkts = vec![TracePacket::new(Nanos(0), Direction::Out, 576)];
+        for i in 0..dl_pkts.max(MIN_PACKETS) {
+            pkts.push(TracePacket::new(
+                Nanos(1 + i as u64),
+                Direction::In,
+                1514,
+            ));
+        }
+        Trace::new(label, visit, pkts)
+    }
+
+    #[test]
+    fn drops_incomplete_visits() {
+        let traces = vec![trace_of_bytes(0, 0, 50), trace_of_bytes(0, 1, 50)];
+        let (kept, rep) = sanitize_site(traces, &[true, false]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(rep.dropped_errors, 1);
+        assert_eq!(rep.kept, 1);
+    }
+
+    #[test]
+    fn drops_short_connection_error_traces() {
+        let mut tiny = trace_of_bytes(0, 0, 50);
+        tiny.packets.truncate(3);
+        let (kept, rep) = sanitize_site(vec![tiny], &[true]);
+        assert!(kept.is_empty());
+        assert_eq!(rep.dropped_errors, 1);
+    }
+
+    #[test]
+    fn iqr_removes_size_outliers() {
+        // 20 normal traces around 50 packets, 1 monster.
+        let mut traces: Vec<Trace> = (0..20)
+            .map(|v| trace_of_bytes(0, v, 48 + (v % 5)))
+            .collect();
+        traces.push(trace_of_bytes(0, 20, 5_000));
+        let complete = vec![true; traces.len()];
+        let (kept, rep) = sanitize_site(traces, &complete);
+        assert_eq!(rep.dropped_outliers, 1);
+        assert_eq!(kept.len(), 20);
+        assert!(kept.iter().all(|t| t.len() < 100));
+    }
+
+    #[test]
+    fn keeps_everything_when_homogeneous() {
+        let traces: Vec<Trace> = (0..30).map(|v| trace_of_bytes(0, v, 50)).collect();
+        let complete = vec![true; 30];
+        let (kept, rep) = sanitize_site(traces, &complete);
+        assert_eq!(kept.len(), 30);
+        assert_eq!(rep.dropped_outliers, 0);
+    }
+
+    #[test]
+    fn corpus_sanitization_balances_classes() {
+        let site0: Vec<Trace> = (0..10).map(|v| trace_of_bytes(0, v, 50)).collect();
+        let site1: Vec<Trace> = (0..10).map(|v| trace_of_bytes(1, v, 80)).collect();
+        let c0 = vec![true; 10];
+        // Site 1 loses 3 visits to errors.
+        let mut c1 = vec![true; 10];
+        c1[0] = false;
+        c1[5] = false;
+        c1[9] = false;
+        let (out, reports, per_class) = sanitize(vec![(site0, c0), (site1, c1)]);
+        assert_eq!(per_class, 7);
+        assert_eq!(out.len(), 14);
+        assert_eq!(out.iter().filter(|t| t.label == 0).count(), 7);
+        assert_eq!(out.iter().filter(|t| t.label == 1).count(), 7);
+        assert_eq!(reports[1].dropped_errors, 3);
+    }
+
+    #[test]
+    fn tiny_sites_skip_iqr() {
+        let traces = vec![trace_of_bytes(0, 0, 50), trace_of_bytes(0, 1, 5_000)];
+        let (kept, rep) = sanitize_site(traces, &[true, true]);
+        // Too few samples for quartiles: keep both.
+        assert_eq!(kept.len(), 2);
+        assert_eq!(rep.dropped_outliers, 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Site profiles: the page-structure models behind the nine sites of §3.
+//!
+//! The paper captured bing.com, github.com, instagram.com, netflix.com,
+//! office.com, spotify.com, whatsapp.net, wikipedia.org and youtube.com.
+//! Each profile here encodes the *kind* of page those names suggest —
+//! text-heavy vs. media-heavy, few vs. many objects, single-origin vs.
+//! CDN-sharded — with per-visit jitter so that visits to one site vary
+//! (dynamic content, network noise) while sites stay distinguishable.
+//! The absolute parameters are synthetic; what matters for the
+//! reproduction is that the resulting traffic shapes are separable by a
+//! WF attack to a similar degree as the paper reports.
+
+use netsim::{Nanos, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// A lognormal in natural-log space.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogNorm {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNorm {
+    /// Parameterize by approximate median (exp(mu)) in the given unit.
+    pub fn median(median: f64, sigma: f64) -> Self {
+        LogNorm {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.lognormal(self.mu, self.sigma)
+    }
+}
+
+/// A website's page-structure model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteProfile {
+    pub name: &'static str,
+    /// Main document size in bytes (lognormal).
+    pub main_doc: LogNorm,
+    /// Number of sub-resources per page (mean, +- jitter fraction).
+    pub n_objects: (usize, f64),
+    /// Sub-resource size in bytes (lognormal).
+    pub object_size: LogNorm,
+    /// Parallel connections the browser opens (CDN shards / h1 pool).
+    pub connections: usize,
+    /// Server think time per request (mean; exponential).
+    pub think: Nanos,
+    /// Client-side gap between issuing requests (parse/layout delays).
+    pub request_gap: Nanos,
+    /// Base path RTT in ms and the per-visit jitter fraction.
+    pub rtt_ms: f64,
+    pub rtt_jitter: f64,
+    /// Access-link rate in Mb/s.
+    pub bottleneck_mbps: u64,
+    /// Per-visit multiplicative size noise (sigma of a lognormal with
+    /// median 1): models dynamic content between visits.
+    pub size_noise: f64,
+    /// TLS server handshake flight (ServerHello + certificate chain +
+    /// Finished), ciphertext bytes. Certificate chains differ per
+    /// operator, which is visible in the first packets of every visit.
+    pub tls_flight: u64,
+    /// Server initial congestion window in segments. CDNs tune this
+    /// (10-32), and it shapes the very first download burst.
+    pub server_init_cwnd: u32,
+    /// Server-side path MTU as IP bytes. Tunnels/overlays at some
+    /// operators clamp this below 1500.
+    pub server_mtu_ip: u32,
+    /// HTTP request size (headers + cookies), bytes.
+    pub request_size: u64,
+}
+
+/// One concrete visit sampled from a profile: the ground truth both the
+/// simulated browser and server work from.
+#[derive(Debug, Clone)]
+pub struct VisitPlan {
+    pub main_doc: u64,
+    pub objects: Vec<u64>,
+    pub thinks: Vec<Nanos>,
+    pub request_gap: Nanos,
+    pub rtt: Nanos,
+    pub bottleneck_mbps: u64,
+    pub connections: usize,
+    pub tls_flight: u64,
+    pub server_init_cwnd: u32,
+    pub server_mtu_ip: u32,
+    pub request_size: u64,
+}
+
+impl VisitPlan {
+    /// Ciphertext bytes of the server's TLS handshake flight.
+    pub fn server_flight(&self) -> u64 {
+        self.tls_flight
+    }
+}
+
+impl SiteProfile {
+    /// Sample a visit. `rng` should be forked per (site, visit).
+    pub fn plan_visit(&self, rng: &mut SimRng) -> VisitPlan {
+        let noise = |rng: &mut SimRng| -> f64 { rng.lognormal(0.0, self.size_noise) };
+        let main_doc = (self.main_doc.sample(rng) * noise(rng)).max(2_000.0) as u64;
+        let (n_mean, n_jit) = self.n_objects;
+        let lo = ((n_mean as f64) * (1.0 - n_jit)).round().max(1.0) as usize;
+        let hi = ((n_mean as f64) * (1.0 + n_jit)).round() as usize;
+        let n = rng.range_usize(lo, hi.max(lo));
+        let objects: Vec<u64> = (0..n)
+            .map(|_| (self.object_size.sample(rng) * noise(rng)).max(400.0) as u64)
+            .collect();
+        let thinks: Vec<Nanos> = (0..=n)
+            .map(|_| Nanos::from_secs_f64(rng.exponential(self.think.as_secs_f64())))
+            .collect();
+        let rtt_f = self.rtt_ms * (1.0 + rng.range_f64(-self.rtt_jitter, self.rtt_jitter));
+        // The certificate chain varies slightly between visits (OCSP
+        // staples, session tickets), the infrastructure knobs do not.
+        let tls_flight =
+            (self.tls_flight as f64 * rng.lognormal(0.0, 0.02)).max(1_200.0) as u64;
+        VisitPlan {
+            main_doc,
+            objects,
+            thinks,
+            request_gap: self.request_gap,
+            rtt: Nanos::from_secs_f64(rtt_f * 1e-3),
+            bottleneck_mbps: self.bottleneck_mbps,
+            connections: self.connections,
+            tls_flight,
+            server_init_cwnd: self.server_init_cwnd,
+            server_mtu_ip: self.server_mtu_ip,
+            request_size: self.request_size,
+        }
+    }
+
+    /// Expected page weight in bytes (rough, for tests).
+    pub fn expected_page_bytes(&self) -> f64 {
+        let doc = (self.main_doc.mu + self.main_doc.sigma * self.main_doc.sigma / 2.0).exp();
+        let obj =
+            (self.object_size.mu + self.object_size.sigma * self.object_size.sigma / 2.0).exp();
+        doc + self.n_objects.0 as f64 * obj
+    }
+}
+
+/// The nine paper sites.
+pub fn paper_sites() -> Vec<SiteProfile> {
+    let ms = Nanos::from_millis;
+    vec![
+        // Search: small doc, modest object count, snappy backend.
+        SiteProfile {
+            name: "bing.com",
+            main_doc: LogNorm::median(95_000.0, 0.18),
+            n_objects: (14, 0.2),
+            object_size: LogNorm::median(18_000.0, 0.6),
+            connections: 4,
+            think: ms(12),
+            request_gap: ms(6),
+            rtt_ms: 18.0,
+            rtt_jitter: 0.15,
+            bottleneck_mbps: 50,
+            size_noise: 0.10,
+            tls_flight: 3_400,
+            server_init_cwnd: 20,
+            server_mtu_ip: 1500,
+            request_size: 620,
+        },
+        // Code hosting: medium doc, many small assets, single pool.
+        SiteProfile {
+            name: "github.com",
+            main_doc: LogNorm::median(210_000.0, 0.15),
+            n_objects: (28, 0.15),
+            object_size: LogNorm::median(9_000.0, 0.7),
+            connections: 2,
+            think: ms(25),
+            request_gap: ms(4),
+            rtt_ms: 28.0,
+            rtt_jitter: 0.15,
+            bottleneck_mbps: 50,
+            size_noise: 0.08,
+            tls_flight: 4_800,
+            server_init_cwnd: 10,
+            server_mtu_ip: 1500,
+            request_size: 740,
+        },
+        // Image feed: many medium images, heavy sharding.
+        SiteProfile {
+            name: "instagram.com",
+            main_doc: LogNorm::median(120_000.0, 0.2),
+            n_objects: (42, 0.25),
+            object_size: LogNorm::median(55_000.0, 0.55),
+            connections: 6,
+            think: ms(18),
+            request_gap: ms(3),
+            rtt_ms: 22.0,
+            rtt_jitter: 0.2,
+            bottleneck_mbps: 50,
+            size_noise: 0.22,
+            tls_flight: 2_900,
+            server_init_cwnd: 32,
+            server_mtu_ip: 1460,
+            request_size: 980,
+        },
+        // Streaming landing page: few but very large objects.
+        SiteProfile {
+            name: "netflix.com",
+            main_doc: LogNorm::median(320_000.0, 0.18),
+            n_objects: (10, 0.2),
+            object_size: LogNorm::median(160_000.0, 0.5),
+            connections: 3,
+            think: ms(30),
+            request_gap: ms(8),
+            rtt_ms: 24.0,
+            rtt_jitter: 0.15,
+            bottleneck_mbps: 50,
+            size_noise: 0.15,
+            tls_flight: 4_200,
+            server_init_cwnd: 32,
+            server_mtu_ip: 1500,
+            request_size: 560,
+        },
+        // Portal: mid-size everything, slower enterprise backend.
+        SiteProfile {
+            name: "office.com",
+            main_doc: LogNorm::median(150_000.0, 0.15),
+            n_objects: (22, 0.18),
+            object_size: LogNorm::median(26_000.0, 0.6),
+            connections: 3,
+            think: ms(45),
+            request_gap: ms(7),
+            rtt_ms: 35.0,
+            rtt_jitter: 0.15,
+            bottleneck_mbps: 50,
+            size_noise: 0.10,
+            tls_flight: 5_600,
+            server_init_cwnd: 10,
+            server_mtu_ip: 1400,
+            request_size: 870,
+        },
+        // Music app shell: medium count, bimodal-ish sizes.
+        SiteProfile {
+            name: "spotify.com",
+            main_doc: LogNorm::median(180_000.0, 0.2),
+            n_objects: (18, 0.22),
+            object_size: LogNorm::median(40_000.0, 0.8),
+            connections: 4,
+            think: ms(20),
+            request_gap: ms(5),
+            rtt_ms: 26.0,
+            rtt_jitter: 0.18,
+            bottleneck_mbps: 50,
+            size_noise: 0.15,
+            tls_flight: 3_100,
+            server_init_cwnd: 16,
+            server_mtu_ip: 1500,
+            request_size: 700,
+        },
+        // Messaging web endpoint: tiny page, few objects, fast.
+        SiteProfile {
+            name: "whatsapp.net",
+            main_doc: LogNorm::median(45_000.0, 0.15),
+            n_objects: (6, 0.3),
+            object_size: LogNorm::median(12_000.0, 0.5),
+            connections: 2,
+            think: ms(10),
+            request_gap: ms(4),
+            rtt_ms: 20.0,
+            rtt_jitter: 0.15,
+            bottleneck_mbps: 50,
+            size_noise: 0.08,
+            tls_flight: 2_600,
+            server_init_cwnd: 10,
+            server_mtu_ip: 1460,
+            request_size: 430,
+        },
+        // Encyclopedia: text-dominant, very few images, lean.
+        SiteProfile {
+            name: "wikipedia.org",
+            main_doc: LogNorm::median(75_000.0, 0.25),
+            n_objects: (9, 0.25),
+            object_size: LogNorm::median(7_000.0, 0.6),
+            connections: 2,
+            think: ms(15),
+            request_gap: ms(5),
+            rtt_ms: 30.0,
+            rtt_jitter: 0.15,
+            bottleneck_mbps: 50,
+            size_noise: 0.20,
+            tls_flight: 3_800,
+            server_init_cwnd: 10,
+            server_mtu_ip: 1500,
+            request_size: 380,
+        },
+        // Video portal: heavy page, many thumbnails, big shards.
+        SiteProfile {
+            name: "youtube.com",
+            main_doc: LogNorm::median(480_000.0, 0.18),
+            n_objects: (34, 0.2),
+            object_size: LogNorm::median(70_000.0, 0.6),
+            connections: 6,
+            think: ms(22),
+            request_gap: ms(3),
+            rtt_ms: 16.0,
+            rtt_jitter: 0.2,
+            bottleneck_mbps: 50,
+            size_noise: 0.18,
+            tls_flight: 2_700,
+            server_init_cwnd: 32,
+            server_mtu_ip: 1500,
+            request_size: 1_150,
+        },
+    ]
+}
+
+/// Procedurally generated background sites for open-world evaluation:
+/// the "rest of the internet" a monitored-set attacker must reject.
+/// Parameters are drawn from wide distributions covering (and exceeding)
+/// the monitored sites' ranges.
+pub fn background_sites(n: usize, seed: u64) -> Vec<SiteProfile> {
+    let names: Vec<&'static str> = (0..n)
+        .map(|i| {
+            // Leak a tiny name; fine for an experiment corpus.
+            Box::leak(format!("background-{i:03}").into_boxed_str()) as &'static str
+        })
+        .collect();
+    let mut rng = SimRng::new(seed ^ 0xBAC6_0000);
+    names
+        .into_iter()
+        .map(|name| {
+            let ms = Nanos::from_millis;
+            SiteProfile {
+                name,
+                main_doc: LogNorm::median(rng.range_f64(30_000.0, 500_000.0), 0.2),
+                n_objects: (rng.range_usize(4, 50), rng.range_f64(0.1, 0.3)),
+                object_size: LogNorm::median(
+                    rng.range_f64(5_000.0, 150_000.0),
+                    rng.range_f64(0.4, 0.8),
+                ),
+                connections: rng.range_usize(1, 6),
+                think: ms(rng.range_u64(8, 60)),
+                request_gap: ms(rng.range_u64(2, 10)),
+                rtt_ms: rng.range_f64(10.0, 60.0),
+                rtt_jitter: rng.range_f64(0.1, 0.25),
+                bottleneck_mbps: 50,
+                size_noise: rng.range_f64(0.08, 0.25),
+                tls_flight: rng.range_u64(2_400, 6_000),
+                server_init_cwnd: *[10u32, 16, 20, 32]
+                    .get(rng.range_usize(0, 3))
+                    .expect("index"),
+                server_mtu_ip: *[1400u32, 1460, 1500]
+                    .get(rng.range_usize(0, 2))
+                    .expect("index"),
+                request_size: rng.range_u64(350, 1_200),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_distinct_sites() {
+        let sites = paper_sites();
+        assert_eq!(sites.len(), 9);
+        let mut names: Vec<&str> = sites.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "site names must be unique");
+    }
+
+    #[test]
+    fn visit_plans_are_plausible() {
+        let sites = paper_sites();
+        let mut rng = SimRng::new(1);
+        for s in &sites {
+            let plan = s.plan_visit(&mut rng);
+            assert!(plan.main_doc >= 2_000);
+            assert!(!plan.objects.is_empty());
+            assert_eq!(plan.thinks.len(), plan.objects.len() + 1);
+            assert!(plan.rtt > Nanos::from_millis(5));
+            assert!(plan.rtt < Nanos::from_millis(100));
+            assert!(plan.connections >= 1);
+            assert!(plan.tls_flight >= 1_200);
+            assert!(plan.server_init_cwnd >= 10);
+            assert!((1_200..=1_500).contains(&plan.server_mtu_ip));
+            assert!(plan.request_size >= 300);
+            let total: u64 = plan.main_doc + plan.objects.iter().sum::<u64>();
+            assert!(total > 50_000, "{}: page too small {total}", s.name);
+            assert!(total < 50_000_000, "{}: page too large {total}", s.name);
+        }
+    }
+
+    #[test]
+    fn visits_vary_within_a_site() {
+        let sites = paper_sites();
+        let root = SimRng::new(7);
+        let mut r1 = root.fork(1);
+        let mut r2 = root.fork(2);
+        let p1 = sites[0].plan_visit(&mut r1);
+        let p2 = sites[0].plan_visit(&mut r2);
+        assert_ne!(p1.main_doc, p2.main_doc, "visits must jitter");
+    }
+
+    #[test]
+    fn sites_differ_in_expected_weight() {
+        let sites = paper_sites();
+        let mut weights: Vec<(f64, &str)> = sites
+            .iter()
+            .map(|s| (s.expected_page_bytes(), s.name))
+            .collect();
+        weights.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        // Lightest and heaviest differ by a large factor.
+        let ratio = weights.last().expect("nonempty").0 / weights[0].0;
+        assert!(ratio > 5.0, "sites too similar: ratio {ratio}");
+    }
+
+    #[test]
+    fn background_sites_are_diverse_and_deterministic() {
+        let a = background_sites(20, 1);
+        let b = background_sites(20, 1);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tls_flight, y.tls_flight);
+            assert_eq!(x.rtt_ms, y.rtt_ms);
+        }
+        // Diverse: not all the same page weight.
+        let mut weights: Vec<u64> = a
+            .iter()
+            .map(|s| s.expected_page_bytes() as u64 / 10_000)
+            .collect();
+        weights.sort_unstable();
+        weights.dedup();
+        assert!(weights.len() > 10, "backgrounds too uniform");
+        // And plans sample fine.
+        let mut rng = SimRng::new(2);
+        for s in &a {
+            let p = s.plan_visit(&mut rng);
+            assert!(p.main_doc > 0 && !p.objects.is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_for_seed() {
+        let sites = paper_sites();
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let pa = sites[3].plan_visit(&mut a);
+        let pb = sites[3].plan_visit(&mut b);
+        assert_eq!(pa.main_doc, pb.main_doc);
+        assert_eq!(pa.objects, pb.objects);
+        assert_eq!(pa.rtt, pb.rtt);
+    }
+}

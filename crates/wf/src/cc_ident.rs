@@ -1,0 +1,328 @@
+//! Passive congestion-control identification — CCAnalyzer-lite (§5.2).
+//!
+//! The paper notes that packet sequences leak more than website
+//! identity: a passive observer can classify the sender's congestion
+//! controller from flow dynamics, revealing OS and application
+//! information. CCAnalyzer (Ware et al., SIGCOMM 2024) does this from
+//! bottleneck queue-occupancy behaviour; our lite variant extracts
+//! dynamics features directly from the sender-side packet timing:
+//!
+//! * the rate trajectory over windows (slow-start shape, multiplicative
+//!   decrease depth, cubic's concave/convex recovery),
+//! * pacing texture (BBR paces smoothly at nanosecond granularity;
+//!   window-based CCAs emit ACK-clocked micro-bursts),
+//! * rate oscillation (BBR's 8-phase gain cycle wiggles the rate
+//!   periodically even at steady state).
+//!
+//! The same random forest used for WF does the classification, and the
+//! same Stob policies can be pointed at this classifier — the §5.2
+//! counter-measure experiment lives in `stob-bench`'s `cc_ident` bin.
+
+use crate::forest::{Forest, ForestConfig};
+use crate::metrics::{accuracy, mean_std};
+use netsim::{percentile, Direction, RunningStats, SimRng};
+use traces::{Dataset, Trace};
+
+/// Rate-trajectory windows kept as raw features.
+const N_WINDOWS: usize = 40;
+/// Window width in seconds.
+const WINDOW_SECS: f64 = 0.1;
+
+/// Number of CC-dynamics features.
+pub const N_CC_FEATURES: usize = N_WINDOWS   // windowed rates
+    + 6                                      // rate trajectory stats
+    + 8                                      // IAT texture
+    + 6                                      // burst texture
+    + 4; // oscillation
+
+/// Extract the CC-dynamics feature vector from a sender-side capture.
+pub fn cc_features(trace: &Trace) -> Vec<f64> {
+    let mut f = Vec::with_capacity(N_CC_FEATURES);
+    let data: Vec<(f64, u32)> = trace
+        .packets
+        .iter()
+        .filter(|p| p.dir == Direction::Out && p.size > 100)
+        .map(|p| (p.ts.as_secs_f64(), p.size))
+        .collect();
+
+    // ---- windowed send rate (bytes/s), normalized by the peak ----
+    let mut windows = vec![0.0f64; N_WINDOWS];
+    for &(t, size) in &data {
+        let w = (t / WINDOW_SECS) as usize;
+        if w < N_WINDOWS {
+            windows[w] += size as f64 / WINDOW_SECS;
+        }
+    }
+    let peak = windows.iter().cloned().fold(1.0, f64::max);
+    f.extend(windows.iter().map(|&w| w / peak));
+
+    // ---- trajectory stats ----
+    let nonzero: Vec<f64> = windows.iter().copied().filter(|&w| w > 0.0).collect();
+    if nonzero.is_empty() {
+        f.extend([0.0; 6]);
+    } else {
+        let mut rs = RunningStats::new();
+        nonzero.iter().for_each(|&w| rs.push(w / peak));
+        // Time (in windows) to reach half and 90% of peak: slow-start
+        // aggressiveness.
+        let t_half = windows.iter().position(|&w| w >= peak / 2.0).unwrap_or(0);
+        let t_90 = windows.iter().position(|&w| w >= peak * 0.9).unwrap_or(0);
+        // Deepest relative drop between consecutive windows: beta.
+        let max_drop = windows
+            .windows(2)
+            .filter(|w| w[0] > peak * 0.2)
+            .map(|w| (w[0] - w[1]) / w[0].max(1.0))
+            .fold(0.0, f64::max);
+        f.extend([
+            rs.mean(),
+            rs.std_dev(),
+            t_half as f64,
+            t_90 as f64,
+            max_drop,
+            nonzero.len() as f64,
+        ]);
+    }
+
+    // ---- inter-departure texture ----
+    let iats: Vec<f64> = data.windows(2).map(|w| (w[1].0 - w[0].0).max(0.0)).collect();
+    if iats.is_empty() {
+        f.extend([0.0; 8]);
+    } else {
+        let mut rs = RunningStats::new();
+        iats.iter().for_each(|&x| rs.push(x));
+        let p50 = percentile(&iats, 50.0);
+        let p90 = percentile(&iats, 90.0);
+        let p99 = percentile(&iats, 99.0);
+        // Coefficient of variation: paced flows are smooth (low),
+        // ACK-clocked bursts are spiky (high).
+        let cv = if rs.mean() > 0.0 {
+            rs.std_dev() / rs.mean()
+        } else {
+            0.0
+        };
+        // Fraction of near-zero gaps (line-rate bursts).
+        let burst_frac = iats.iter().filter(|&&x| x < 5e-6).count() as f64 / iats.len() as f64;
+        f.extend([rs.mean(), rs.std_dev(), p50, p90, p99, cv, burst_frac, rs.max()]);
+    }
+
+    // ---- burst-length texture (runs of near-back-to-back packets) ----
+    let mut runs: Vec<usize> = Vec::new();
+    let mut run = 1usize;
+    for gap in &iats {
+        if *gap < 50e-6 {
+            run += 1;
+        } else {
+            runs.push(run);
+            run = 1;
+        }
+    }
+    runs.push(run);
+    if runs.is_empty() {
+        f.extend([0.0; 6]);
+    } else {
+        let rf: Vec<f64> = runs.iter().map(|&r| r as f64).collect();
+        let mut rs = RunningStats::new();
+        rf.iter().for_each(|&x| rs.push(x));
+        f.extend([
+            rs.mean(),
+            rs.std_dev(),
+            rs.max(),
+            percentile(&rf, 50.0),
+            percentile(&rf, 90.0),
+            runs.len() as f64,
+        ]);
+    }
+
+    // ---- steady-state oscillation (BBR's gain cycle) ----
+    // Lag-k autocorrelation of the second half of the rate trajectory.
+    let tail: Vec<f64> = windows[N_WINDOWS / 2..].to_vec();
+    let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    let var: f64 = tail.iter().map(|x| (x - mean) * (x - mean)).sum();
+    let ac = |k: usize| -> f64 {
+        if var <= 0.0 || tail.len() <= k {
+            return 0.0;
+        }
+        let num: f64 = tail
+            .windows(k + 1)
+            .map(|w| (w[0] - mean) * (w[k] - mean))
+            .sum();
+        num / var
+    };
+    f.extend([ac(1), ac(2), ac(4), ac(8)]);
+
+    debug_assert_eq!(f.len(), N_CC_FEATURES);
+    f
+}
+
+/// Evaluation result for the CC-identification task.
+#[derive(Debug, Clone)]
+pub struct CcIdentResult {
+    pub mean: f64,
+    pub std: f64,
+    pub per_repeat: Vec<f64>,
+}
+
+/// Closed-world CC identification with repeated stratified splits.
+pub fn evaluate_cc_ident(
+    dataset: &Dataset,
+    n_trees: usize,
+    repeats: usize,
+    seed: u64,
+) -> CcIdentResult {
+    let features: Vec<Vec<f64>> = dataset.traces.iter().map(cc_features).collect();
+    let labels: Vec<usize> = dataset.traces.iter().map(|t| t.label).collect();
+    let cfg = ForestConfig {
+        n_trees,
+        ..ForestConfig::default()
+    };
+    let mut scores = Vec::with_capacity(repeats);
+    for rep in 0..repeats {
+        let mut rng = SimRng::new(seed).fork(rep as u64 + 1);
+        let (train, test) = dataset.stratified_split(0.3, &mut rng);
+        let x: Vec<Vec<f64>> = train.iter().map(|&i| features[i].clone()).collect();
+        let y: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        let forest = Forest::fit(&x, &y, dataset.n_classes(), &cfg, &mut rng);
+        let pred: Vec<usize> = test.iter().map(|&i| forest.predict(&features[i])).collect();
+        let truth: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+        scores.push(accuracy(&pred, &truth));
+    }
+    let (mean, std) = mean_std(&scores);
+    CcIdentResult {
+        mean,
+        std,
+        per_repeat: scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Nanos;
+    use traces::TracePacket;
+
+    fn synthetic_flow(burst_len: usize, gap_us: u64, n: usize) -> Trace {
+        // n packets in bursts of `burst_len`, bursts separated by gap.
+        let mut pkts = Vec::new();
+        let mut t = Nanos::ZERO;
+        let mut in_burst = 0;
+        for _ in 0..n {
+            pkts.push(TracePacket::new(t, Direction::Out, 1514));
+            in_burst += 1;
+            if in_burst == burst_len {
+                t += Nanos::from_micros(gap_us);
+                in_burst = 0;
+            } else {
+                t += Nanos::from_micros(2);
+            }
+        }
+        Trace::new(0, 0, pkts)
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_length_and_is_finite() {
+        let t = synthetic_flow(10, 500, 500);
+        let f = cc_features(&t);
+        assert_eq!(f.len(), N_CC_FEATURES);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new(0, 0, vec![]);
+        let f = cc_features(&t);
+        assert_eq!(f.len(), N_CC_FEATURES);
+    }
+
+    #[test]
+    fn burst_texture_separates_paced_from_bursty() {
+        // "Paced": solitary packets at regular 50 us intervals.
+        let paced = synthetic_flow(1, 50, 1000);
+        // "Bursty": 20-packet line-rate bursts.
+        let bursty = synthetic_flow(20, 2000, 1000);
+        let fp = cc_features(&paced);
+        let fb = cc_features(&bursty);
+        // Mean burst length feature (first of the burst block).
+        let burst_mean_idx = N_WINDOWS + 6 + 8;
+        assert!(
+            fb[burst_mean_idx] > fp[burst_mean_idx] * 3.0,
+            "bursty {} vs paced {}",
+            fb[burst_mean_idx],
+            fp[burst_mean_idx]
+        );
+    }
+
+    #[test]
+    fn identifies_ccas_well_above_chance() {
+        // Small but real corpus: 6 flows per CCA through the full stack.
+        let corpus = traces::flows::cc_corpus(6, 21, None);
+        let d = Dataset::new(corpus, traces::flows::cc_class_names());
+        let r = evaluate_cc_ident(&d, 40, 3, 5);
+        assert!(
+            r.mean > 0.55,
+            "CC identification accuracy {} barely above chance (0.33)",
+            r.mean
+        );
+    }
+
+    #[test]
+    fn stob_policy_blurs_pacing_texture() {
+        use stob::policy::{DelaySpec, ObfuscationPolicy, SizeSpec, TsoSpec};
+        // A pacing-obfuscation policy: large random departure jitter and
+        // single-packet segments erase the burst texture the classifier
+        // keys on. §5.1 is explicit that *fully* hiding the CCA without
+        // disturbing it is an open problem, so the assertion here is the
+        // mechanical one: the burst/IAT features converge across CCAs.
+        let policy = ObfuscationPolicy {
+            name: "cc-hide".into(),
+            size: SizeSpec::Unchanged,
+            delay: DelaySpec::UniformAbsolute {
+                lo: netsim::Nanos::from_micros(100),
+                hi: netsim::Nanos::from_millis(3),
+            },
+            tso: TsoSpec::Cap { pkts: 1 },
+            first_n_pkts: 0,
+            respect_slow_start: false,
+        };
+        let plain = Dataset::new(
+            traces::flows::cc_corpus(5, 31, None),
+            traces::flows::cc_class_names(),
+        );
+        let hidden = Dataset::new(
+            traces::flows::cc_corpus(5, 31, Some(policy)),
+            traces::flows::cc_class_names(),
+        );
+        // Note: naive per-segment jitter does NOT erase burst texture —
+        // segments whose jitter draws are smaller pile up behind earlier,
+        // more-delayed segments in the per-flow FIFO and leave the NIC
+        // back-to-back. This is precisely the kind of CCA/shaping
+        // interaction §5.1 flags as an open design problem. What the
+        // policy does do is move every flow's feature vector:
+        let mean_vec = |d: &Dataset| {
+            let mut acc = vec![0.0f64; N_CC_FEATURES];
+            for t in &d.traces {
+                for (a, v) in acc.iter_mut().zip(cc_features(t)) {
+                    *a += v;
+                }
+            }
+            acc.iter_mut().for_each(|a| *a /= d.len() as f64);
+            acc
+        };
+        let dist: f64 = mean_vec(&plain)
+            .iter()
+            .zip(mean_vec(&hidden))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "policy barely moved the features: {dist}");
+        // And identification must not become *easier* beyond small-sample
+        // noise.
+        let r_plain = evaluate_cc_ident(&plain, 40, 4, 7);
+        let r_hidden = evaluate_cc_ident(&hidden, 40, 4, 7);
+        assert!(
+            r_hidden.mean <= r_plain.mean + 0.15,
+            "obfuscation must not help the classifier: {} -> {}",
+            r_plain.mean,
+            r_hidden.mean
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Closed-world evaluation harness: repeated stratified splits of a
+//! dataset, a fresh forest per repeat, accuracy reported as mean ± std —
+//! the Table 2 protocol.
+
+use crate::features::{extract_all, FeatureConfig};
+use crate::forest::{Forest, ForestConfig};
+use crate::knn::{FeatureKnn, KfpKnn, KnnConfig};
+use crate::metrics::{accuracy, confusion_matrix, mean_std};
+use netsim::SimRng;
+use traces::Dataset;
+
+/// Which classifier head runs on top of the features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackKind {
+    /// Random-forest majority vote (Table 2's "k-FP Random Forest").
+    #[default]
+    RandomForest,
+    /// Full k-FP: forest leaf-vector fingerprints + Hamming k-NN.
+    KfpLeafKnn,
+    /// Euclidean k-NN on z-scored raw features (classic baseline).
+    FeatureKnn,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    pub features: FeatureConfig,
+    pub forest: ForestConfig,
+    pub attack: AttackKind,
+    pub knn: KnnConfig,
+    /// Independent train/test repetitions.
+    pub repeats: usize,
+    /// Fraction of each class held out for testing.
+    pub test_frac: f64,
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            features: FeatureConfig::paper(),
+            forest: ForestConfig::default(),
+            attack: AttackKind::RandomForest,
+            knn: KnnConfig::default(),
+            repeats: 5,
+            test_frac: 0.25,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    pub mean: f64,
+    pub std: f64,
+    pub per_repeat: Vec<f64>,
+    /// Summed confusion matrix across repeats: `cm[truth][pred]`.
+    pub confusion: Vec<Vec<usize>>,
+}
+
+impl EvalResult {
+    /// Table 2's `0.884 ± 0.007` presentation.
+    pub fn formatted(&self) -> String {
+        format!("{:.3} \u{00B1} {:.3}", self.mean, self.std)
+    }
+}
+
+/// Evaluate the k-FP random-forest attack on a dataset.
+pub fn evaluate(dataset: &Dataset, cfg: &EvalConfig) -> EvalResult {
+    assert!(dataset.len() >= 2 * dataset.n_classes(), "dataset too small");
+    let k = dataset.n_classes();
+    let features = extract_all(&dataset.traces, &cfg.features);
+    let labels: Vec<usize> = dataset.traces.iter().map(|t| t.label).collect();
+    let mut scores = Vec::with_capacity(cfg.repeats);
+    let mut confusion = vec![vec![0usize; k]; k];
+    for rep in 0..cfg.repeats {
+        let mut rng = SimRng::new(cfg.seed).fork(rep as u64 + 1);
+        let (train_idx, test_idx) = dataset.stratified_split(cfg.test_frac, &mut rng);
+        let x_train: Vec<Vec<f64>> = train_idx.iter().map(|&i| features[i].clone()).collect();
+        let y_train: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+        let pred: Vec<usize> = match cfg.attack {
+            AttackKind::RandomForest => {
+                let forest = Forest::fit(&x_train, &y_train, k, &cfg.forest, &mut rng);
+                test_idx.iter().map(|&i| forest.predict(&features[i])).collect()
+            }
+            AttackKind::KfpLeafKnn => {
+                let forest = Forest::fit(&x_train, &y_train, k, &cfg.forest, &mut rng);
+                let knn = KfpKnn::fit(&forest, &x_train, &y_train, cfg.knn);
+                test_idx
+                    .iter()
+                    .map(|&i| knn.predict(&forest, &features[i]))
+                    .collect()
+            }
+            AttackKind::FeatureKnn => {
+                let knn = FeatureKnn::fit(&x_train, &y_train, k, cfg.knn);
+                test_idx.iter().map(|&i| knn.predict(&features[i])).collect()
+            }
+        };
+        let truth: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+        let cm = confusion_matrix(&pred, &truth, k);
+        for (row_acc, row) in confusion.iter_mut().zip(&cm) {
+            for (cell_acc, &cell) in row_acc.iter_mut().zip(row) {
+                *cell_acc += cell;
+            }
+        }
+        scores.push(accuracy(&pred, &truth));
+    }
+    let (mean, std) = mean_std(&scores);
+    EvalResult {
+        mean,
+        std,
+        per_repeat: scores,
+        confusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::sites::paper_sites;
+    use traces::statgen::generate_corpus;
+
+    fn dataset(n_sites: usize, visits: usize) -> Dataset {
+        let sites: Vec<_> = paper_sites().into_iter().take(n_sites).collect();
+        let names = sites.iter().map(|s| s.name.to_string()).collect();
+        Dataset::new(generate_corpus(&sites, visits, 1), names)
+    }
+
+    fn quick_cfg() -> EvalConfig {
+        EvalConfig {
+            forest: ForestConfig {
+                n_trees: 30,
+                ..ForestConfig::default()
+            },
+            repeats: 3,
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn attack_beats_chance_decisively_on_synthetic_sites() {
+        let d = dataset(5, 20);
+        let r = evaluate(&d, &quick_cfg());
+        // Chance is 0.2; the synthetic sites are built to be separable.
+        assert!(r.mean > 0.6, "accuracy {} too low", r.mean);
+        assert_eq!(r.per_repeat.len(), 3);
+        assert!(r.std < 0.5);
+    }
+
+    #[test]
+    fn truncation_reduces_or_preserves_accuracy() {
+        let d = dataset(5, 20);
+        let full = evaluate(&d, &quick_cfg());
+        let tiny = evaluate(&d.truncated(10), &quick_cfg());
+        assert!(
+            tiny.mean <= full.mean + 0.1,
+            "10-packet prefix ({}) should not beat full traces ({})",
+            tiny.mean,
+            full.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = dataset(3, 12);
+        let a = evaluate(&d, &quick_cfg());
+        let b = evaluate(&d, &quick_cfg());
+        assert_eq!(a.per_repeat, b.per_repeat);
+    }
+
+    #[test]
+    fn formatted_output_style() {
+        let r = EvalResult {
+            mean: 0.884,
+            std: 0.007,
+            per_repeat: vec![],
+            confusion: vec![],
+        };
+        assert_eq!(r.formatted(), "0.884 \u{00B1} 0.007");
+    }
+
+    #[test]
+    fn all_attack_variants_beat_chance() {
+        let d = dataset(4, 16);
+        for attack in [
+            AttackKind::RandomForest,
+            AttackKind::KfpLeafKnn,
+            AttackKind::FeatureKnn,
+        ] {
+            let cfg = EvalConfig {
+                attack,
+                ..quick_cfg()
+            };
+            let r = evaluate(&d, &cfg);
+            assert!(
+                r.mean > 0.5,
+                "{attack:?} accuracy {} too close to chance (0.25)",
+                r.mean
+            );
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_accumulates_all_test_samples() {
+        let d = dataset(3, 12);
+        let cfg = quick_cfg();
+        let r = evaluate(&d, &cfg);
+        let total: usize = r.confusion.iter().flatten().sum();
+        // 3 repeats x 3 test samples per class x 3 classes.
+        assert_eq!(total, cfg.repeats * 3 * 3);
+        // Diagonal dominates for separable sites.
+        let diag: usize = (0..3).map(|i| r.confusion[i][i]).sum();
+        assert!(diag * 2 > total, "diagonal {diag} of {total}");
+    }
+
+    #[test]
+    fn shuffled_labels_drop_to_chance() {
+        // Destroying the label-trace association must kill the attack:
+        // a sanity check that accuracy comes from signal, not leakage.
+        let mut d = dataset(4, 16);
+        let mut rng = SimRng::new(9);
+        let mut labels: Vec<usize> = d.traces.iter().map(|t| t.label).collect();
+        rng.shuffle(&mut labels);
+        for (t, l) in d.traces.iter_mut().zip(labels) {
+            t.label = l;
+        }
+        let r = evaluate(&d, &quick_cfg());
+        assert!(
+            r.mean < 0.55,
+            "label-shuffled accuracy {} should be near chance (0.25)",
+            r.mean
+        );
+    }
+}

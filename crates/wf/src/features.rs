@@ -1,0 +1,460 @@
+//! The k-FP feature vector.
+//!
+//! Hayes & Danezis's k-fingerprinting attack extracts ~150 hand-crafted
+//! statistics from (timestamp, direction) sequences: packet counts,
+//! inter-arrival statistics, timestamp quantiles, per-second rates,
+//! ordering statistics, chunked concentration of outgoing packets, and
+//! burst behaviour. We reproduce that feature family with a fixed layout
+//! of [`N_FEATURES`] values.
+//!
+//! §3 extracts only "packet timestamps and directions", so size-derived
+//! features are OFF by default ([`FeatureConfig::paper`]); they can be
+//! enabled for the size-aware ablations.
+
+use netsim::{percentile, Direction, RunningStats};
+use traces::Trace;
+
+/// Concentration chunks kept as raw features.
+const N_CHUNKS: usize = 50;
+/// Per-interval packet-rate bins kept as raw features.
+const N_RATE_BINS: usize = 20;
+/// Width of one rate bin in seconds.
+const RATE_BIN_SECS: f64 = 0.5;
+
+/// Fixed length of the feature vector.
+pub const N_FEATURES: usize = 5    // counts
+    + 1                            // duration
+    + 12                           // IAT stats (all/in/out x 4)
+    + 12                           // timestamp quantiles (all/in/out x 4)
+    + N_RATE_BINS + 5              // per-interval rates + stats
+    + 4                            // ordering mean/std per direction
+    + N_CHUNKS + 6                 // concentration chunks + stats
+    + 12                           // burst stats per direction
+    + 4                            // first/last 30 composition
+    + 12; // size features (zeroed unless enabled)
+
+/// Extraction options.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Include packet-size-derived features.
+    pub use_sizes: bool,
+}
+
+impl FeatureConfig {
+    /// The paper's setting: timestamps + directions only.
+    pub fn paper() -> Self {
+        FeatureConfig { use_sizes: false }
+    }
+    pub fn with_sizes() -> Self {
+        FeatureConfig { use_sizes: true }
+    }
+}
+
+fn stats4(samples: &[f64]) -> [f64; 4] {
+    if samples.is_empty() {
+        return [0.0; 4];
+    }
+    let mut rs = RunningStats::new();
+    for &s in samples {
+        rs.push(s);
+    }
+    [rs.max(), rs.mean(), rs.std_dev(), percentile(samples, 75.0)]
+}
+
+fn quantiles4(samples: &[f64]) -> [f64; 4] {
+    if samples.is_empty() {
+        return [0.0; 4];
+    }
+    [
+        percentile(samples, 25.0),
+        percentile(samples, 50.0),
+        percentile(samples, 75.0),
+        percentile(samples, 100.0),
+    ]
+}
+
+fn burst_features(dirs: &[i8], dir: i8) -> [f64; 6] {
+    let mut bursts: Vec<usize> = Vec::new();
+    let mut run = 0usize;
+    for &d in dirs {
+        if d == dir {
+            run += 1;
+        } else if run > 0 {
+            bursts.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        bursts.push(run);
+    }
+    if bursts.is_empty() {
+        return [0.0; 6];
+    }
+    let max = *bursts.iter().max().expect("nonempty") as f64;
+    let mean = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+    [
+        bursts.len() as f64,
+        max,
+        mean,
+        bursts.iter().filter(|&&b| b > 5).count() as f64,
+        bursts.iter().filter(|&&b| b > 10).count() as f64,
+        bursts.iter().filter(|&&b| b > 15).count() as f64,
+    ]
+}
+
+/// Extract the k-FP feature vector from a trace.
+pub fn extract_features(trace: &Trace, cfg: &FeatureConfig) -> Vec<f64> {
+    let mut f = Vec::with_capacity(N_FEATURES);
+    let n = trace.len();
+    let dirs: Vec<i8> = trace.packets.iter().map(|p| p.dir.sign()).collect();
+    let times: Vec<f64> = trace
+        .packets
+        .iter()
+        .map(|p| p.ts.as_secs_f64())
+        .collect();
+    let n_out = dirs.iter().filter(|&&d| d > 0).count();
+    let n_in = n - n_out;
+
+    // ---- counts (5) ----
+    f.push(n as f64);
+    f.push(n_in as f64);
+    f.push(n_out as f64);
+    f.push(if n > 0 { n_in as f64 / n as f64 } else { 0.0 });
+    f.push(if n > 0 { n_out as f64 / n as f64 } else { 0.0 });
+
+    // ---- duration (1) ----
+    f.push(times.last().copied().unwrap_or(0.0));
+
+    // ---- inter-arrival stats (12) ----
+    let iats_all: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let times_in: Vec<f64> = times
+        .iter()
+        .zip(&dirs)
+        .filter(|(_, &d)| d < 0)
+        .map(|(&t, _)| t)
+        .collect();
+    let times_out: Vec<f64> = times
+        .iter()
+        .zip(&dirs)
+        .filter(|(_, &d)| d > 0)
+        .map(|(&t, _)| t)
+        .collect();
+    let iats_in: Vec<f64> = times_in.windows(2).map(|w| w[1] - w[0]).collect();
+    let iats_out: Vec<f64> = times_out.windows(2).map(|w| w[1] - w[0]).collect();
+    f.extend(stats4(&iats_all));
+    f.extend(stats4(&iats_in));
+    f.extend(stats4(&iats_out));
+
+    // ---- timestamp quantiles (12) ----
+    f.extend(quantiles4(&times));
+    f.extend(quantiles4(&times_in));
+    f.extend(quantiles4(&times_out));
+
+    // ---- per-interval packet rates (20 + 5) ----
+    let mut bins = vec![0.0f64; N_RATE_BINS];
+    for &t in &times {
+        let b = (t / RATE_BIN_SECS) as usize;
+        if b < N_RATE_BINS {
+            bins[b] += 1.0;
+        }
+    }
+    f.extend(bins.iter().copied());
+    f.extend({
+        let s = stats4(&bins);
+        let med = percentile(&bins, 50.0);
+        [s[0], s[1], s[2], s[3], med]
+    });
+
+    // ---- ordering (4): index positions of each direction ----
+    let idx_out: Vec<f64> = dirs
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d > 0)
+        .map(|(i, _)| i as f64)
+        .collect();
+    let idx_in: Vec<f64> = dirs
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d < 0)
+        .map(|(i, _)| i as f64)
+        .collect();
+    let so = stats4(&idx_out);
+    let si = stats4(&idx_in);
+    f.push(so[1]);
+    f.push(so[2]);
+    f.push(si[1]);
+    f.push(si[2]);
+
+    // ---- concentration of outgoing packets (50 + 6) ----
+    let chunks: Vec<f64> = dirs
+        .chunks(20)
+        .map(|c| c.iter().filter(|&&d| d > 0).count() as f64)
+        .collect();
+    for i in 0..N_CHUNKS {
+        f.push(chunks.get(i).copied().unwrap_or(0.0));
+    }
+    if chunks.is_empty() {
+        f.extend([0.0; 6]);
+    } else {
+        let s = stats4(&chunks);
+        let med = percentile(&chunks, 50.0);
+        let sum: f64 = chunks.iter().sum();
+        f.extend([s[0], s[1], s[2], s[3], med, sum]);
+    }
+
+    // ---- bursts (12) ----
+    f.extend(burst_features(&dirs, -1));
+    f.extend(burst_features(&dirs, 1));
+
+    // ---- first/last 30 composition (4) ----
+    let first30 = &dirs[..n.min(30)];
+    let last30 = &dirs[n.saturating_sub(30)..];
+    f.push(first30.iter().filter(|&&d| d < 0).count() as f64);
+    f.push(first30.iter().filter(|&&d| d > 0).count() as f64);
+    f.push(last30.iter().filter(|&&d| d < 0).count() as f64);
+    f.push(last30.iter().filter(|&&d| d > 0).count() as f64);
+
+    // ---- sizes (12, zeroed when disabled) ----
+    if cfg.use_sizes {
+        let sz_in: Vec<f64> = trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .map(|p| p.size as f64)
+            .collect();
+        let sz_out: Vec<f64> = trace
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::Out)
+            .map(|p| p.size as f64)
+            .collect();
+        f.push(sz_in.iter().sum());
+        f.push(sz_out.iter().sum());
+        f.extend(stats4(&sz_in));
+        f.extend(stats4(&sz_out));
+        let mut uniq: Vec<u32> = trace.packets.iter().map(|p| p.size).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        f.push(uniq.len() as f64);
+        let full = trace.packets.iter().filter(|p| p.size >= 1514).count();
+        f.push(if n > 0 { full as f64 / n as f64 } else { 0.0 });
+    } else {
+        f.extend(std::iter::repeat(0.0).take(12));
+    }
+
+    debug_assert_eq!(f.len(), N_FEATURES);
+    f
+}
+
+/// Extract features for a whole corpus.
+pub fn extract_all(traces: &[Trace], cfg: &FeatureConfig) -> Vec<Vec<f64>> {
+    traces.iter().map(|t| extract_features(t, cfg)).collect()
+}
+
+/// Human-readable name of each feature, aligned with
+/// [`extract_features`]'s layout — used to interpret forest importances
+/// ("which traffic features leak").
+pub fn feature_names() -> Vec<String> {
+    let mut n = Vec::with_capacity(N_FEATURES);
+    for s in ["pkt_total", "pkt_in", "pkt_out", "frac_in", "frac_out"] {
+        n.push(s.to_string());
+    }
+    n.push("duration".into());
+    for dir in ["all", "in", "out"] {
+        for stat in ["max", "mean", "std", "p75"] {
+            n.push(format!("iat_{dir}_{stat}"));
+        }
+    }
+    for dir in ["all", "in", "out"] {
+        for q in ["p25", "p50", "p75", "p100"] {
+            n.push(format!("ts_{dir}_{q}"));
+        }
+    }
+    for i in 0..N_RATE_BINS {
+        n.push(format!("rate_bin_{i}"));
+    }
+    for stat in ["max", "mean", "std", "p75", "median"] {
+        n.push(format!("rate_{stat}"));
+    }
+    for s in ["order_out_mean", "order_out_std", "order_in_mean", "order_in_std"] {
+        n.push(s.to_string());
+    }
+    for i in 0..N_CHUNKS {
+        n.push(format!("conc_chunk_{i}"));
+    }
+    for stat in ["max", "mean", "std", "p75", "median", "sum"] {
+        n.push(format!("conc_{stat}"));
+    }
+    for dir in ["in", "out"] {
+        for stat in ["count", "max", "mean", "gt5", "gt10", "gt15"] {
+            n.push(format!("burst_{dir}_{stat}"));
+        }
+    }
+    for s in ["first30_in", "first30_out", "last30_in", "last30_out"] {
+        n.push(s.to_string());
+    }
+    for s in [
+        "bytes_in", "bytes_out", "size_in_max", "size_in_mean", "size_in_std", "size_in_p75",
+        "size_out_max", "size_out_mean", "size_out_std", "size_out_p75", "size_unique",
+        "size_frac_full",
+    ] {
+        n.push(s.to_string());
+    }
+    debug_assert_eq!(n.len(), N_FEATURES);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Nanos;
+    use traces::sites::paper_sites;
+    use traces::statgen::generate;
+    use traces::TracePacket;
+
+    fn sample_trace() -> Trace {
+        generate(&paper_sites()[0], 0, 0, 1)
+    }
+
+    #[test]
+    fn names_align_with_layout() {
+        let names = feature_names();
+        assert_eq!(names.len(), N_FEATURES);
+        assert_eq!(names[0], "pkt_total");
+        assert_eq!(names[5], "duration");
+        // No duplicates.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), N_FEATURES);
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_length() {
+        let t = sample_trace();
+        assert_eq!(extract_features(&t, &FeatureConfig::paper()).len(), N_FEATURES);
+        assert_eq!(
+            extract_features(&t, &FeatureConfig::with_sizes()).len(),
+            N_FEATURES
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeros() {
+        let t = Trace::new(0, 0, vec![]);
+        let f = extract_features(&t, &FeatureConfig::paper());
+        assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let t = Trace::new(
+            0,
+            0,
+            vec![
+                TracePacket::new(Nanos(0), Direction::Out, 100),
+                TracePacket::new(Nanos(10), Direction::In, 200),
+                TracePacket::new(Nanos(20), Direction::In, 200),
+            ],
+        );
+        let f = extract_features(&t, &FeatureConfig::paper());
+        assert_eq!(f[0], 3.0); // total
+        assert_eq!(f[1], 2.0); // in
+        assert_eq!(f[2], 1.0); // out
+        assert!((f[3] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_config_ignores_sizes() {
+        let mut t = sample_trace();
+        let f1 = extract_features(&t, &FeatureConfig::paper());
+        for p in &mut t.packets {
+            p.size *= 2; // radically different sizes
+        }
+        let f2 = extract_features(&t, &FeatureConfig::paper());
+        assert_eq!(f1, f2, "size changes must not leak without use_sizes");
+    }
+
+    #[test]
+    fn size_config_sees_sizes() {
+        let mut t = sample_trace();
+        let f1 = extract_features(&t, &FeatureConfig::with_sizes());
+        for p in &mut t.packets {
+            p.size += 1;
+        }
+        let f2 = extract_features(&t, &FeatureConfig::with_sizes());
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn translation_invariance_in_absolute_time() {
+        // Traces are normalized to start at 0; two identical patterns at
+        // different absolute starting points featurize identically.
+        let mk = |shift: u64| {
+            let mut t = Trace::new(
+                0,
+                0,
+                vec![
+                    TracePacket::new(Nanos(shift), Direction::Out, 100),
+                    TracePacket::new(Nanos(shift + 1000), Direction::In, 1514),
+                    TracePacket::new(Nanos(shift + 3000), Direction::In, 1514),
+                ],
+            );
+            t.normalize();
+            t
+        };
+        let fa = extract_features(&mk(0), &FeatureConfig::paper());
+        let fb = extract_features(&mk(1_000_000), &FeatureConfig::paper());
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_sites_have_different_features() {
+        let sites = paper_sites();
+        let a = extract_features(&generate(&sites[6], 6, 0, 1), &FeatureConfig::paper());
+        let b = extract_features(&generate(&sites[8], 8, 0, 1), &FeatureConfig::paper());
+        let diff = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| (**x - **y).abs() > 1e-9)
+            .count();
+        assert!(diff > 20, "only {diff} features differ between sites");
+    }
+
+    #[test]
+    fn burst_detection() {
+        // in in in out in in -> in-bursts [3, 2], out-bursts [1]
+        let dirs = [-1i8, -1, -1, 1, -1, -1];
+        let b_in = burst_features(&dirs, -1);
+        assert_eq!(b_in[0], 2.0); // count
+        assert_eq!(b_in[1], 3.0); // max
+        assert!((b_in[2] - 2.5).abs() < 1e-12); // mean
+        let b_out = burst_features(&dirs, 1);
+        assert_eq!(b_out[0], 1.0);
+        assert_eq!(b_out[1], 1.0);
+    }
+
+    #[test]
+    fn truncated_traces_featurize_without_panic() {
+        let t = sample_trace();
+        for n in [1, 2, 5, 15, 30, 45] {
+            let f = extract_features(&t.truncated(n), &FeatureConfig::paper());
+            assert_eq!(f.len(), N_FEATURES);
+            assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn all_features_finite_on_corpus() {
+        let sites = paper_sites();
+        for (i, s) in sites.iter().enumerate() {
+            let t = generate(s, i, 0, 5);
+            let f = extract_features(&t, &FeatureConfig::with_sizes());
+            assert!(
+                f.iter().all(|x| x.is_finite()),
+                "{}: non-finite feature",
+                s.name
+            );
+        }
+    }
+}

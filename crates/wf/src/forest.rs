@@ -1,0 +1,231 @@
+//! Random forests (Breiman): bootstrap-bagged CART trees with random
+//! feature subsets. This is the classifier behind Table 2 ("k-FP Random
+//! Forest accuracy rates"); it also emits the per-tree leaf vectors that
+//! k-FP's k-NN stage fingerprints with.
+
+use crate::tree::{Tree, TreeConfig};
+use netsim::SimRng;
+
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub bootstrap_frac: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig::default(),
+            bootstrap_frac: 1.0,
+        }
+    }
+}
+
+/// A trained forest.
+pub struct Forest {
+    pub trees: Vec<Tree>,
+    pub n_classes: usize,
+}
+
+impl Forest {
+    /// Train on the full (x, y) with bootstrap per tree.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        cfg: &ForestConfig,
+        rng: &mut SimRng,
+    ) -> Forest {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let n = x.len();
+        let boot = ((n as f64) * cfg.bootstrap_frac).round().max(1.0) as usize;
+        let trees = (0..cfg.n_trees)
+            .map(|t| {
+                let mut tree_rng = rng.fork(t as u64 + 1);
+                let idx: Vec<usize> = (0..boot)
+                    .map(|_| tree_rng.next_below(n as u64) as usize)
+                    .collect();
+                Tree::fit(x, y, &idx, n_classes, &cfg.tree, &mut tree_rng)
+            })
+            .collect();
+        Forest { trees, n_classes }
+    }
+
+    /// Majority-vote class prediction.
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(sample)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .expect("nonempty votes")
+            .0
+    }
+
+    /// Per-class vote fractions (a calibrated-ish score vector).
+    pub fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0.0f64; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(sample)] += 1.0;
+        }
+        let n = self.trees.len() as f64;
+        votes.iter_mut().for_each(|v| *v /= n);
+        votes
+    }
+
+    /// The k-FP fingerprint: the vector of leaf ids the sample reaches,
+    /// one per tree.
+    pub fn leaf_vector(&self, sample: &[f64]) -> Vec<u32> {
+        self.trees
+            .iter()
+            .map(|t| t.predict_with_leaf(sample).1)
+            .collect()
+    }
+
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Mean Gini importance per feature across the forest — "which
+    /// traffic features leak". Sums to ~1 when any tree split.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let d = self
+            .trees
+            .first()
+            .map(|t| t.importances.len())
+            .unwrap_or(0);
+        let mut acc = vec![0.0f64; d];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(&t.importances) {
+                *a += v;
+            }
+        }
+        let n = self.trees.len().max(1) as f64;
+        acc.iter_mut().for_each(|a| *a /= n);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, k: usize, spread: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = SimRng::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % k;
+            x.push(vec![
+                c as f64 * 4.0 + rng.normal() * spread,
+                (c as f64 * 2.0).sin() * 3.0 + rng.normal() * spread,
+                rng.normal(), // noise dim
+            ]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_noise_on_multiclass() {
+        let (x, y) = blobs(300, 5, 0.6, 1);
+        let mut rng = SimRng::new(2);
+        let f = Forest::fit(&x, &y, 5, &ForestConfig::default(), &mut rng);
+        let (xt, yt) = blobs(200, 5, 0.6, 77);
+        let acc = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| f.predict(s) == l)
+            .count() as f64
+            / xt.len() as f64;
+        assert!(acc > 0.9, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_sums_to_one_and_matches_argmax() {
+        let (x, y) = blobs(100, 3, 0.5, 3);
+        let mut rng = SimRng::new(4);
+        let f = Forest::fit(&x, &y, 3, &ForestConfig::default(), &mut rng);
+        let p = f.predict_proba(&x[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0;
+        assert_eq!(argmax, f.predict(&x[0]));
+    }
+
+    #[test]
+    fn leaf_vector_length_matches_trees() {
+        let (x, y) = blobs(100, 2, 0.5, 5);
+        let cfg = ForestConfig {
+            n_trees: 17,
+            ..ForestConfig::default()
+        };
+        let mut rng = SimRng::new(6);
+        let f = Forest::fit(&x, &y, 2, &cfg, &mut rng);
+        assert_eq!(f.leaf_vector(&x[0]).len(), 17);
+    }
+
+    #[test]
+    fn same_class_samples_share_more_leaves() {
+        let (x, y) = blobs(300, 2, 0.4, 7);
+        let mut rng = SimRng::new(8);
+        let f = Forest::fit(&x, &y, 2, &ForestConfig::default(), &mut rng);
+        // Compare two class-0 samples vs a class-0 and a class-1 sample.
+        let v0a = f.leaf_vector(&x[0]);
+        let v0b = f.leaf_vector(&x[2]);
+        let v1 = f.leaf_vector(&x[1]);
+        let agree = |a: &[u32], b: &[u32]| a.iter().zip(b).filter(|(x, y)| x == y).count();
+        assert!(
+            agree(&v0a, &v0b) > agree(&v0a, &v1),
+            "same-class leaf agreement must dominate"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (x, y) = blobs(120, 3, 0.5, 9);
+        let f1 = Forest::fit(&x, &y, 3, &ForestConfig::default(), &mut SimRng::new(10));
+        let f2 = Forest::fit(&x, &y, 3, &ForestConfig::default(), &mut SimRng::new(10));
+        for s in x.iter().take(20) {
+            assert_eq!(f1.predict(s), f2.predict(s));
+            assert_eq!(f1.leaf_vector(s), f2.leaf_vector(s));
+        }
+    }
+
+    #[test]
+    fn forest_importances_highlight_signal_dims() {
+        let (x, y) = blobs(300, 4, 0.4, 13);
+        let mut rng = SimRng::new(14);
+        let f = Forest::fit(&x, &y, 4, &ForestConfig::default(), &mut rng);
+        let imp = f.feature_importances();
+        assert_eq!(imp.len(), 3);
+        // Dims 0 and 1 carry the blob structure; dim 2 is noise.
+        assert!(
+            imp[0] + imp[1] > imp[2] * 5.0,
+            "importances {imp:?}"
+        );
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (x, y) = blobs(60, 2, 0.3, 11);
+        let cfg = ForestConfig {
+            n_trees: 1,
+            ..ForestConfig::default()
+        };
+        let f = Forest::fit(&x, &y, 2, &cfg, &mut SimRng::new(12));
+        assert_eq!(f.trees.len(), 1);
+        let _ = f.predict(&x[0]);
+    }
+}

@@ -1,0 +1,259 @@
+//! k-nearest-neighbour classification.
+//!
+//! k-FP's second stage: each training instance is fingerprinted by its
+//! forest *leaf vector*; a test instance is classified by the k training
+//! fingerprints with the highest leaf agreement (equivalently, lowest
+//! Hamming distance). A plain Euclidean k-NN on raw features is also
+//! provided as a baseline attack.
+
+use crate::forest::Forest;
+
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 3 }
+    }
+}
+
+/// k-FP: leaf-vector fingerprints + Hamming k-NN.
+pub struct KfpKnn {
+    fingerprints: Vec<Vec<u32>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    cfg: KnnConfig,
+}
+
+impl KfpKnn {
+    /// Fingerprint the training set through a trained forest.
+    pub fn fit(forest: &Forest, x_train: &[Vec<f64>], y_train: &[usize], cfg: KnnConfig) -> Self {
+        assert_eq!(x_train.len(), y_train.len());
+        let fingerprints = x_train.iter().map(|s| forest.leaf_vector(s)).collect();
+        KfpKnn {
+            fingerprints,
+            labels: y_train.to_vec(),
+            n_classes: forest.n_classes,
+            cfg,
+        }
+    }
+
+    fn hamming(a: &[u32], b: &[u32]) -> usize {
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    /// Classify a test sample's leaf vector.
+    pub fn predict_from_leaves(&self, leaves: &[u32]) -> usize {
+        let mut dists: Vec<(usize, usize)> = self
+            .fingerprints
+            .iter()
+            .enumerate()
+            .map(|(i, fp)| (Self::hamming(leaves, fp), i))
+            .collect();
+        dists.sort_unstable();
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, i) in dists.iter().take(self.cfg.k) {
+            votes[self.labels[i]] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .expect("votes nonempty")
+            .0
+    }
+
+    pub fn predict(&self, forest: &Forest, sample: &[f64]) -> usize {
+        self.predict_from_leaves(&forest.leaf_vector(sample))
+    }
+
+    /// Open-world decision rule (Hayes & Danezis): attribute a monitored
+    /// label only when all k nearest fingerprints agree on it; otherwise
+    /// return `fallback` (the unmonitored class).
+    pub fn predict_unanimous(&self, leaves: &[u32], fallback: usize) -> usize {
+        let mut dists: Vec<(usize, usize)> = self
+            .fingerprints
+            .iter()
+            .enumerate()
+            .map(|(i, fp)| (Self::hamming(leaves, fp), i))
+            .collect();
+        dists.sort_unstable();
+        let mut labels = dists.iter().take(self.cfg.k).map(|&(_, i)| self.labels[i]);
+        let Some(first) = labels.next() else {
+            return fallback;
+        };
+        if labels.all(|l| l == first) && first != fallback {
+            first
+        } else {
+            fallback
+        }
+    }
+}
+
+/// Euclidean k-NN on (z-scored) raw features — a classic WF baseline.
+pub struct FeatureKnn {
+    x: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    cfg: KnnConfig,
+}
+
+impl FeatureKnn {
+    pub fn fit(x_train: &[Vec<f64>], y_train: &[usize], n_classes: usize, cfg: KnnConfig) -> Self {
+        assert!(!x_train.is_empty());
+        let d = x_train[0].len();
+        let n = x_train.len() as f64;
+        let mut mean = vec![0.0; d];
+        for s in x_train {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut std = vec![0.0; d];
+        for s in x_train {
+            for ((sd, v), m) in std.iter_mut().zip(s).zip(&mean) {
+                *sd += (v - m) * (v - m);
+            }
+        }
+        std.iter_mut()
+            .for_each(|s| *s = (*s / n).sqrt().max(1e-9));
+        let x = x_train
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .zip(&mean)
+                    .zip(&std)
+                    .map(|((v, m), sd)| (v - m) / sd)
+                    .collect()
+            })
+            .collect();
+        FeatureKnn {
+            x,
+            labels: y_train.to_vec(),
+            n_classes,
+            mean,
+            std,
+            cfg,
+        }
+    }
+
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        let z: Vec<f64> = sample
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), sd)| (v - m) / sd)
+            .collect();
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let d: f64 = t.iter().zip(&z).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, i)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, i) in dists.iter().take(self.cfg.k) {
+            votes[self.labels[i]] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .expect("votes nonempty")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use netsim::SimRng;
+
+    fn blobs(n: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = SimRng::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % k;
+            x.push(vec![c as f64 * 5.0 + rng.normal() * 0.5, rng.normal()]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn hamming_distance() {
+        assert_eq!(KfpKnn::hamming(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(KfpKnn::hamming(&[1, 2, 3], &[1, 9, 9]), 2);
+    }
+
+    #[test]
+    fn kfp_knn_classifies_blobs() {
+        let (x, y) = blobs(200, 4, 1);
+        let mut rng = SimRng::new(2);
+        let forest = Forest::fit(&x, &y, 4, &ForestConfig::default(), &mut rng);
+        let knn = KfpKnn::fit(&forest, &x, &y, KnnConfig::default());
+        let (xt, yt) = blobs(80, 4, 55);
+        let acc = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| knn.predict(&forest, s) == l)
+            .count() as f64
+            / xt.len() as f64;
+        assert!(acc > 0.9, "k-FP knn accuracy {acc}");
+    }
+
+    #[test]
+    fn feature_knn_classifies_blobs() {
+        let (x, y) = blobs(200, 3, 3);
+        let knn = FeatureKnn::fit(&x, &y, 3, KnnConfig::default());
+        let (xt, yt) = blobs(60, 3, 77);
+        let acc = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| knn.predict(s) == l)
+            .count() as f64
+            / xt.len() as f64;
+        assert!(acc > 0.9, "feature knn accuracy {acc}");
+    }
+
+    #[test]
+    fn feature_knn_is_scale_invariant() {
+        // One feature with a huge scale must not drown the informative
+        // one, thanks to z-scoring.
+        let (mut x, y) = blobs(200, 2, 4);
+        for s in &mut x {
+            s[1] *= 1e6; // blow up the noise dimension
+        }
+        let knn = FeatureKnn::fit(&x, &y, 2, KnnConfig::default());
+        let (mut xt, yt) = blobs(60, 2, 88);
+        for s in &mut xt {
+            s[1] *= 1e6;
+        }
+        let acc = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| knn.predict(s) == l)
+            .count() as f64
+            / xt.len() as f64;
+        assert!(acc > 0.9, "z-scored knn accuracy {acc}");
+    }
+
+    #[test]
+    fn k_one_matches_nearest_training_point() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![0, 1];
+        let knn = FeatureKnn::fit(&x, &y, 2, KnnConfig { k: 1 });
+        assert_eq!(knn.predict(&[1.0]), 0);
+        assert_eq!(knn.predict(&[9.0]), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # wf — website fingerprinting attacks, from scratch
+//!
+//! The attack side of the paper's §3 experiment. The paper trains k-FP
+//! (Hayes & Danezis), "a WF attack that is still commonly used in
+//! benchmarks", on packet timestamps and directions, in a closed world of
+//! 9 sites, and reports Random Forest accuracy (Table 2).
+//!
+//! This crate implements the whole pipeline without ML dependencies:
+//!
+//! * [`features`] — the k-FP hand-crafted feature vector (timing,
+//!   direction counts, ordering, concentration, bursts, per-second
+//!   rates; size features are optional and disabled for paper parity);
+//! * [`tree`] — CART decision trees (Gini impurity, random feature
+//!   subsets at each split);
+//! * [`forest`] — bagged random forests (the Table 2 classifier), which
+//!   also expose per-tree leaf identifiers;
+//! * [`knn`] — k-nearest-neighbours on leaf-agreement distance (the
+//!   "fingerprint" part of k-FP) and on raw features;
+//! * [`metrics`] — accuracy, confusion matrices, per-class P/R;
+//! * [`eval`] — repeated stratified evaluation producing the
+//!   `mean ± std` numbers Table 2 reports.
+
+pub mod cc_ident;
+pub mod dl;
+pub mod eval;
+pub mod features;
+pub mod forest;
+pub mod knn;
+pub mod metrics;
+pub mod mlp;
+pub mod openworld;
+pub mod tree;
+
+pub use eval::{evaluate, AttackKind, EvalConfig, EvalResult};
+pub use features::{extract_features, FeatureConfig, N_FEATURES};
+pub use dl::{evaluate_dl, DlConfig, DlResult};
+pub use forest::{Forest, ForestConfig};
+pub use knn::{KfpKnn, KnnConfig};
+pub use openworld::{evaluate_open_world, OpenWorldConfig, OpenWorldResult};
+pub use metrics::{accuracy, confusion_matrix, per_class_precision_recall};
+pub use tree::Tree;

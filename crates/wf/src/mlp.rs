@@ -1,0 +1,347 @@
+//! A small multi-layer perceptron, from scratch.
+//!
+//! The substrate for the DF-lite attack ([`crate::dl`]): dense layers,
+//! ReLU activations, a softmax cross-entropy head, and Adam. Sized for
+//! WF corpora (hundreds of traces, inputs of a few hundred dimensions),
+//! where a few million multiply-adds per epoch need no BLAS.
+
+use netsim::SimRng;
+
+/// One dense layer: `out = W x + b`, with `W` stored row-major.
+struct Dense {
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam state.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(n_in: usize, n_out: usize, rng: &mut SimRng) -> Dense {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.normal() * scale).collect();
+        Dense {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.n_out);
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    pub hidden: [usize; 2],
+    pub lr: f64,
+    pub epochs: usize,
+    pub batch: usize,
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: [128, 64],
+            lr: 1e-3,
+            epochs: 40,
+            batch: 32,
+            seed: 0xD1,
+        }
+    }
+}
+
+/// A 2-hidden-layer ReLU MLP with a softmax cross-entropy output.
+pub struct Mlp {
+    layers: Vec<Dense>,
+    n_classes: usize,
+    adam_t: u64,
+    cfg: MlpConfig,
+}
+
+const BETA1: f64 = 0.9;
+const BETA2: f64 = 0.999;
+const EPS: f64 = 1e-8;
+
+impl Mlp {
+    pub fn new(n_in: usize, n_classes: usize, cfg: MlpConfig) -> Mlp {
+        let mut rng = SimRng::new(cfg.seed);
+        let layers = vec![
+            Dense::new(n_in, cfg.hidden[0], &mut rng),
+            Dense::new(cfg.hidden[0], cfg.hidden[1], &mut rng),
+            Dense::new(cfg.hidden[1], n_classes, &mut rng),
+        ];
+        Mlp {
+            layers,
+            n_classes,
+            adam_t: 0,
+            cfg,
+        }
+    }
+
+    /// Forward pass returning per-layer activations (post-ReLU for
+    /// hidden layers, raw logits for the head).
+    fn forward_all(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(&cur, &mut out);
+            if li + 1 < self.layers.len() {
+                for v in &mut out {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            acts.push(out.clone());
+            cur = out;
+        }
+        acts
+    }
+
+    /// Class probabilities for one sample.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let logits = self
+            .forward_all(x)
+            .pop()
+            .expect("network has layers");
+        softmax(&logits)
+    }
+
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    /// Train with mini-batch Adam; returns the final epoch's mean loss.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let mut rng = SimRng::new(self.cfg.seed ^ 0x5EED);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut last_loss = f64::INFINITY;
+        for _epoch in 0..self.cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(self.cfg.batch) {
+                epoch_loss += self.train_batch(x, y, chunk);
+            }
+            last_loss = epoch_loss / order.len() as f64;
+        }
+        last_loss
+    }
+
+    fn train_batch(&mut self, x: &[Vec<f64>], y: &[usize], idx: &[usize]) -> f64 {
+        // Accumulate gradients over the batch.
+        let mut gw: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.w.len()])
+            .collect();
+        let mut gb: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.b.len()])
+            .collect();
+        let mut loss_sum = 0.0;
+        for &i in idx {
+            let acts = self.forward_all(&x[i]);
+            let probs = softmax(acts.last().expect("logits"));
+            loss_sum += -probs[y[i]].max(1e-12).ln();
+            // dL/dlogits = probs - onehot.
+            let mut delta: Vec<f64> = probs;
+            delta[y[i]] -= 1.0;
+            // Backprop through layers.
+            for li in (0..self.layers.len()).rev() {
+                let input: &[f64] = if li == 0 { &x[i] } else { &acts[li - 1] };
+                let layer = &self.layers[li];
+                for o in 0..layer.n_out {
+                    gb[li][o] += delta[o];
+                    let row = &mut gw[li][o * layer.n_in..(o + 1) * layer.n_in];
+                    for (g, xi) in row.iter_mut().zip(input) {
+                        *g += delta[o] * xi;
+                    }
+                }
+                if li > 0 {
+                    // delta_prev = W^T delta, gated by ReLU'.
+                    let mut prev = vec![0.0; layer.n_in];
+                    for o in 0..layer.n_out {
+                        let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                        for (p, wi) in prev.iter_mut().zip(row) {
+                            *p += wi * delta[o];
+                        }
+                    }
+                    for (p, a) in prev.iter_mut().zip(&acts[li - 1]) {
+                        if *a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+        // Adam update with batch-mean gradients.
+        self.adam_t += 1;
+        let t = self.adam_t as f64;
+        let bc1 = 1.0 - BETA1.powf(t);
+        let bc2 = 1.0 - BETA2.powf(t);
+        let scale = 1.0 / idx.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (j, g) in gw[li].iter().enumerate() {
+                let g = g * scale;
+                layer.mw[j] = BETA1 * layer.mw[j] + (1.0 - BETA1) * g;
+                layer.vw[j] = BETA2 * layer.vw[j] + (1.0 - BETA2) * g * g;
+                let mhat = layer.mw[j] / bc1;
+                let vhat = layer.vw[j] / bc2;
+                layer.w[j] -= self.cfg.lr * mhat / (vhat.sqrt() + EPS);
+            }
+            for (j, g) in gb[li].iter().enumerate() {
+                let g = g * scale;
+                layer.mb[j] = BETA1 * layer.mb[j] + (1.0 - BETA1) * g;
+                layer.vb[j] = BETA2 * layer.vb[j] + (1.0 - BETA2) * g * g;
+                let mhat = layer.mb[j] / bc1;
+                let vhat = layer.vb[j] / bc2;
+                layer.b[j] -= self.cfg.lr * mhat / (vhat.sqrt() + EPS);
+            }
+        }
+        loss_sum
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("nonempty")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> MlpConfig {
+        MlpConfig {
+            hidden: [16, 8],
+            lr: 5e-3,
+            epochs: 200,
+            batch: 8,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with large logits.
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // The classic non-linear sanity check.
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let mut net = Mlp::new(2, 2, quick_cfg());
+        let loss = net.fit(&x, &y);
+        assert!(loss < 0.2, "XOR loss {loss}");
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(net.predict(xi), yi, "XOR({:?})", xi);
+        }
+    }
+
+    #[test]
+    fn learns_multiclass_blobs() {
+        let mut rng = SimRng::new(7);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let c = i % 3;
+            x.push(vec![
+                c as f64 * 2.0 + rng.normal() * 0.3,
+                (c as f64 - 1.0) * 2.0 + rng.normal() * 0.3,
+            ]);
+            y.push(c);
+        }
+        let mut net = Mlp::new(2, 3, quick_cfg());
+        net.fit(&x, &y);
+        let mut xt = Vec::new();
+        let mut yt = Vec::new();
+        for i in 0..90 {
+            let c = i % 3;
+            xt.push(vec![
+                c as f64 * 2.0 + rng.normal() * 0.3,
+                (c as f64 - 1.0) * 2.0 + rng.normal() * 0.3,
+            ]);
+            yt.push(c);
+        }
+        let acc = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| net.predict(s) == l)
+            .count() as f64
+            / xt.len() as f64;
+        assert!(acc > 0.95, "blob accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let x = vec![vec![0.5, -0.5], vec![-0.5, 0.5]];
+        let y = vec![0, 1];
+        let mut a = Mlp::new(2, 2, quick_cfg());
+        let mut b = Mlp::new(2, 2, quick_cfg());
+        let la = a.fit(&x, &y);
+        let lb = b.fit(&x, &y);
+        assert_eq!(la, lb);
+        assert_eq!(a.predict_proba(&x[0]), b.predict_proba(&x[0]));
+    }
+
+    #[test]
+    fn proba_shape() {
+        let net = Mlp::new(4, 5, quick_cfg());
+        let p = net.predict_proba(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(p.len(), 5);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Open-world evaluation: the deployment-realistic WF setting.
+//!
+//! The paper's §3 evaluates a *closed* world ("the most favorable
+//! conditions for the attacker, therefore our results represent an upper
+//! bound on attack success"). Real censors face the open world: most
+//! traffic is to sites outside the monitored set, and a block decision on
+//! a false positive has a cost. k-FP's k-NN stage was designed for this:
+//! a test trace is attributed to a monitored site only when all k nearest
+//! training fingerprints agree; anything else is "unmonitored".
+
+use crate::features::{extract_all, FeatureConfig};
+use crate::forest::{Forest, ForestConfig};
+use crate::knn::KnnConfig;
+use crate::metrics::mean_std;
+use netsim::SimRng;
+use traces::Trace;
+
+/// Outcome of an open-world run.
+#[derive(Debug, Clone)]
+pub struct OpenWorldResult {
+    /// True-positive rate: monitored test traces attributed to the
+    /// correct monitored site.
+    pub tpr_mean: f64,
+    pub tpr_std: f64,
+    /// False-positive rate: unmonitored test traces attributed to any
+    /// monitored site.
+    pub fpr_mean: f64,
+    pub fpr_std: f64,
+}
+
+/// Configuration for the open-world evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenWorldConfig {
+    pub features: FeatureConfig,
+    pub forest: ForestConfig,
+    /// k for the unanimous-k-NN decision rule.
+    pub k: usize,
+    pub repeats: usize,
+    pub test_frac: f64,
+    pub seed: u64,
+}
+
+impl Default for OpenWorldConfig {
+    fn default() -> Self {
+        OpenWorldConfig {
+            features: FeatureConfig::paper(),
+            forest: ForestConfig::default(),
+            k: 3,
+            repeats: 3,
+            test_frac: 0.3,
+            seed: 0x09E4,
+        }
+    }
+}
+
+/// Evaluate k-FP in the open world.
+///
+/// `monitored` carries labels `0..n_monitored`; `background` traces'
+/// labels are ignored (they are all "unmonitored"). The forest is
+/// trained on monitored sites plus a lumped background class; the
+/// unanimous-k-NN rule on leaf vectors makes the monitored/unmonitored
+/// call.
+pub fn evaluate_open_world(
+    monitored: &[Trace],
+    n_monitored: usize,
+    background: &[Trace],
+    cfg: &OpenWorldConfig,
+) -> OpenWorldResult {
+    assert!(!monitored.is_empty() && !background.is_empty());
+    let unmon_label = n_monitored;
+    let feats_mon = extract_all(monitored, &cfg.features);
+    let feats_bg = extract_all(background, &cfg.features);
+    let mut tprs = Vec::new();
+    let mut fprs = Vec::new();
+    for rep in 0..cfg.repeats {
+        let mut rng = SimRng::new(cfg.seed).fork(rep as u64 + 1);
+        // Split both pools.
+        let split = |n: usize, rng: &mut SimRng| -> (Vec<usize>, Vec<usize>) {
+            let mut idx: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut idx);
+            let n_test = ((n as f64) * cfg.test_frac).round().max(1.0) as usize;
+            let test = idx.split_off(n - n_test.min(n - 1));
+            (idx, test)
+        };
+        let (mon_train, mon_test) = split(monitored.len(), &mut rng);
+        let (bg_train, bg_test) = split(background.len(), &mut rng);
+
+        let mut x: Vec<Vec<f64>> = Vec::new();
+        let mut y: Vec<usize> = Vec::new();
+        for &i in &mon_train {
+            x.push(feats_mon[i].clone());
+            y.push(monitored[i].label);
+        }
+        for &i in &bg_train {
+            x.push(feats_bg[i].clone());
+            y.push(unmon_label);
+        }
+        let forest = Forest::fit(&x, &y, n_monitored + 1, &cfg.forest, &mut rng);
+        let knn = crate::knn::KfpKnn::fit(&forest, &x, &y, KnnConfig { k: cfg.k });
+
+        // Unanimous rule: predict a monitored site only if the k-NN vote
+        // is unanimous for it.
+        let classify =
+            |sample: &[f64]| knn.predict_unanimous(&forest.leaf_vector(sample), unmon_label);
+
+        let mut tp = 0usize;
+        for &i in &mon_test {
+            if classify(&feats_mon[i]) == monitored[i].label {
+                tp += 1;
+            }
+        }
+        let mut fp = 0usize;
+        for &i in &bg_test {
+            if classify(&feats_bg[i]) != unmon_label {
+                fp += 1;
+            }
+        }
+        tprs.push(tp as f64 / mon_test.len().max(1) as f64);
+        fprs.push(fp as f64 / bg_test.len().max(1) as f64);
+    }
+    let (tpr_mean, tpr_std) = mean_std(&tprs);
+    let (fpr_mean, fpr_std) = mean_std(&fprs);
+    OpenWorldResult {
+        tpr_mean,
+        tpr_std,
+        fpr_mean,
+        fpr_std,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::sites::{background_sites, paper_sites};
+    use traces::statgen::{generate, generate_corpus};
+
+    fn corpora() -> (Vec<Trace>, Vec<Trace>) {
+        let mon_sites: Vec<_> = paper_sites().into_iter().take(5).collect();
+        let monitored = generate_corpus(&mon_sites, 14, 3);
+        let bg_sites = background_sites(30, 9);
+        let background: Vec<Trace> = bg_sites
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| (0..2).map(move |v| generate(s, 0, v, 100 + i as u64)))
+            .collect();
+        (monitored, background)
+    }
+
+    #[test]
+    fn open_world_attack_has_signal_and_bounded_fpr() {
+        let (monitored, background) = corpora();
+        let cfg = OpenWorldConfig {
+            forest: ForestConfig {
+                n_trees: 40,
+                ..ForestConfig::default()
+            },
+            ..OpenWorldConfig::default()
+        };
+        let r = evaluate_open_world(&monitored, 5, &background, &cfg);
+        assert!(
+            r.tpr_mean > 0.35,
+            "open-world TPR {} too low to be a working attack",
+            r.tpr_mean
+        );
+        assert!(
+            r.fpr_mean < 0.5,
+            "open-world FPR {} — the unanimous rule must reject most background",
+            r.fpr_mean
+        );
+        // The whole point of the unanimous rule: precision over recall.
+        assert!(
+            r.tpr_mean > r.fpr_mean,
+            "TPR {} should exceed FPR {}",
+            r.tpr_mean,
+            r.fpr_mean
+        );
+    }
+
+    #[test]
+    fn open_world_is_harder_than_closed_world() {
+        use crate::eval::{evaluate, EvalConfig};
+        use traces::Dataset;
+        let (monitored, background) = corpora();
+        let names = paper_sites()
+            .iter()
+            .take(5)
+            .map(|s| s.name.to_string())
+            .collect();
+        let closed = evaluate(
+            &Dataset::new(monitored.clone(), names),
+            &EvalConfig {
+                forest: ForestConfig {
+                    n_trees: 40,
+                    ..ForestConfig::default()
+                },
+                repeats: 3,
+                ..EvalConfig::default()
+            },
+        );
+        let open = evaluate_open_world(
+            &monitored,
+            5,
+            &background,
+            &OpenWorldConfig {
+                forest: ForestConfig {
+                    n_trees: 40,
+                    ..ForestConfig::default()
+                },
+                ..OpenWorldConfig::default()
+            },
+        );
+        assert!(
+            open.tpr_mean <= closed.mean + 0.05,
+            "open-world TPR {} should not beat closed-world accuracy {}",
+            open.tpr_mean,
+            closed.mean
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! CART decision trees with Gini impurity and per-split random feature
+//! subsets — the building block of the random forest.
+
+use netsim::SimRng;
+
+/// Tree growth parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Features considered per split (0 = sqrt(d), the RF default).
+    pub max_features: usize,
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_features: 0,
+            max_depth: 40,
+            min_samples_split: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Majority class at this leaf.
+        class: usize,
+        /// Unique leaf id within the tree (k-FP's fingerprint element).
+        id: u32,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    pub n_leaves: u32,
+    /// Gini importance per feature: impurity decrease weighted by the
+    /// fraction of training samples reaching each split.
+    pub importances: Vec<f64>,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+impl Tree {
+    /// Fit on rows `idx` of `x` (n x d) with labels `y` in 0..n_classes.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        rng: &mut SimRng,
+    ) -> Tree {
+        assert!(!idx.is_empty(), "empty training set");
+        let d = x[0].len();
+        let mtry = if cfg.max_features == 0 {
+            (d as f64).sqrt().round().max(1.0) as usize
+        } else {
+            cfg.max_features.min(d)
+        };
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            n_leaves: 0,
+            importances: vec![0.0; d],
+        };
+        let n_total = idx.len();
+        let mut work = idx.to_vec();
+        tree.grow(x, y, &mut work, n_classes, cfg, mtry, rng, 0, n_total);
+        // Normalize to sum to 1 (when any split happened).
+        let total: f64 = tree.importances.iter().sum();
+        if total > 0.0 {
+            tree.importances.iter_mut().for_each(|v| *v /= total);
+        }
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &mut [usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        mtry: usize,
+        rng: &mut SimRng,
+        depth: usize,
+        n_total: usize,
+    ) -> usize {
+        let mut counts = vec![0usize; n_classes];
+        for &i in idx.iter() {
+            counts[y[i]] += 1;
+        }
+        let total = idx.len();
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("classes nonempty")
+            .0;
+        let pure = counts.iter().any(|&c| c == total);
+        if pure || total < cfg.min_samples_split || depth >= cfg.max_depth {
+            return self.push_leaf(majority);
+        }
+
+        // Random feature subset; best Gini split among them.
+        let d = x[0].len();
+        let mut feats: Vec<usize> = (0..d).collect();
+        rng.shuffle(&mut feats);
+        let parent_gini = gini(&counts, total);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feat, thr)
+        for &feat in feats.iter().take(mtry) {
+            let mut vals: Vec<(f64, usize)> = idx.iter().map(|&i| (x[i][feat], y[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let mut left_counts = vec![0usize; n_classes];
+            let mut left_n = 0usize;
+            let mut right_counts = counts.clone();
+            for w in 0..total - 1 {
+                let (v, c) = vals[w];
+                left_counts[c] += 1;
+                right_counts[c] -= 1;
+                left_n += 1;
+                let next_v = vals[w + 1].0;
+                if next_v <= v {
+                    continue; // no threshold separates equal values
+                }
+                let right_n = total - left_n;
+                let g = parent_gini
+                    - (left_n as f64 / total as f64) * gini(&left_counts, left_n)
+                    - (right_n as f64 / total as f64) * gini(&right_counts, right_n);
+                if best.map_or(true, |(bg, _, _)| g > bg) {
+                    best = Some((g, feat, (v + next_v) / 2.0));
+                }
+            }
+        }
+        let Some((gain, feat, thr)) = best else {
+            return self.push_leaf(majority);
+        };
+        if gain <= 1e-12 {
+            return self.push_leaf(majority);
+        }
+        self.importances[feat] += gain * total as f64 / n_total as f64;
+
+        // Partition in place.
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in idx.iter() {
+            if x[i][feat] <= thr {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            return self.push_leaf(majority);
+        }
+        let node_pos = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            class: majority,
+            id: 0,
+        }); // placeholder
+        let l = self.grow(x, y, &mut left, n_classes, cfg, mtry, rng, depth + 1, n_total);
+        let r = self.grow(x, y, &mut right, n_classes, cfg, mtry, rng, depth + 1, n_total);
+        self.nodes[node_pos] = Node::Split {
+            feature: feat,
+            threshold: thr,
+            left: l,
+            right: r,
+        };
+        node_pos
+    }
+
+    fn push_leaf(&mut self, class: usize) -> usize {
+        let id = self.n_leaves;
+        self.n_leaves += 1;
+        self.nodes.push(Node::Leaf { class, id });
+        self.nodes.len() - 1
+    }
+
+    /// Predict the class of a sample; also returns the leaf id reached.
+    pub fn predict_with_leaf(&self, sample: &[f64]) -> (usize, u32) {
+        let mut pos = 0usize;
+        loop {
+            match &self.nodes[pos] {
+                Node::Leaf { class, id } => return (*class, *id),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    pos = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        self.predict_with_leaf(sample).0
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated 2-D blobs.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = SimRng::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { 0.0 } else { 10.0 };
+            x.push(vec![cx + rng.normal(), rng.normal()]);
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn gini_math() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn learns_separable_blobs_perfectly() {
+        let (x, y) = blobs(200, 1);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(2);
+        let tree = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut rng);
+        let correct = idx
+            .iter()
+            .filter(|&&i| tree.predict(&x[i]) == y[i])
+            .count();
+        assert_eq!(correct, x.len(), "separable data must fit exactly");
+    }
+
+    #[test]
+    fn generalizes_to_unseen_points() {
+        let (x, y) = blobs(200, 3);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(4);
+        let tree = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut rng);
+        let (xt, yt) = blobs(100, 99);
+        let correct = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| tree.predict(s) == l)
+            .count();
+        assert!(correct >= 95, "{correct}/100 on held-out blobs");
+    }
+
+    #[test]
+    fn constant_features_produce_a_single_leaf() {
+        let x = vec![vec![1.0, 1.0]; 20];
+        let y: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let idx: Vec<usize> = (0..20).collect();
+        let mut rng = SimRng::new(5);
+        let tree = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.n_nodes(), 1, "no split possible on constant data");
+        assert_eq!(tree.n_leaves, 1);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (x, y) = blobs(400, 6);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
+        let mut rng = SimRng::new(7);
+        let tree = Tree::fit(&x, &y, &idx, 2, &cfg, &mut rng);
+        assert!(tree.n_nodes() <= 3, "depth-1 tree has at most 3 nodes");
+    }
+
+    #[test]
+    fn leaf_ids_are_unique_and_dense() {
+        let (x, y) = blobs(200, 8);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(9);
+        let tree = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut rng);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &x {
+            let (_, leaf) = tree.predict_with_leaf(s);
+            assert!(leaf < tree.n_leaves);
+            seen.insert(leaf);
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        // Feature 0 separates the classes; feature 1 is pure noise.
+        let (x, y) = blobs(300, 20);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SimRng::new(21);
+        let tree = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut rng);
+        assert!(
+            tree.importances[0] > tree.importances[1] * 3.0,
+            "importances {:?}",
+            tree.importances
+        );
+        let sum: f64 = tree.importances.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "normalized: {sum}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (x, y) = blobs(100, 10);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let t1 = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut SimRng::new(11));
+        let t2 = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut SimRng::new(11));
+        for s in &x {
+            assert_eq!(t1.predict_with_leaf(s), t2.predict_with_leaf(s));
+        }
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut rng = SimRng::new(12);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let c = i % 3;
+            x.push(vec![c as f64 * 5.0 + rng.normal() * 0.5]);
+            y.push(c);
+        }
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let tree = Tree::fit(&x, &y, &idx, 3, &TreeConfig::default(), &mut rng);
+        let correct = idx
+            .iter()
+            .filter(|&&i| tree.predict(&x[i]) == y[i])
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.98);
+    }
+}

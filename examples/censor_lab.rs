@@ -1,0 +1,84 @@
+//! Censor lab: the §3 experiment end to end, at laptop scale.
+//!
+//! Simulates visits to the nine sites through the full stack, trains the
+//! from-scratch k-FP attack, then shows how the kernel-implementable
+//! countermeasures change what an early-decision censor sees.
+//!
+//! ```sh
+//! cargo run --release --example censor_lab -- 30   # visits per site
+//! ```
+
+use defenses::emulate::{apply, CounterMeasure, EmulateConfig};
+use netsim::SimRng;
+use stob_bench_shim::*;
+
+/// The example reuses the bench harness through a tiny local shim so it
+/// stays runnable as a plain `cargo run --example`.
+mod stob_bench_shim {
+    pub use wf::eval::{evaluate, EvalConfig};
+    pub use wf::forest::ForestConfig;
+}
+
+fn main() {
+    let visits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let seed = 0xCE2502;
+
+    println!("censor lab: collecting {visits} visits/site for 9 sites (full-stack sim)...");
+    let sites = traces::sites::paper_sites();
+    let cfg = traces::loader::LoaderConfig::default();
+    let outcomes = traces::loader::collect(&sites, visits, seed, &cfg);
+    let per_site: Vec<(Vec<traces::Trace>, Vec<bool>)> = outcomes
+        .into_iter()
+        .map(|os| {
+            let complete: Vec<bool> = os.iter().map(|o| o.complete).collect();
+            (os.into_iter().map(|o| o.trace).collect(), complete)
+        })
+        .collect();
+    let (clean, _, per_class) = traces::sanitize::sanitize(per_site);
+    println!("sanitized to {per_class} traces/site (IQR on download size)\n");
+    let dataset = traces::Dataset::new(
+        clean,
+        sites.iter().map(|s| s.name.to_string()).collect(),
+    );
+
+    let eval_cfg = EvalConfig {
+        forest: ForestConfig {
+            n_trees: 60,
+            ..ForestConfig::default()
+        },
+        repeats: 3,
+        ..EvalConfig::default()
+    };
+
+    println!("what the censor sees (k-FP accuracy, closed world of 9 sites):\n");
+    println!("packets seen | undefended | split+delay defended");
+    for n in [15usize, 30, 45, 0] {
+        let plain = evaluate(&dataset.truncated(n), &eval_cfg);
+        let em = EmulateConfig {
+            first_n: n,
+            ..EmulateConfig::default()
+        };
+        let mut rng = SimRng::new(seed).fork(n as u64);
+        let defended = dataset
+            .map_traces(|t| apply(CounterMeasure::Combined, t, &em, &mut rng).trace)
+            .truncated(n);
+        let def = evaluate(&defended, &eval_cfg);
+        let label = if n == 0 {
+            "all".to_string()
+        } else {
+            format!("{n:>3}")
+        };
+        println!(
+            "{label:>12} | {:>10} | {}",
+            plain.formatted(),
+            def.formatted()
+        );
+    }
+    println!(
+        "\nreading: a censor must block *early*; the defense buys its margin in \
+         the first tens of packets, which is where §3 aims it."
+    );
+}

@@ -1,0 +1,28 @@
+//! # stob-repro — reproduction of "Rethinking the Role of Network Stacks
+//! # for Website Fingerprinting Defenses" (HotNets '25)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`netsim`] — deterministic discrete-event simulation substrate;
+//! * [`stack`] — the host network-stack model of the paper's Figure 1
+//!   (sockets, TLS records, TCP + CC, FQ pacing, TSO NIC, QUIC-lite,
+//!   CPU cost model);
+//! * [`stob`] — the paper's contribution: stack-level traffic
+//!   obfuscation (policies, shared registry, shaping strategies, safety
+//!   cap, CCA-phase guards, `setsockopt`-style attachment);
+//! * [`traces`] — synthetic website workloads loaded through the stack,
+//!   sanitization, datasets;
+//! * [`wf`] — the k-FP attack from scratch (features, random forest,
+//!   leaf-vector k-NN, evaluation harness);
+//! * [`defenses`] — the §3 countermeasures and Table 1 baselines.
+//!
+//! Regenerate the paper's artifacts with
+//! `cargo run --release -p stob-bench --bin {table1,table2,figure3}`;
+//! see `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+pub use defenses;
+pub use netsim;
+pub use stack;
+pub use stob;
+pub use traces;
+pub use wf;
