@@ -1,52 +1,44 @@
-//! Criterion bench: cost of applying each defense to a trace (the
-//! Table 1 "measured overhead" companion — here we measure *compute*
-//! cost; the bandwidth/latency overheads are printed by the `table1`
-//! binary).
+//! Micro-bench: cost of applying each defense to a trace (the Table 1
+//! "measured overhead" companion — here we measure *compute* cost; the
+//! bandwidth/latency overheads are printed by the `table1` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use defenses::buflo::{buflo, tamaraw, BufloConfig, TamarawConfig};
 use defenses::emulate::{apply, CounterMeasure, EmulateConfig};
 use defenses::front::{front, FrontConfig};
 use defenses::regulator::{regulator, RegulatorConfig};
 use defenses::wtfpad::{wtfpad, WtfPadConfig};
 use netsim::SimRng;
-use std::hint::black_box;
+use stob_bench::micro::Micro;
 use traces::sites::paper_sites;
 use traces::statgen::generate;
 
-fn bench_defenses(c: &mut Criterion) {
+fn main() {
     let trace = generate(&paper_sites()[8], 8, 0, 1); // the heavy site
     let em = EmulateConfig::default();
+    let mut m = Micro::new();
 
-    c.bench_function("defense_split", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter(|| black_box(apply(CounterMeasure::Split, black_box(&trace), &em, &mut rng)))
+    let mut rng = SimRng::new(1);
+    m.bench("defense_split", || {
+        apply(CounterMeasure::Split, &trace, &em, &mut rng)
     });
-    c.bench_function("defense_delay", |b| {
-        let mut rng = SimRng::new(2);
-        b.iter(|| black_box(apply(CounterMeasure::Delayed, black_box(&trace), &em, &mut rng)))
+    let mut rng = SimRng::new(2);
+    m.bench("defense_delay", || {
+        apply(CounterMeasure::Delayed, &trace, &em, &mut rng)
     });
-    c.bench_function("defense_front", |b| {
-        let mut rng = SimRng::new(3);
-        b.iter(|| black_box(front(black_box(&trace), &FrontConfig::default(), &mut rng)))
+    let mut rng = SimRng::new(3);
+    m.bench("defense_front", || {
+        front(&trace, &FrontConfig::default(), &mut rng)
     });
-    c.bench_function("defense_wtfpad", |b| {
-        let mut rng = SimRng::new(4);
-        b.iter(|| black_box(wtfpad(black_box(&trace), &WtfPadConfig::default(), &mut rng)))
+    let mut rng = SimRng::new(4);
+    m.bench("defense_wtfpad", || {
+        wtfpad(&trace, &WtfPadConfig::default(), &mut rng)
     });
-    c.bench_function("defense_regulator", |b| {
-        b.iter(|| black_box(regulator(black_box(&trace), &RegulatorConfig::default())))
+    m.bench("defense_regulator", || {
+        regulator(&trace, &RegulatorConfig::default())
     });
-    c.bench_function("defense_tamaraw", |b| {
-        b.iter(|| black_box(tamaraw(black_box(&trace), &TamarawConfig::default())))
+    m.bench("defense_tamaraw", || {
+        tamaraw(&trace, &TamarawConfig::default())
     });
-    let mut g = c.benchmark_group("padding_heavy");
-    g.sample_size(10);
-    g.bench_function("defense_buflo", |b| {
-        b.iter(|| black_box(buflo(black_box(&trace), &BufloConfig::default())))
-    });
-    g.finish();
+    m.bench("defense_buflo", || buflo(&trace, &BufloConfig::default()));
+    m.finish();
 }
-
-criterion_group!(benches, bench_defenses);
-criterion_main!(benches);

@@ -1,23 +1,17 @@
-//! Criterion bench: the two halves of Figure 3 as separate ablations —
-//! packet-size-only reduction and TSO-size-only reduction — plus the
-//! combined sweep at three aggressiveness points. The measured quantity
-//! is wall-clock cost of simulating a fixed window; the *reported*
-//! throughputs are printed by the `figure3` binary.
+//! Micro-bench: wall-clock cost of simulating a fixed Figure 3 window
+//! at three shaping aggressiveness points. The *reported* goodputs are
+//! printed by the `figure3` binary; this tracks simulator speed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::Nanos;
 use stob_bench::figure3_point;
+use stob_bench::micro::Micro;
 
-fn bench_alpha_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure3_sim");
-    g.sample_size(10);
+fn main() {
+    let mut m = Micro::new();
     for alpha in [0u32, 20, 40] {
-        g.bench_with_input(BenchmarkId::new("alpha", alpha), &alpha, |b, &a| {
-            b.iter(|| figure3_point(a, Nanos::from_millis(10), 1));
+        m.bench(&format!("figure3_sim_alpha_{alpha}"), || {
+            figure3_point(alpha, Nanos::from_millis(10), 1)
         });
     }
-    g.finish();
+    m.finish();
 }
-
-criterion_group!(benches, bench_alpha_sweep);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
-//! Criterion bench: per-decision cost of the Stob datapath hooks — the
+//! Micro-bench: per-decision cost of the Stob datapath hooks — the
 //! "can this live in the kernel fast path?" question (§5.4). Measures a
 //! policy's three hooks through the full sockopt assembly (strategy +
 //! safety cap + guards).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::{FlowId, Nanos};
 use stack::{ShapeCtx, Shaper};
-use std::hint::black_box;
 use stob::policy::ObfuscationPolicy;
 use stob::registry::{PolicyKey, PolicyRegistry};
 use stob::sockopt::attach_policy;
 use stob::strategies::IncrementalReduce;
+use stob_bench::micro::Micro;
 
 fn ctx() -> ShapeCtx {
     ShapeCtx {
@@ -27,7 +26,7 @@ fn ctx() -> ShapeCtx {
     }
 }
 
-fn bench_hooks(c: &mut Criterion) {
+fn main() {
     let reg = PolicyRegistry::new();
     reg.publish(
         PolicyKey::Default,
@@ -37,19 +36,14 @@ fn bench_hooks(c: &mut Criterion) {
     let mut raw = IncrementalReduce::with_alpha(20);
     let cx = ctx();
 
-    c.bench_function("stob_attached_pkt_size_hook", |b| {
-        b.iter(|| black_box(attached.packet_ip_size(&cx, 0, black_box(1500))))
+    let mut m = Micro::new();
+    m.bench("stob_attached_pkt_size_hook", || {
+        attached.packet_ip_size(&cx, 0, 1500)
     });
-    c.bench_function("stob_attached_delay_hook", |b| {
-        b.iter(|| black_box(attached.extra_delay(&cx)))
+    m.bench("stob_attached_delay_hook", || attached.extra_delay(&cx));
+    m.bench("stob_raw_incremental_tso_hook", || {
+        raw.tso_segment_pkts(&cx, 44)
     });
-    c.bench_function("stob_raw_incremental_tso_hook", |b| {
-        b.iter(|| black_box(raw.tso_segment_pkts(&cx, black_box(44))))
-    });
-    c.bench_function("stob_registry_resolve", |b| {
-        b.iter(|| black_box(reg.resolve(black_box(1), black_box(1))))
-    });
+    m.bench("stob_registry_resolve", || reg.resolve(1, 1));
+    m.finish();
 }
-
-criterion_group!(benches, bench_hooks);
-criterion_main!(benches);

@@ -1,61 +1,35 @@
-//! Criterion bench: attacker-side costs — feature extraction, random-
-//! forest training and prediction. §3 argues censorship-by-WF is cheap
-//! ("does not need large storage space or packet processing CPU
-//! cycles"); these numbers quantify it for our from-scratch k-FP.
+//! Micro-bench: attacker-side costs — feature extraction, random-forest
+//! training and prediction. §3 argues censorship-by-WF is cheap ("does
+//! not need large storage space or packet processing CPU cycles");
+//! these numbers quantify it for our from-scratch k-FP.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::SimRng;
-use std::hint::black_box;
+use stob_bench::micro::Micro;
 use traces::sites::paper_sites;
 use traces::statgen::generate_corpus;
 use wf::features::{extract_all, extract_features, FeatureConfig};
 use wf::forest::{Forest, ForestConfig};
 
-fn bench_wf(c: &mut Criterion) {
+fn main() {
     let sites = paper_sites();
     let corpus = generate_corpus(&sites, 20, 1);
     let cfg = FeatureConfig::paper();
     let x = extract_all(&corpus, &cfg);
     let y: Vec<usize> = corpus.iter().map(|t| t.label).collect();
-    let forest = Forest::fit(
-        &x,
-        &y,
-        9,
-        &ForestConfig {
-            n_trees: 50,
-            ..ForestConfig::default()
-        },
-        &mut SimRng::new(1),
-    );
+    let fcfg = ForestConfig {
+        n_trees: 50,
+        ..ForestConfig::default()
+    };
+    let forest = Forest::fit(&x, &y, 9, &fcfg, &mut SimRng::new(1));
 
-    c.bench_function("kfp_featurize_one_trace", |b| {
-        b.iter(|| black_box(extract_features(black_box(&corpus[0]), &cfg)))
+    let mut m = Micro::new();
+    m.bench("kfp_featurize_one_trace", || {
+        extract_features(&corpus[0], &cfg)
     });
-    c.bench_function("kfp_forest_predict_one", |b| {
-        b.iter(|| black_box(forest.predict(black_box(&x[0]))))
+    m.bench("kfp_forest_predict_one", || forest.predict(&x[0]));
+    m.bench("kfp_leaf_vector_one", || forest.leaf_vector(&x[0]));
+    m.bench("forest_50trees_180traces", || {
+        Forest::fit(&x, &y, 9, &fcfg, &mut SimRng::new(2))
     });
-    c.bench_function("kfp_leaf_vector_one", |b| {
-        b.iter(|| black_box(forest.leaf_vector(black_box(&x[0]))))
-    });
-
-    let mut g = c.benchmark_group("kfp_train");
-    g.sample_size(10);
-    g.bench_function("forest_50trees_180traces", |b| {
-        b.iter(|| {
-            Forest::fit(
-                &x,
-                &y,
-                9,
-                &ForestConfig {
-                    n_trees: 50,
-                    ..ForestConfig::default()
-                },
-                &mut SimRng::new(2),
-            )
-        })
-    });
-    g.finish();
+    m.finish();
 }
-
-criterion_group!(benches, bench_wf);
-criterion_main!(benches);

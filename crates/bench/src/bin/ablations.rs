@@ -8,8 +8,15 @@
 //!    defenses are "extremely inefficient and impractical".
 //!
 //! Usage: `ablations [measure_ms] [seed]`
+//!
+//! Every cell is an independent simulated network, a pure function of
+//! its configuration and seed, so the sweeps fan out across threads
+//! (`netsim::par`) without changing any number. Set
+//! `STOB_JSON_OUT=<path>` to also write the cells + stage timings as
+//! JSON.
 
-use netsim::{FlowId, Nanos};
+use netsim::par::{self, Timings};
+use netsim::{FlowId, Json, Nanos};
 use stack::apps::{BulkSender, Sink};
 use stack::config::CcKind;
 use stack::net::{Api, App, Network, SERVER};
@@ -81,39 +88,49 @@ fn main() {
     let measure_ms: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let measure = Nanos::from_millis(measure_ms);
+    let mut timings = Timings::new();
+    let mut json_cells: Vec<Json> = Vec::new();
+    eprintln!("[ablations] running on {} threads", par::threads());
 
     println!("Ablation 1: which knob costs what (100 Gb/s path, calibrated CPU)\n");
     println!("alpha | pkt-size only | TSO-size only | both (Figure 3)");
-    for alpha in [0u32, 8, 16, 24, 32, 40] {
-        let pkt_only = IncrementalReduce::new(alpha, 10, 0, 0);
-        let tso_only = IncrementalReduce::new(0, 0, alpha / 4, 8);
-        let both = IncrementalReduce::with_alpha(alpha);
-        let g_pkt = goodput(
-            StackConfig::default(),
-            Some(Box::new(SafetyCap::new(pkt_only))),
-            PathConfig::lab_100g(),
-            None,
-            measure,
-            seed,
+    // 6 alphas × 3 shaper variants = 18 independent cells.
+    let alphas = [0u32, 8, 16, 24, 32, 40];
+    let cells: Vec<(u32, usize)> = alphas
+        .iter()
+        .flat_map(|&a| (0..3).map(move |v| (a, v)))
+        .collect();
+    let goodputs = timings.time("ablation1", || {
+        par::par_map(&cells, |_, &(alpha, variant)| {
+            let shaper: Box<dyn stack::Shaper> = match variant {
+                0 => Box::new(SafetyCap::new(IncrementalReduce::new(alpha, 10, 0, 0))),
+                1 => Box::new(SafetyCap::new(IncrementalReduce::new(0, 0, alpha / 4, 8))),
+                _ => Box::new(SafetyCap::new(IncrementalReduce::with_alpha(alpha))),
+            };
+            goodput(
+                StackConfig::default(),
+                Some(shaper),
+                PathConfig::lab_100g(),
+                None,
+                measure,
+                seed,
+            )
+        })
+    });
+    for (row, alpha) in alphas.iter().enumerate() {
+        let (g_pkt, g_tso, g_both) = (
+            goodputs[row * 3],
+            goodputs[row * 3 + 1],
+            goodputs[row * 3 + 2],
         );
-        let g_tso = goodput(
-            StackConfig::default(),
-            Some(Box::new(SafetyCap::new(tso_only))),
-            PathConfig::lab_100g(),
-            None,
-            measure,
-            seed,
-        );
-        let g_both = goodput(
-            StackConfig::default(),
-            Some(Box::new(SafetyCap::new(both))),
-            PathConfig::lab_100g(),
-            None,
-            measure,
-            seed,
-        );
-        println!(
-            "{alpha:>5} | {g_pkt:>10.1} Gb/s | {g_tso:>10.1} Gb/s | {g_both:>10.1} Gb/s"
+        println!("{alpha:>5} | {g_pkt:>10.1} Gb/s | {g_tso:>10.1} Gb/s | {g_both:>10.1} Gb/s");
+        json_cells.push(
+            Json::obj()
+                .set("ablation", 1u64)
+                .set("alpha", *alpha)
+                .set("pkt_only_gbps", g_pkt)
+                .set("tso_only_gbps", g_tso)
+                .set("both_gbps", g_both),
         );
     }
     println!(
@@ -131,29 +148,41 @@ fn main() {
         queue_bytes: 2 << 20,
         loss: 0.0,
     };
-    for (label, rwnd) in [
+    let windows = [
         ("32 MB (default)", 32u64 << 20),
         ("256 KB", 256 << 10),
         ("64 KB", 64 << 10),
         ("16 KB (HTTPOS-like)", 16 << 10),
         ("4 KB (aggressive)", 4 << 10),
-    ] {
-        let cfg = StackConfig {
-            recv_wnd: rwnd,
-            ..StackConfig::default()
-        };
-        // The *receiver* (server here, since our sender is the client)
-        // advertises the small window; emulate by capping the client
-        // sender's peer window via the server stack config.
-        let g = goodput(
-            StackConfig::default(),
-            None,
-            path.clone(),
-            Some(cfg),
-            Nanos::from_secs(2),
-            seed,
-        );
+    ];
+    let window_goodputs = timings.time("ablation2", || {
+        par::par_map(&windows, |_, &(_, rwnd)| {
+            let cfg = StackConfig {
+                recv_wnd: rwnd,
+                ..StackConfig::default()
+            };
+            // The *receiver* (server here, since our sender is the
+            // client) advertises the small window; emulate by capping
+            // the client sender's peer window via the server stack
+            // config.
+            goodput(
+                StackConfig::default(),
+                None,
+                path.clone(),
+                Some(cfg),
+                Nanos::from_secs(2),
+                seed,
+            )
+        })
+    });
+    for ((label, rwnd), g) in windows.iter().zip(&window_goodputs) {
         println!("{label:>20} | {g:>7.3} Gb/s");
+        json_cells.push(
+            Json::obj()
+                .set("ablation", 2u64)
+                .set("recv_wnd_bytes", *rwnd)
+                .set("goodput_gbps", *g),
+        );
     }
     println!(
         "\nreading: shrinking the advertised window throttles the whole transfer \n\
@@ -187,23 +216,18 @@ fn main() {
         )
     };
     let early = Nanos::from_millis(150);
-    let unshaped = goodput(bbr_cfg.clone(), None, bbr_path.clone(), None, early, seed);
-    let naive = goodput(
-        bbr_cfg.clone(),
-        Some(Box::new(SafetyCap::new(jitter()))),
-        bbr_path.clone(),
-        None,
-        early,
-        seed,
-    );
-    let guarded = goodput(
-        bbr_cfg,
-        Some(Box::new(CcaPhaseGuard::new(SafetyCap::new(jitter())))),
-        bbr_path,
-        None,
-        early,
-        seed,
-    );
+    let variants = [0usize, 1, 2];
+    let bbr_goodputs = timings.time("ablation3", || {
+        par::par_map(&variants, |_, &v| {
+            let shaper: Option<Box<dyn stack::Shaper>> = match v {
+                0 => None,
+                1 => Some(Box::new(SafetyCap::new(jitter()))),
+                _ => Some(Box::new(CcaPhaseGuard::new(SafetyCap::new(jitter())))),
+            };
+            goodput(bbr_cfg.clone(), shaper, bbr_path.clone(), None, early, seed)
+        })
+    });
+    let (unshaped, naive, guarded) = (bbr_goodputs[0], bbr_goodputs[1], bbr_goodputs[2]);
     println!("  unshaped BBR:              {unshaped:>6.2} Gb/s");
     println!("  shaped through startup:    {naive:>6.2} Gb/s");
     println!("  shaped after startup only: {guarded:>6.2} Gb/s (CcaPhaseGuard)");
@@ -212,4 +236,23 @@ fn main() {
          preserves the bandwidth probe; §5.1's co-design question is how much \n\
          more than this simple interface is needed."
     );
+    json_cells.push(
+        Json::obj()
+            .set("ablation", 3u64)
+            .set("unshaped_gbps", unshaped)
+            .set("shaped_through_startup_gbps", naive)
+            .set("guarded_gbps", guarded),
+    );
+    eprintln!("[ablations] {timings}");
+
+    if let Ok(out) = std::env::var("STOB_JSON_OUT") {
+        let json = Json::obj()
+            .set("cells", Json::Arr(json_cells))
+            .set("timings", timings.to_json());
+        if let Err(e) = std::fs::write(&out, json.to_string_pretty()) {
+            eprintln!("[ablations] could not write {out}: {e}");
+        } else {
+            eprintln!("[ablations] wrote {out}");
+        }
+    }
 }

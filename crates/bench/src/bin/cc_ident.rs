@@ -20,7 +20,10 @@ fn main() {
     eprintln!("[cc_ident] generating {per_class} flows per CCA (reno/cubic/bbr)...");
     let t0 = std::time::Instant::now();
     let plain = Dataset::new(cc_corpus(per_class, seed, None), cc_class_names());
-    eprintln!("[cc_ident] plain corpus in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[cc_ident] plain corpus in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     let hide = ObfuscationPolicy {
         name: "cc-hide".into(),
@@ -35,7 +38,10 @@ fn main() {
     };
     let t1 = std::time::Instant::now();
     let hidden = Dataset::new(cc_corpus(per_class, seed, Some(hide)), cc_class_names());
-    eprintln!("[cc_ident] shaped corpus in {:.1}s", t1.elapsed().as_secs_f64());
+    eprintln!(
+        "[cc_ident] shaped corpus in {:.1}s",
+        t1.elapsed().as_secs_f64()
+    );
 
     let r_plain = evaluate_cc_ident(&plain, trees, repeats, seed);
     let r_hidden = evaluate_cc_ident(&hidden, trees, repeats, seed);
@@ -45,8 +51,14 @@ fn main() {
         "({} flows/CCA over randomized paths, {} trees, {} repeats, seed {seed})\n",
         per_class, trees, repeats
     );
-    println!("  plain flows:          {:.3} \u{00B1} {:.3}", r_plain.mean, r_plain.std);
-    println!("  Stob-shaped flows:    {:.3} \u{00B1} {:.3}", r_hidden.mean, r_hidden.std);
+    println!(
+        "  plain flows:          {:.3} \u{00B1} {:.3}",
+        r_plain.mean, r_plain.std
+    );
+    println!(
+        "  Stob-shaped flows:    {:.3} \u{00B1} {:.3}",
+        r_hidden.mean, r_hidden.std
+    );
     println!(
         "\n§5.2's point: packet sequences identify the CCA (and with it, OS and \n\
          application); §5.1's caveat: shaping that does not confuse the CCA's own \n\

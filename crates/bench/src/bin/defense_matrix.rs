@@ -2,7 +2,14 @@
 //! on the nine-site closed world — the protection/cost trade-off the
 //! paper's Table 1 taxonomy implies but does not measure.
 //!
+//! The defense cells are independent, so they fan out across threads
+//! (`netsim::par`); each cell's randomness is forked from the run seed
+//! by (defense index, trace index), so the table is bit-identical at
+//! any `STOB_THREADS` setting.
+//!
 //! Usage: `defense_matrix [visits] [trees] [repeats] [seed]`
+//! Set `STOB_JSON_OUT=<path>` to also write results + stage timings as
+//! JSON.
 
 use defenses::buflo::{buflo, tamaraw, BufloConfig, TamarawConfig};
 use defenses::emulate::{apply, CounterMeasure, EmulateConfig};
@@ -11,11 +18,86 @@ use defenses::overhead::{bandwidth_overhead, latency_overhead, Defended};
 use defenses::regulator::{regulator, RegulatorConfig};
 use defenses::surakav::{surakav_from_bank, SurakavConfig};
 use defenses::wtfpad::{wtfpad, WtfPadConfig};
-use netsim::SimRng;
+use netsim::par::{self, Timings};
+use netsim::{Json, SimRng};
+use std::time::Instant;
 use stob_bench::collect_dataset;
-use traces::Trace;
+use traces::{Dataset, Trace};
 use wf::eval::{evaluate, EvalConfig};
 use wf::forest::ForestConfig;
+
+/// The matrix rows. Each is a pure per-trace function of
+/// (trace, config, rng), which is what lets the cells parallelize.
+#[derive(Debug, Clone, Copy)]
+enum Defense {
+    None,
+    Split,
+    Delayed,
+    Combined,
+    WtfPad,
+    Front,
+    Regulator,
+    Surakav,
+    Tamaraw,
+    Buflo,
+}
+
+impl Defense {
+    const ALL: [Defense; 10] = [
+        Defense::None,
+        Defense::Split,
+        Defense::Delayed,
+        Defense::Combined,
+        Defense::WtfPad,
+        Defense::Front,
+        Defense::Regulator,
+        Defense::Surakav,
+        Defense::Tamaraw,
+        Defense::Buflo,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Defense::None => "none",
+            Defense::Split => "split (§3)",
+            Defense::Delayed => "delayed (§3)",
+            Defense::Combined => "combined (§3)",
+            Defense::WtfPad => "WTF-PAD (lite)",
+            Defense::Front => "FRONT",
+            Defense::Regulator => "RegulaTor (lite)",
+            Defense::Surakav => "Surakav (lite)",
+            Defense::Tamaraw => "Tamaraw",
+            Defense::Buflo => "BuFLO",
+        }
+    }
+
+    /// Apply to one trace. `bank` is the Surakav reference corpus
+    /// (shared read-only; every other defense ignores it).
+    fn apply(self, t: &Trace, em: &EmulateConfig, bank: &[Trace], rng: &mut SimRng) -> Defended {
+        match self {
+            Defense::None => Defended::unpadded(t.clone()),
+            Defense::Split => apply(CounterMeasure::Split, t, em, rng),
+            Defense::Delayed => apply(CounterMeasure::Delayed, t, em, rng),
+            Defense::Combined => apply(CounterMeasure::Combined, t, em, rng),
+            Defense::WtfPad => wtfpad(t, &WtfPadConfig::default(), rng),
+            Defense::Front => front(t, &FrontConfig::default(), rng),
+            Defense::Regulator => regulator(t, &RegulatorConfig::default()),
+            Defense::Surakav => surakav_from_bank(t, bank, &SurakavConfig::default(), rng).0,
+            Defense::Tamaraw => tamaraw(t, &TamarawConfig::default()),
+            Defense::Buflo => buflo(t, &BufloConfig::default()),
+        }
+    }
+}
+
+struct Cell {
+    name: &'static str,
+    accuracy: String,
+    mean: f64,
+    bw_pct: f64,
+    lat_pct: f64,
+    defend_secs: f64,
+    eval_secs: f64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,8 +106,12 @@ fn main() {
     let repeats: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
     let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0xDEF);
 
-    eprintln!("[defense_matrix] collecting {visits} visits/site...");
-    let summary = collect_dataset(visits, seed);
+    let mut timings = Timings::new();
+    eprintln!(
+        "[defense_matrix] collecting {visits} visits/site on {} threads...",
+        par::threads()
+    );
+    let summary = timings.time("collect", || collect_dataset(visits, seed));
     let dataset = summary.dataset;
     eprintln!(
         "[defense_matrix] {} traces/site after sanitization",
@@ -41,72 +127,56 @@ fn main() {
         seed,
         ..EvalConfig::default()
     };
-
     let em = EmulateConfig::default();
-    type DefFn<'a> = Box<dyn FnMut(&Trace) -> Defended + 'a>;
-    let defenses: Vec<(&str, DefFn)> = vec![
-        ("none", Box::new(|t| Defended::unpadded(t.clone()))),
-        (
-            "split (§3)",
-            Box::new(move |t| apply(CounterMeasure::Split, t, &em, &mut SimRng::new(1))),
-        ),
-        ("delayed (§3)", {
-            let mut r = SimRng::new(seed).fork(1);
-            Box::new(move |t| apply(CounterMeasure::Delayed, t, &em, &mut r))
-        }),
-        ("combined (§3)", {
-            let mut r = SimRng::new(seed).fork(2);
-            Box::new(move |t| apply(CounterMeasure::Combined, t, &em, &mut r))
-        }),
-        ("WTF-PAD (lite)", {
-            let mut r = SimRng::new(seed).fork(3);
-            Box::new(move |t| wtfpad(t, &WtfPadConfig::default(), &mut r))
-        }),
-        ("FRONT", {
-            let mut r = SimRng::new(seed).fork(4);
-            Box::new(move |t| front(t, &FrontConfig::default(), &mut r))
-        }),
-        (
-            "RegulaTor (lite)",
-            Box::new(move |t| regulator(t, &RegulatorConfig::default())),
-        ),
-        ("Surakav (lite)", {
-            let bank = dataset.traces.clone();
-            let mut r = SimRng::new(seed).fork(5);
-            Box::new(move |t: &Trace| {
-                surakav_from_bank(t, &bank, &SurakavConfig::default(), &mut r).0
+    let root = SimRng::new(seed);
+    let n = dataset.len() as f64;
+
+    // Cell fan-out: one independent (defend + evaluate) job per defense.
+    let fanout = Instant::now();
+    let cells: Vec<Cell> = par::par_map(&Defense::ALL, |di, &defense| {
+        let defense_root = root.fork(di as u64 + 1);
+        let t0 = Instant::now();
+        let mut bw = 0.0;
+        let mut lat = 0.0;
+        let defended_traces: Vec<Trace> = dataset
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut rng = defense_root.fork(i as u64 + 1);
+                let d = defense.apply(t, &em, &dataset.traces, &mut rng);
+                bw += bandwidth_overhead(t, &d);
+                lat += latency_overhead(t, &d);
+                d.trace
             })
-        }),
-        (
-            "Tamaraw",
-            Box::new(move |t| tamaraw(t, &TamarawConfig::default())),
-        ),
-        (
-            "BuFLO",
-            Box::new(move |t| buflo(t, &BufloConfig::default())),
-        ),
-    ];
+            .collect();
+        let defend_secs = t0.elapsed().as_secs_f64();
+        let defended = Dataset::new(defended_traces, dataset.class_names.clone());
+        let t0 = Instant::now();
+        let r = evaluate(&defended, &eval_cfg);
+        Cell {
+            name: defense.name(),
+            accuracy: r.formatted(),
+            mean: r.mean,
+            bw_pct: bw / n * 100.0,
+            lat_pct: lat / n * 100.0,
+            defend_secs,
+            eval_secs: t0.elapsed().as_secs_f64(),
+        }
+    });
+    timings.push("cells_wall", fanout.elapsed().as_secs_f64());
+    for c in &cells {
+        timings.push("defend_cpu", c.defend_secs);
+        timings.push("evaluate_cpu", c.eval_secs);
+    }
 
     println!("\nDefense vs. k-FP (9 sites, closed world; chance = 0.111)\n");
     println!("| defense          | accuracy       | bw overhead | latency overhead |");
     println!("|------------------|----------------|-------------|------------------|");
-    for (name, mut f) in defenses {
-        let mut bw = 0.0;
-        let mut lat = 0.0;
-        let defended = dataset.map_traces(|t| {
-            let d = f(t);
-            bw += bandwidth_overhead(t, &d);
-            lat += latency_overhead(t, &d);
-            d.trace
-        });
-        let n = dataset.len() as f64;
-        let r = evaluate(&defended, &eval_cfg);
+    for c in &cells {
         println!(
             "| {:<16} | {:<14} | {:>9.1}% | {:>14.1}% |",
-            name,
-            r.formatted(),
-            bw / n * 100.0,
-            lat / n * 100.0
+            c.name, c.accuracy, c.bw_pct, c.lat_pct
         );
     }
     println!(
@@ -114,4 +184,30 @@ fn main() {
          cost; lightweight obfuscation perturbs the attack cheaply but does not \n\
          defeat it — the design space the paper wants Stob to widen."
     );
+    eprintln!("[defense_matrix] {timings}");
+
+    if let Ok(path) = std::env::var("STOB_JSON_OUT") {
+        let json = Json::obj()
+            .set(
+                "cells",
+                Json::Arr(
+                    cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj()
+                                .set("defense", c.name)
+                                .set("accuracy_mean", c.mean)
+                                .set("bandwidth_overhead_pct", c.bw_pct)
+                                .set("latency_overhead_pct", c.lat_pct)
+                        })
+                        .collect(),
+                ),
+            )
+            .set("timings", timings.to_json());
+        if let Err(e) = std::fs::write(&path, json.to_string_pretty()) {
+            eprintln!("[defense_matrix] could not write {path}: {e}");
+        } else {
+            eprintln!("[defense_matrix] wrote {path}");
+        }
+    }
 }

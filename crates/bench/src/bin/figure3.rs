@@ -18,9 +18,7 @@ fn main() {
     let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(3);
 
     let alphas: Vec<u32> = (0..=alpha_max).step_by(step.max(1) as usize).collect();
-    eprintln!(
-        "[figure3] sweeping alpha over {alphas:?} ({measure_ms} ms window, seed {seed})..."
-    );
+    eprintln!("[figure3] sweeping alpha over {alphas:?} ({measure_ms} ms window, seed {seed})...");
     let t0 = std::time::Instant::now();
     let pts = run_figure3(&alphas, Nanos::from_millis(measure_ms), seed);
     eprintln!("[figure3] sweep done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -51,7 +51,10 @@ fn main() {
         ..OpenWorldConfig::default()
     };
 
-    println!("\nOpen-world k-FP (9 monitored sites, unanimous-kNN rule, k = {})\n", ow_cfg.k);
+    println!(
+        "\nOpen-world k-FP (9 monitored sites, unanimous-kNN rule, k = {})\n",
+        ow_cfg.k
+    );
     println!("| traffic            | TPR            | FPR            |");
     println!("|--------------------|----------------|----------------|");
     let plain = evaluate_open_world(&monitored, 9, &background, &ow_cfg);

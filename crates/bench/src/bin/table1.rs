@@ -23,7 +23,13 @@ fn main() {
         "| {:<34} | {:<10} | {:<7} | {:<28} | implemented as |",
         "System", "Target", "Strategy", "Traffic manipulation"
     );
-    println!("|{}|{}|{}|{}|----------------|", "-".repeat(36), "-".repeat(12), "-".repeat(9), "-".repeat(30));
+    println!(
+        "|{}|{}|{}|{}|----------------|",
+        "-".repeat(36),
+        "-".repeat(12),
+        "-".repeat(9),
+        "-".repeat(30)
+    );
     for e in table1() {
         let manip = e
             .manipulations
@@ -32,7 +38,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let imp = match e.implementation {
-            Implementation::Full(p) => format!("{p}"),
+            Implementation::Full(p) => p.to_string(),
             Implementation::Lite(p) => format!("{p} (lite)"),
             Implementation::None => "—".to_string(),
         };
@@ -56,7 +62,10 @@ fn main() {
         "| {:<22} | bandwidth overhead | latency overhead |",
         "Defense"
     );
-    println!("|{}|--------------------|------------------|", "-".repeat(24));
+    println!(
+        "|{}|--------------------|------------------|",
+        "-".repeat(24)
+    );
     for row in run_overheads(&dataset, seed) {
         println!(
             "| {:<22} | {:>16.1}% | {:>14.1}% |",

@@ -4,9 +4,12 @@
 //!
 //! Usage: `table2 [visits] [trees] [repeats] [seed]`
 //! (defaults: 100 visits/site — the paper's collection size — 100 trees,
-//! 5 repeats).
+//! 5 repeats). Set `STOB_JSON_OUT=<path>` to also write the cells plus
+//! per-stage wall-clock timings as JSON; `STOB_THREADS` caps the
+//! parallel driver.
 
-use stob_bench::{collect_dataset, format_table2, run_table2, Table2Config};
+use netsim::Json;
+use stob_bench::{collect_dataset, format_table2, run_table2_timed, Table2Config};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,13 +21,11 @@ fn main() {
     eprintln!("[table2] collecting {visits} visits/site across 9 sites (seed {seed})...");
     let t0 = std::time::Instant::now();
     let summary = collect_dataset(visits, seed);
+    let collect_secs = t0.elapsed().as_secs_f64();
     eprintln!(
         "[table2] collected+sanitized in {:.1}s: {} traces/site after cleaning \
          ({} error drops, {} IQR drops) — paper kept 74/100",
-        t0.elapsed().as_secs_f64(),
-        summary.per_class,
-        summary.dropped_errors,
-        summary.dropped_outliers,
+        collect_secs, summary.per_class, summary.dropped_errors, summary.dropped_outliers,
     );
 
     let cfg = Table2Config {
@@ -34,8 +35,35 @@ fn main() {
     };
     eprintln!("[table2] running the 16-dataset grid ({trees} trees x {repeats} repeats)...");
     let t1 = std::time::Instant::now();
-    let cells = run_table2(&summary.dataset, &cfg);
+    let (cells, mut timings) = run_table2_timed(&summary.dataset, &cfg);
     eprintln!("[table2] grid done in {:.1}s", t1.elapsed().as_secs_f64());
+    timings.push("collect", collect_secs);
+    eprintln!("[table2] {timings}");
+
+    if let Ok(path) = std::env::var("STOB_JSON_OUT") {
+        let json = Json::obj()
+            .set(
+                "cells",
+                Json::Arr(
+                    cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj()
+                                .set("countermeasure", c.countermeasure.name())
+                                .set("n", c.n as u64)
+                                .set("mean", c.mean)
+                                .set("std", c.std)
+                        })
+                        .collect(),
+                ),
+            )
+            .set("timings", timings.to_json());
+        if let Err(e) = std::fs::write(&path, json.to_string_pretty()) {
+            eprintln!("[table2] could not write {path}: {e}");
+        } else {
+            eprintln!("[table2] wrote {path}");
+        }
+    }
 
     println!("\nTable 2: k-FP Random Forest accuracy rates (9 sites, closed world)");
     println!(

@@ -14,8 +14,11 @@
 //! * [`run_overheads`] — the taxonomy with *measured* bandwidth/latency
 //!   overheads for every implemented defense.
 
+pub mod micro;
+
 use defenses::emulate::{self, CounterMeasure, EmulateConfig};
 use defenses::overhead::{bandwidth_overhead, latency_overhead, Defended};
+use netsim::par::{self, Timings};
 use netsim::{FlowId, Nanos, SimRng};
 use stack::apps::{BulkSender, Sink};
 use stack::net::{Network, SERVER};
@@ -52,8 +55,7 @@ pub fn collect_dataset(visits: usize, seed: u64) -> CollectionSummary {
         .into_iter()
         .map(|site_outcomes| {
             let complete: Vec<bool> = site_outcomes.iter().map(|o| o.complete).collect();
-            let traces: Vec<traces::Trace> =
-                site_outcomes.into_iter().map(|o| o.trace).collect();
+            let traces: Vec<traces::Trace> = site_outcomes.into_iter().map(|o| o.trace).collect();
             (traces, complete)
         })
         .collect();
@@ -101,6 +103,12 @@ impl Default for Table2Config {
 
 /// Run the 16-dataset grid on a collected dataset.
 pub fn run_table2(dataset: &Dataset, cfg: &Table2Config) -> Vec<Table2Cell> {
+    run_table2_timed(dataset, cfg).0
+}
+
+/// As [`run_table2`], but also returning per-stage wall-clock timings
+/// (accumulated across the 16 cells) for the bench JSON output.
+pub fn run_table2_timed(dataset: &Dataset, cfg: &Table2Config) -> (Vec<Table2Cell>, Timings) {
     let eval_cfg = EvalConfig {
         forest: ForestConfig {
             n_trees: cfg.trees,
@@ -111,6 +119,7 @@ pub fn run_table2(dataset: &Dataset, cfg: &Table2Config) -> Vec<Table2Cell> {
         ..EvalConfig::default()
     };
     let mut out = Vec::new();
+    let mut timings = Timings::new();
     for (cm, n) in emulate::section3_grid() {
         // Defense applied to the first n packets (whole trace when 0),
         // then the attacker sees the first n packets of the result.
@@ -118,10 +127,20 @@ pub fn run_table2(dataset: &Dataset, cfg: &Table2Config) -> Vec<Table2Cell> {
             first_n: n,
             ..EmulateConfig::default()
         };
-        let mut rng = SimRng::new(cfg.seed).fork(n as u64).fork(cm as u64);
-        let defended = dataset.map_traces(|t| emulate::apply(cm, t, &em, &mut rng).trace);
+        // Per-cell root rng; apply_all forks it per trace, so the cell's
+        // emulation is deterministic at any thread count.
+        let root = SimRng::new(cfg.seed).fork(n as u64).fork(cm as u64);
+        let defended = timings.time("emulate", || {
+            Dataset::new(
+                emulate::apply_all(cm, &dataset.traces, &em, &root)
+                    .into_iter()
+                    .map(|d| d.trace)
+                    .collect(),
+                dataset.class_names.clone(),
+            )
+        });
         let view = defended.truncated(n);
-        let r = evaluate(&view, &eval_cfg);
+        let r = timings.time("evaluate", || evaluate(&view, &eval_cfg));
         out.push(Table2Cell {
             countermeasure: cm,
             n,
@@ -129,7 +148,7 @@ pub fn run_table2(dataset: &Dataset, cfg: &Table2Config) -> Vec<Table2Cell> {
             std: r.std,
         });
     }
-    out
+    (out, timings)
 }
 
 /// Render Table 2 in the paper's layout.
@@ -138,7 +157,11 @@ pub fn format_table2(cells: &[Table2Cell]) -> String {
     s.push_str("| N   | Original      | Split         | Delayed       | Combined      |\n");
     s.push_str("|-----|---------------|---------------|---------------|---------------|\n");
     for n in [15usize, 30, 45, 0] {
-        let label = if n == 0 { "All".to_string() } else { n.to_string() };
+        let label = if n == 0 {
+            "All".to_string()
+        } else {
+            n.to_string()
+        };
         s.push_str(&format!("| {label:<3} |"));
         for cm in CounterMeasure::all() {
             let cell = cells
@@ -221,12 +244,11 @@ pub fn figure3_point(alpha: u32, measure: Nanos, seed: u64) -> Figure3Point {
     }
 }
 
-/// Sweep alpha as in Figure 3.
+/// Sweep alpha as in Figure 3. Each point simulates an independent
+/// network (pure function of its inputs), so the sweep fans out across
+/// threads without affecting results.
 pub fn run_figure3(alphas: &[u32], measure: Nanos, seed: u64) -> Vec<Figure3Point> {
-    alphas
-        .iter()
-        .map(|&a| figure3_point(a, measure, seed))
-        .collect()
+    par::par_map(alphas, |_, &a| figure3_point(a, measure, seed))
 }
 
 // ---------------------------------------------------------------------
@@ -241,73 +263,59 @@ pub struct OverheadRow {
     pub latency: f64,
 }
 
+/// The implemented defenses in Table 1 order.
+const OVERHEAD_SYSTEMS: [&str; 8] = [
+    "Split (this paper)",
+    "Delayed (this paper)",
+    "Combined (this paper)",
+    "FRONT",
+    "WTF-PAD",
+    "RegulaTor",
+    "Tamaraw",
+    "BuFLO",
+];
+
+/// Apply one Table 1 defense (by [`OVERHEAD_SYSTEMS`] index) to a trace.
+fn apply_overhead_system(
+    idx: usize,
+    t: &traces::Trace,
+    em: &EmulateConfig,
+    rng: &mut SimRng,
+) -> Defended {
+    match idx {
+        0 => emulate::apply(CounterMeasure::Split, t, em, rng),
+        1 => emulate::apply(CounterMeasure::Delayed, t, em, rng),
+        2 => emulate::apply(CounterMeasure::Combined, t, em, rng),
+        3 => defenses::front::front(t, &Default::default(), rng),
+        4 => defenses::wtfpad::wtfpad(t, &Default::default(), rng),
+        5 => defenses::regulator::regulator(t, &Default::default()),
+        6 => defenses::buflo::tamaraw(t, &Default::default()),
+        7 => defenses::buflo::buflo(t, &Default::default()),
+        _ => unreachable!("unknown overhead system"),
+    }
+}
+
 /// Apply every implemented defense to a corpus and average overheads.
+///
+/// The per-trace fan-out runs on the parallel driver: randomness is
+/// forked per (defense, trace index), never drawn from a shared stream,
+/// so the averages are thread-count independent.
 pub fn run_overheads(dataset: &Dataset, seed: u64) -> Vec<OverheadRow> {
-    let rng = SimRng::new(seed);
+    let root = SimRng::new(seed);
     let em = EmulateConfig::default();
-    let apply_all: Vec<(&'static str, Box<dyn FnMut(&traces::Trace) -> Defended>)> = vec![
-        (
-            "Split (this paper)",
-            Box::new({
-                let em = em;
-                move |t| emulate::apply(CounterMeasure::Split, t, &em, &mut SimRng::new(1))
-            }),
-        ),
-        (
-            "Delayed (this paper)",
-            Box::new({
-                let mut r = rng.fork(1);
-                move |t| emulate::apply(CounterMeasure::Delayed, t, &em, &mut r)
-            }),
-        ),
-        (
-            "Combined (this paper)",
-            Box::new({
-                let mut r = rng.fork(2);
-                move |t| emulate::apply(CounterMeasure::Combined, t, &em, &mut r)
-            }),
-        ),
-        (
-            "FRONT",
-            Box::new({
-                let mut r = rng.fork(3);
-                move |t| defenses::front::front(t, &Default::default(), &mut r)
-            }),
-        ),
-        (
-            "WTF-PAD",
-            Box::new({
-                let mut r = rng.fork(4);
-                move |t| defenses::wtfpad::wtfpad(t, &Default::default(), &mut r)
-            }),
-        ),
-        (
-            "RegulaTor",
-            Box::new(move |t| defenses::regulator::regulator(t, &Default::default())),
-        ),
-        (
-            "Tamaraw",
-            Box::new(move |t| defenses::buflo::tamaraw(t, &Default::default())),
-        ),
-        (
-            "BuFLO",
-            Box::new(move |t| defenses::buflo::buflo(t, &Default::default())),
-        ),
-    ];
     let mut rows = Vec::new();
-    for (name, mut f) in apply_all {
-        let mut bw = 0.0;
-        let mut lat = 0.0;
-        for t in &dataset.traces {
-            let d = f(t);
-            bw += bandwidth_overhead(t, &d);
-            lat += latency_overhead(t, &d);
-        }
+    for (di, name) in OVERHEAD_SYSTEMS.iter().copied().enumerate() {
+        let defense_root = root.fork(di as u64 + 1);
+        let per_trace = par::par_map(&dataset.traces, |i, t| {
+            let mut rng = defense_root.fork(i as u64 + 1);
+            let d = apply_overhead_system(di, t, &em, &mut rng);
+            (bandwidth_overhead(t, &d), latency_overhead(t, &d))
+        });
         let n = dataset.len() as f64;
         rows.push(OverheadRow {
             system: name,
-            bandwidth: bw / n,
-            latency: lat / n,
+            bandwidth: per_trace.iter().map(|p| p.0).sum::<f64>() / n,
+            latency: per_trace.iter().map(|p| p.1).sum::<f64>() / n,
         });
     }
     rows

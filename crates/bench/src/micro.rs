@@ -1,0 +1,61 @@
+//! Minimal micro-benchmark harness for the `cargo bench` targets.
+//!
+//! The workspace builds hermetically (no external crates), so instead
+//! of criterion we time closures with `std::time::Instant`: calibrate
+//! an iteration count targeting ~200 ms per sample, take several
+//! samples, and report the median so a stray scheduler hiccup does not
+//! dominate. Output is one line per benchmark, `name  ns/iter`, plus a
+//! machine-readable JSON block at the end of each bench binary.
+
+use netsim::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock per measured sample.
+const SAMPLE_TARGET_SECS: f64 = 0.05;
+/// Samples taken per benchmark (median reported).
+const SAMPLES: usize = 5;
+
+/// Collects results for one bench binary and prints the summary.
+#[derive(Default)]
+pub struct Micro {
+    rows: Vec<(String, f64)>,
+}
+
+impl Micro {
+    pub fn new() -> Self {
+        Micro::default()
+    }
+
+    /// Time `f` and record the median ns/iteration under `name`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: run once, then scale to the sample target. The
+        // floor of 1 keeps multi-millisecond bodies measurable.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((SAMPLE_TARGET_SECS / once) as u64).clamp(1, 10_000_000);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let ns = samples[SAMPLES / 2] * 1e9;
+        println!("{name:<40} {ns:>14.1} ns/iter  ({iters} iters/sample)");
+        self.rows.push((name.to_string(), ns));
+    }
+
+    /// Print the collected rows as a JSON object keyed by bench name.
+    pub fn finish(self) {
+        let mut obj = Json::obj();
+        for (name, ns) in self.rows {
+            obj = obj.set(&name, ns);
+        }
+        println!("{}", obj.to_string_compact());
+    }
+}

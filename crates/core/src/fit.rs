@@ -99,7 +99,9 @@ mod tests {
         let policy = fit_size_policy("morph", &target, 20);
         let mut shaper = build_shaper(&policy, 7, 1);
         let c = ctx();
-        let sampled: Vec<u32> = (0..500).map(|_| shaper.packet_ip_size(&c, 0, 1500)).collect();
+        let sampled: Vec<u32> = (0..500)
+            .map(|_| shaper.packet_ip_size(&c, 0, 1500))
+            .collect();
         let mean = sampled.iter().map(|&s| s as f64).sum::<f64>() / sampled.len() as f64;
         assert!(
             (640.0..770.0).contains(&mean),

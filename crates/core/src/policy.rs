@@ -9,11 +9,11 @@
 //! [`SizeSpec`] and a [`DelaySpec`], each either a simple parametric rule
 //! or an empirical histogram.
 
+use netsim::json::{Json, JsonError};
 use netsim::{Histogram, Nanos, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// How packet sizes should be obfuscated.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum SizeSpec {
     /// Leave sizes alone.
     Unchanged,
@@ -30,7 +30,7 @@ pub enum SizeSpec {
 }
 
 /// How departure times should be obfuscated.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum DelaySpec {
     /// Leave timing alone.
     Unchanged,
@@ -45,18 +45,23 @@ pub enum DelaySpec {
 }
 
 /// How TSO/GSO segment sizes should be obfuscated.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum TsoSpec {
     Unchanged,
     /// Cycle the segment size downward by `step` packets for `steps`
     /// segments, then reset (Figure 3's rule: step = alpha/4, 8 steps).
-    IncrementalReduce { step: u32, steps: u32 },
+    IncrementalReduce {
+        step: u32,
+        steps: u32,
+    },
     /// Cap segments at a fixed number of packets.
-    Cap { pkts: u32 },
+    Cap {
+        pkts: u32,
+    },
 }
 
 /// A complete obfuscation policy, as published to the registry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ObfuscationPolicy {
     /// Human-readable identifier, unique within a registry.
     pub name: String,
@@ -117,6 +122,152 @@ impl ObfuscationPolicy {
             first_n_pkts: 0,
             respect_slow_start: false,
         }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: msg.into(),
+    }
+}
+
+/// Externally-tagged enum encoding: unit variants are plain strings,
+/// struct variants are `{"Variant": {fields...}}` — the same shape a
+/// serde derive would have produced, so exports stay familiar.
+fn variant<'a>(v: &'a Json, what: &str) -> Result<(&'a str, Option<&'a Json>), JsonError> {
+    match v {
+        Json::Str(tag) => Ok((tag.as_str(), None)),
+        Json::Obj(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        _ => Err(bad(format!("{what}: expected a variant tag"))),
+    }
+}
+
+fn tagged(tag: &str, body: Json) -> Json {
+    Json::obj().set(tag, body)
+}
+
+impl SizeSpec {
+    pub fn to_json(&self) -> Json {
+        match self {
+            SizeSpec::Unchanged => Json::from("Unchanged"),
+            SizeSpec::SplitAbove { threshold } => {
+                tagged("SplitAbove", Json::obj().set("threshold", *threshold))
+            }
+            SizeSpec::IncrementalReduce { step, steps } => tagged(
+                "IncrementalReduce",
+                Json::obj().set("step", *step).set("steps", *steps),
+            ),
+            SizeSpec::FromHistogram(h) => tagged("FromHistogram", h.to_json()),
+            SizeSpec::Fixed { ip_size } => tagged("Fixed", Json::obj().set("ip_size", *ip_size)),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<SizeSpec, JsonError> {
+        match variant(v, "SizeSpec")? {
+            ("Unchanged", None) => Ok(SizeSpec::Unchanged),
+            ("SplitAbove", Some(b)) => Ok(SizeSpec::SplitAbove {
+                threshold: b.req_u64("threshold")? as u32,
+            }),
+            ("IncrementalReduce", Some(b)) => Ok(SizeSpec::IncrementalReduce {
+                step: b.req_u64("step")? as u32,
+                steps: b.req_u64("steps")? as u32,
+            }),
+            ("FromHistogram", Some(b)) => Ok(SizeSpec::FromHistogram(Histogram::from_json(b)?)),
+            ("Fixed", Some(b)) => Ok(SizeSpec::Fixed {
+                ip_size: b.req_u64("ip_size")? as u32,
+            }),
+            (tag, _) => Err(bad(format!("unknown SizeSpec variant `{tag}`"))),
+        }
+    }
+}
+
+impl DelaySpec {
+    pub fn to_json(&self) -> Json {
+        match self {
+            DelaySpec::Unchanged => Json::from("Unchanged"),
+            DelaySpec::UniformFraction { lo_frac, hi_frac } => tagged(
+                "UniformFraction",
+                Json::obj()
+                    .set("lo_frac", *lo_frac)
+                    .set("hi_frac", *hi_frac),
+            ),
+            DelaySpec::UniformAbsolute { lo, hi } => tagged(
+                "UniformAbsolute",
+                Json::obj().set("lo", lo.0).set("hi", hi.0),
+            ),
+            DelaySpec::FromHistogramMicros(h) => tagged("FromHistogramMicros", h.to_json()),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<DelaySpec, JsonError> {
+        match variant(v, "DelaySpec")? {
+            ("Unchanged", None) => Ok(DelaySpec::Unchanged),
+            ("UniformFraction", Some(b)) => Ok(DelaySpec::UniformFraction {
+                lo_frac: b.req_f64("lo_frac")?,
+                hi_frac: b.req_f64("hi_frac")?,
+            }),
+            ("UniformAbsolute", Some(b)) => Ok(DelaySpec::UniformAbsolute {
+                lo: Nanos(b.req_u64("lo")?),
+                hi: Nanos(b.req_u64("hi")?),
+            }),
+            ("FromHistogramMicros", Some(b)) => {
+                Ok(DelaySpec::FromHistogramMicros(Histogram::from_json(b)?))
+            }
+            (tag, _) => Err(bad(format!("unknown DelaySpec variant `{tag}`"))),
+        }
+    }
+}
+
+impl TsoSpec {
+    pub fn to_json(&self) -> Json {
+        match self {
+            TsoSpec::Unchanged => Json::from("Unchanged"),
+            TsoSpec::IncrementalReduce { step, steps } => tagged(
+                "IncrementalReduce",
+                Json::obj().set("step", *step).set("steps", *steps),
+            ),
+            TsoSpec::Cap { pkts } => tagged("Cap", Json::obj().set("pkts", *pkts)),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<TsoSpec, JsonError> {
+        match variant(v, "TsoSpec")? {
+            ("Unchanged", None) => Ok(TsoSpec::Unchanged),
+            ("IncrementalReduce", Some(b)) => Ok(TsoSpec::IncrementalReduce {
+                step: b.req_u64("step")? as u32,
+                steps: b.req_u64("steps")? as u32,
+            }),
+            ("Cap", Some(b)) => Ok(TsoSpec::Cap {
+                pkts: b.req_u64("pkts")? as u32,
+            }),
+            (tag, _) => Err(bad(format!("unknown TsoSpec variant `{tag}`"))),
+        }
+    }
+}
+
+impl ObfuscationPolicy {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("size", self.size.to_json())
+            .set("delay", self.delay.to_json())
+            .set("tso", self.tso.to_json())
+            .set("first_n_pkts", self.first_n_pkts)
+            .set("respect_slow_start", self.respect_slow_start)
+    }
+
+    pub fn from_json(v: &Json) -> Result<ObfuscationPolicy, JsonError> {
+        Ok(ObfuscationPolicy {
+            name: v.req_str("name")?.to_string(),
+            size: SizeSpec::from_json(v.field("size")?)?,
+            delay: DelaySpec::from_json(v.field("delay")?)?,
+            tso: TsoSpec::from_json(v.field("tso")?)?,
+            first_n_pkts: v.req_u64("first_n_pkts")?,
+            respect_slow_start: v.req_bool("respect_slow_start")?,
+        })
     }
 }
 
@@ -234,9 +385,41 @@ mod tests {
     #[test]
     fn policies_serialize_round_trip() {
         let p = ObfuscationPolicy::split_and_delay("rt");
-        let json = serde_json::to_string(&p).expect("serialize");
-        let back: ObfuscationPolicy = serde_json::from_str(&json).expect("deserialize");
+        let json = p.to_json().to_string_compact();
+        let back =
+            ObfuscationPolicy::from_json(&Json::parse(&json).expect("parse")).expect("deserialize");
         assert_eq!(back.name, "rt");
-        assert!(matches!(back.size, SizeSpec::SplitAbove { threshold: 1200 }));
+        assert!(matches!(
+            back.size,
+            SizeSpec::SplitAbove { threshold: 1200 }
+        ));
+    }
+
+    #[test]
+    fn histogram_specs_round_trip_through_json() {
+        let mut h = Histogram::new(0.0, 100.0, 5);
+        h.push(12.0);
+        h.push(88.0);
+        let p = ObfuscationPolicy {
+            name: "hist".to_string(),
+            size: SizeSpec::FromHistogram(h.clone()),
+            delay: DelaySpec::FromHistogramMicros(h),
+            tso: TsoSpec::Cap { pkts: 4 },
+            first_n_pkts: 30,
+            respect_slow_start: true,
+        };
+        let back = ObfuscationPolicy::from_json(
+            &Json::parse(&p.to_json().to_string_compact()).expect("parse"),
+        )
+        .expect("de");
+        match back.size {
+            SizeSpec::FromHistogram(bh) => {
+                assert_eq!(bh.counts, vec![1, 0, 0, 0, 1]);
+                assert_eq!(bh.total, 2);
+            }
+            _ => panic!("wrong size spec"),
+        }
+        assert!(back.respect_slow_start);
+        assert_eq!(back.first_n_pkts, 30);
     }
 }

@@ -1,22 +1,21 @@
 //! The shared policy table between applications and the stack.
 //!
 //! §4.1: policies "could be maintained in the shared memory between the
-//! application and stack". We model that as a registry protected by a
-//! `parking_lot::RwLock` behind an `Arc`: the application side publishes
+//! application and stack". We model that as a registry protected by an
+//! `RwLock` behind an `Arc`: the application side publishes
 //! and updates policies; the stack side resolves them per flow or per
 //! destination with a read lock on the datapath. Policies are stored as
 //! `Arc<ObfuscationPolicy>` so a resolved policy never blocks behind a
 //! writer.
 
 use crate::policy::ObfuscationPolicy;
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use netsim::json::{Json, JsonError};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// What a policy is keyed on. Destination-scoped entries let many flows
 /// to the same server share one instance (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum PolicyKey {
     /// A specific flow.
     Flow(u32),
@@ -39,21 +38,65 @@ pub struct PolicyRegistry {
     inner: Arc<RwLock<Inner>>,
 }
 
+impl PolicyKey {
+    pub fn to_json(&self) -> Json {
+        match self {
+            PolicyKey::Flow(id) => Json::obj().set("Flow", *id),
+            PolicyKey::Destination(id) => Json::obj().set("Destination", *id),
+            PolicyKey::Default => Json::from("Default"),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<PolicyKey, JsonError> {
+        let bad = |msg: &str| JsonError {
+            offset: 0,
+            message: msg.to_string(),
+        };
+        match v {
+            Json::Str(s) if s == "Default" => Ok(PolicyKey::Default),
+            Json::Obj(entries) if entries.len() == 1 => {
+                let id = entries[0]
+                    .1
+                    .as_u64()
+                    .ok_or_else(|| bad("policy key id is not a u32"))?
+                    as u32;
+                match entries[0].0.as_str() {
+                    "Flow" => Ok(PolicyKey::Flow(id)),
+                    "Destination" => Ok(PolicyKey::Destination(id)),
+                    tag => Err(bad(&format!("unknown PolicyKey variant `{tag}`"))),
+                }
+            }
+            _ => Err(bad("expected a PolicyKey")),
+        }
+    }
+}
+
 impl PolicyRegistry {
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Read the table, recovering from a poisoned lock: the table itself
+    /// is always in a consistent state (mutations are single `insert` /
+    /// `remove` calls), so a panicked writer cannot corrupt it.
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Publish (or replace) a policy under `key`.
     pub fn publish(&self, key: PolicyKey, policy: ObfuscationPolicy) {
-        let mut g = self.inner.write();
+        let mut g = self.write();
         g.table.insert(key, Arc::new(policy));
         g.version += 1;
     }
 
     /// Remove a policy. Returns true if something was removed.
     pub fn withdraw(&self, key: PolicyKey) -> bool {
-        let mut g = self.inner.write();
+        let mut g = self.write();
         let removed = g.table.remove(&key).is_some();
         if removed {
             g.version += 1;
@@ -64,7 +107,7 @@ impl PolicyRegistry {
     /// Resolve the policy for a flow: exact flow match, then its
     /// destination, then the default.
     pub fn resolve(&self, flow: u32, destination: u32) -> Option<Arc<ObfuscationPolicy>> {
-        let g = self.inner.read();
+        let g = self.read();
         g.table
             .get(&PolicyKey::Flow(flow))
             .or_else(|| g.table.get(&PolicyKey::Destination(destination)))
@@ -74,11 +117,11 @@ impl PolicyRegistry {
 
     /// Current mutation counter (for cache invalidation on the datapath).
     pub fn version(&self) -> u64 {
-        self.inner.read().version
+        self.read().version
     }
 
     pub fn len(&self) -> usize {
-        self.inner.read().table.len()
+        self.read().table.len()
     }
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -88,20 +131,37 @@ impl PolicyRegistry {
     /// host's obfuscation configuration (§4.1: policies are compact and
     /// shareable).
     pub fn export_json(&self) -> String {
-        let g = self.inner.read();
-        let entries: Vec<(PolicyKey, &ObfuscationPolicy)> = g
+        let g = self.read();
+        let entries: Vec<Json> = g
             .table
             .iter()
-            .map(|(k, v)| (*k, v.as_ref()))
+            .map(|(k, v)| Json::Arr(vec![k.to_json(), v.to_json()]))
             .collect();
-        serde_json::to_string_pretty(&entries).expect("policies are serializable")
+        Json::Arr(entries).to_string_pretty()
     }
 
     /// Merge policies from a JSON export into this registry.
-    pub fn import_json(&self, json: &str) -> Result<usize, serde_json::Error> {
-        let entries: Vec<(PolicyKey, ObfuscationPolicy)> = serde_json::from_str(json)?;
+    pub fn import_json(&self, json: &str) -> Result<usize, JsonError> {
+        let parsed = Json::parse(json)?;
+        let items = parsed.as_arr().ok_or(JsonError {
+            offset: 0,
+            message: "policy export is not an array".to_string(),
+        })?;
+        let entries = items
+            .iter()
+            .map(|item| {
+                let pair = item.as_arr().filter(|p| p.len() == 2).ok_or(JsonError {
+                    offset: 0,
+                    message: "policy entry is not a [key, policy] pair".to_string(),
+                })?;
+                Ok((
+                    PolicyKey::from_json(&pair[0])?,
+                    ObfuscationPolicy::from_json(&pair[1])?,
+                ))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
         let n = entries.len();
-        let mut g = self.inner.write();
+        let mut g = self.write();
         for (k, p) in entries {
             g.table.insert(k, Arc::new(p));
         }
@@ -117,12 +177,18 @@ mod tests {
     #[test]
     fn resolution_precedence_flow_then_dest_then_default() {
         let r = PolicyRegistry::new();
-        r.publish(PolicyKey::Default, ObfuscationPolicy::passthrough("default"));
+        r.publish(
+            PolicyKey::Default,
+            ObfuscationPolicy::passthrough("default"),
+        );
         r.publish(
             PolicyKey::Destination(7),
             ObfuscationPolicy::passthrough("dest7"),
         );
-        r.publish(PolicyKey::Flow(42), ObfuscationPolicy::passthrough("flow42"));
+        r.publish(
+            PolicyKey::Flow(42),
+            ObfuscationPolicy::passthrough("flow42"),
+        );
 
         assert_eq!(r.resolve(42, 7).unwrap().name, "flow42");
         assert_eq!(r.resolve(43, 7).unwrap().name, "dest7");

@@ -106,8 +106,7 @@ impl<S: Shaper> Shaper for SafetyCap<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::FlowId;
-    use proptest::prelude::*;
+    use netsim::{FlowId, SimRng};
 
     fn ctx() -> ShapeCtx {
         ShapeCtx {
@@ -213,26 +212,47 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// The §4.2 invariant, property-tested: for ANY inner strategy
-        /// output and ANY proposal, the capped decision never exceeds the
-        /// CCA's proposal and never stalls beyond the ceiling.
-        #[test]
-        fn cap_never_exceeds_proposal(
-            tso in 0u32..10_000,
-            size in 0u32..65_535,
-            delay in 0u64..u64::MAX / 2,
-            proposed_tso in 1u32..64,
-            proposed_size in 64u32..9000,
-        ) {
+    /// The §4.2 invariant, randomized: for ANY inner strategy output and
+    /// ANY proposal, the capped decision never exceeds the CCA's proposal
+    /// and never stalls beyond the ceiling. Seeded `SimRng` sweep instead
+    /// of proptest so the workspace stays dependency-free; edge values
+    /// are pinned explicitly below the loop.
+    #[test]
+    fn cap_never_exceeds_proposal() {
+        let mut rng = SimRng::new(0x5AFE);
+        let mut cases: Vec<(u32, u32, u64, u32, u32)> = vec![
+            (0, 0, 0, 1, 64),
+            (9_999, 65_534, u64::MAX / 2 - 1, 1, 64),
+            (0, 0, 0, 63, 8_999),
+            (9_999, 65_534, u64::MAX / 2 - 1, 63, 8_999),
+        ];
+        for _ in 0..2_000 {
+            cases.push((
+                rng.next_below(10_000) as u32,
+                rng.next_below(65_535) as u32,
+                rng.next_below(u64::MAX / 2),
+                rng.range_u64(1, 63) as u32,
+                rng.range_u64(64, 8_999) as u32,
+            ));
+        }
+        for (tso, size, delay, proposed_tso, proposed_size) in cases {
             let mut cap = SafetyCap::new(Arb { tso, size, delay });
             let c = ctx();
             let got_tso = cap.tso_segment_pkts(&c, proposed_tso);
-            prop_assert!(got_tso >= 1 && got_tso <= proposed_tso);
+            assert!(
+                got_tso >= 1 && got_tso <= proposed_tso,
+                "tso {got_tso} outside [1, {proposed_tso}] for inner {tso}"
+            );
             let got_size = cap.packet_ip_size(&c, 0, proposed_size);
-            prop_assert!(got_size >= 1 && got_size <= proposed_size);
+            assert!(
+                got_size >= 1 && got_size <= proposed_size,
+                "size {got_size} outside [1, {proposed_size}] for inner {size}"
+            );
             let got_delay = cap.extra_delay(&c);
-            prop_assert!(got_delay <= Nanos::from_secs(1));
+            assert!(
+                got_delay <= Nanos::from_secs(1),
+                "delay {got_delay} above ceiling for inner {delay}"
+            );
         }
     }
 }

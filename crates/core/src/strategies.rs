@@ -204,10 +204,7 @@ impl Shaper for Chain {
             .fold(proposed, |p, s| s.packet_ip_size(ctx, pkt_index, p))
     }
     fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
-        self.stages
-            .iter_mut()
-            .map(|s| s.extra_delay(ctx))
-            .sum()
+        self.stages.iter_mut().map(|s| s.extra_delay(ctx)).sum()
     }
     fn on_ack(&mut self, ctx: &ShapeCtx) {
         for s in &mut self.stages {

@@ -108,10 +108,7 @@ pub fn tamaraw(trace: &Trace, cfg: &TamarawConfig) -> Defended {
     let mut all = Vec::new();
     let mut dummy_pkts = 0usize;
     let mut real_done = Nanos::ZERO;
-    for (dir, rho) in [
-        (Direction::In, cfg.rho_in),
-        (Direction::Out, cfg.rho_out),
-    ] {
+    for (dir, rho) in [(Direction::In, cfg.rho_in), (Direction::Out, cfg.rho_out)] {
         let real_bytes = trace.bytes(dir);
         let n_real = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
         let n_total = n_real.div_ceil(cfg.l).max(1) * cfg.l;
@@ -219,8 +216,16 @@ mod tests {
         let db = tamaraw(&b, &cfg);
         let shape = |d: &Defended| {
             (
-                d.trace.packets.iter().filter(|p| p.dir == Direction::In).count(),
-                d.trace.packets.iter().filter(|p| p.dir == Direction::Out).count(),
+                d.trace
+                    .packets
+                    .iter()
+                    .filter(|p| p.dir == Direction::In)
+                    .count(),
+                d.trace
+                    .packets
+                    .iter()
+                    .filter(|p| p.dir == Direction::Out)
+                    .count(),
             )
         };
         // Same bucket (likely for same site) -> same shape; if bucket

@@ -14,7 +14,7 @@
 //! shifts everything after it, as a real in-stack delay would.
 
 use crate::overhead::Defended;
-use netsim::{Direction, Nanos, SimRng};
+use netsim::{par, Direction, Nanos, SimRng};
 use traces::{Trace, TracePacket};
 
 /// Which §3 countermeasure to emulate.
@@ -84,8 +84,7 @@ impl Default for EmulateConfig {
 
 impl EmulateConfig {
     fn affects(&self, index: usize, dir: Direction) -> bool {
-        (self.first_n == 0 || index < self.first_n)
-            && self.direction.map_or(true, |d| d == dir)
+        (self.first_n == 0 || index < self.first_n) && self.direction.is_none_or(|d| d == dir)
     }
 }
 
@@ -138,12 +137,7 @@ pub fn delay(trace: &Trace, cfg: &EmulateConfig, rng: &mut SimRng) -> Trace {
 
 /// Apply one §3 countermeasure, returning the defended trace with
 /// overhead bookkeeping.
-pub fn apply(
-    cm: CounterMeasure,
-    trace: &Trace,
-    cfg: &EmulateConfig,
-    rng: &mut SimRng,
-) -> Defended {
+pub fn apply(cm: CounterMeasure, trace: &Trace, cfg: &EmulateConfig, rng: &mut SimRng) -> Defended {
     let defended = match cm {
         CounterMeasure::Original => trace.clone(),
         CounterMeasure::Split => split(trace, cfg),
@@ -154,6 +148,25 @@ pub fn apply(
         }
     };
     Defended::unpadded(defended)
+}
+
+/// Apply one countermeasure to every trace in a corpus, in parallel.
+///
+/// Each trace's randomness is forked from `root` by corpus index, so the
+/// output is a pure function of (traces, cfg, root seed) — bit-identical
+/// at any thread count, and identical to applying `apply` sequentially
+/// with `root.fork(i + 1)` per trace. This is the determinism contract
+/// the parallel driver (`netsim::par`) relies on.
+pub fn apply_all(
+    cm: CounterMeasure,
+    traces: &[Trace],
+    cfg: &EmulateConfig,
+    root: &SimRng,
+) -> Vec<Defended> {
+    par::par_map(traces, |i, t| {
+        let mut rng = root.fork(i as u64 + 1);
+        apply(cm, t, cfg, &mut rng)
+    })
 }
 
 /// The paper's 16-dataset grid: every countermeasure × every prefix
@@ -208,11 +221,7 @@ mod tests {
 
     #[test]
     fn split_halves_are_balanced_for_odd_sizes() {
-        let t = Trace::new(
-            0,
-            0,
-            vec![TracePacket::new(Nanos(0), Direction::In, 1501)],
-        );
+        let t = Trace::new(0, 0, vec![TracePacket::new(Nanos(0), Direction::In, 1501)]);
         let s = split(&t, &EmulateConfig::default());
         let sizes: Vec<u32> = s.packets.iter().map(|p| p.size).collect();
         assert_eq!(sizes, vec![751, 750]);
@@ -297,7 +306,9 @@ mod tests {
         let g = section3_grid();
         assert_eq!(g.len(), 16);
         assert_eq!(
-            g.iter().filter(|(cm, _)| *cm == CounterMeasure::Split).count(),
+            g.iter()
+                .filter(|(cm, _)| *cm == CounterMeasure::Split)
+                .count(),
             4
         );
         assert_eq!(g.iter().filter(|(_, n)| *n == 0).count(), 4);
@@ -309,5 +320,29 @@ mod tests {
         let a = delay(&t, &EmulateConfig::default(), &mut SimRng::new(9));
         let b = delay(&t, &EmulateConfig::default(), &mut SimRng::new(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_all_matches_sequential_per_trace_forks() {
+        let corpus: Vec<Trace> = (0..17).map(|_| trace()).collect();
+        let cfg = EmulateConfig::default();
+        let root = SimRng::new(0xC0FFEE);
+        let par = apply_all(CounterMeasure::Combined, &corpus, &cfg, &root);
+        let seq: Vec<Defended> = corpus
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                apply(
+                    CounterMeasure::Combined,
+                    t,
+                    &cfg,
+                    &mut root.fork(i as u64 + 1),
+                )
+            })
+            .collect();
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.trace, b.trace);
+        }
     }
 }

@@ -28,5 +28,5 @@ pub mod taxonomy;
 pub mod wtfpad;
 
 pub use emulate::{CounterMeasure, EmulateConfig};
-pub use overhead::{latency_overhead, bandwidth_overhead, Defended};
+pub use overhead::{bandwidth_overhead, latency_overhead, Defended};
 pub use taxonomy::{table1, Manipulation, Strategy, Target, TaxonomyEntry};

@@ -83,8 +83,11 @@ mod tests {
     fn padding_shows_up_as_bandwidth_overhead() {
         let t = base();
         let mut def = t.clone();
-        def.packets
-            .push(TracePacket::new(Nanos::from_millis(11), Direction::In, 2000));
+        def.packets.push(TracePacket::new(
+            Nanos::from_millis(11),
+            Direction::In,
+            2000,
+        ));
         let d = Defended {
             trace: def,
             dummy_pkts: 1,

@@ -117,11 +117,7 @@ mod tests {
     fn all_real_incoming_packets_are_reemitted() {
         let t = sample();
         let d = regulator(&t, &RegulatorConfig::default());
-        let n_in_orig = t
-            .packets
-            .iter()
-            .filter(|p| p.dir == Direction::In)
-            .count();
+        let n_in_orig = t.packets.iter().filter(|p| p.dir == Direction::In).count();
         let n_in_def = d
             .trace
             .packets

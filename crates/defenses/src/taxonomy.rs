@@ -1,10 +1,8 @@
 //! Table 1, machine-readable: the WF-defense design space the paper
 //! surveys, with pointers to the implementations this workspace ships.
 
-use serde::{Deserialize, Serialize};
-
 /// Deployment target of the defense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
     Tor,
     Tls,
@@ -24,7 +22,7 @@ impl Target {
 }
 
 /// Defense strategy (§2.2): make sequences similar, or add noise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     Regularization,
     Obfuscation,
@@ -40,7 +38,7 @@ impl Strategy {
 }
 
 /// Traffic manipulation primitives (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Manipulation {
     Padding,
     Timing,
@@ -58,7 +56,7 @@ impl Manipulation {
 }
 
 /// Whether/how this repo implements the row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Implementation {
     /// Implemented in `defenses` (trace level).
     Full(&'static str),
@@ -69,7 +67,7 @@ pub enum Implementation {
 }
 
 /// One Table 1 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaxonomyEntry {
     pub system: &'static str,
     pub target: Target,
@@ -84,17 +82,14 @@ pub fn table1() -> Vec<TaxonomyEntry> {
     use Manipulation::*;
     use Strategy::*;
     use Target::*;
-    let e = |system,
-             target,
-             strategy,
-             manipulations: &[Manipulation],
-             implementation| TaxonomyEntry {
-        system,
-        target,
-        strategy,
-        manipulations: manipulations.to_vec(),
-        implementation,
-    };
+    let e =
+        |system, target, strategy, manipulations: &[Manipulation], implementation| TaxonomyEntry {
+            system,
+            target,
+            strategy,
+            manipulations: manipulations.to_vec(),
+            implementation,
+        };
     vec![
         e("ALPaCA", Tor, Regularization, &[Padding], I::None),
         e(
@@ -203,9 +198,21 @@ mod tests {
     fn catalogue_covers_the_papers_rows() {
         let t = table1();
         for name in [
-            "ALPaCA", "BuFLO", "RegulaTor", "Surakav", "Palette", "WTF-PAD", "FRONT",
-            "BLANKET", "Morphing", "HTTPOS", "Burst Defense", "Cactus", "Adaptive FRONT",
-            "QCSD", "NetShaper",
+            "ALPaCA",
+            "BuFLO",
+            "RegulaTor",
+            "Surakav",
+            "Palette",
+            "WTF-PAD",
+            "FRONT",
+            "BLANKET",
+            "Morphing",
+            "HTTPOS",
+            "Burst Defense",
+            "Cactus",
+            "Adaptive FRONT",
+            "QCSD",
+            "NetShaper",
         ] {
             assert!(
                 t.iter().any(|e| e.system == name),

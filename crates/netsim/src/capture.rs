@@ -8,10 +8,9 @@
 
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::time::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Direction relative to the monitored client: `Out` = client→server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     Out,
     In,
@@ -32,10 +31,27 @@ impl Direction {
             Direction::In => Direction::Out,
         }
     }
+
+    /// Stable one-letter wire form used by the JSON trace format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Out => "o",
+            Direction::In => "i",
+        }
+    }
+
+    /// Parse [`Direction::as_str`]'s form back.
+    pub fn from_str_code(s: &str) -> Option<Direction> {
+        match s {
+            "o" => Some(Direction::Out),
+            "i" => Some(Direction::In),
+            _ => None,
+        }
+    }
 }
 
 /// One captured packet, as the eavesdropper sees it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CaptureRecord {
     pub ts: Nanos,
     pub dir: Direction,
@@ -46,7 +62,7 @@ pub struct CaptureRecord {
 }
 
 /// An append-only capture buffer at one observation point.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Capture {
     pub records: Vec<CaptureRecord>,
 }
@@ -139,8 +155,16 @@ mod tests {
     #[test]
     fn byte_totals_per_direction() {
         let mut c = Capture::new();
-        c.observe(Nanos(0), Direction::Out, &Packet::tcp_data(FlowId(1), 0, 0, 100));
-        c.observe(Nanos(1), Direction::In, &Packet::tcp_data(FlowId(1), 0, 0, 1000));
+        c.observe(
+            Nanos(0),
+            Direction::Out,
+            &Packet::tcp_data(FlowId(1), 0, 0, 100),
+        );
+        c.observe(
+            Nanos(1),
+            Direction::In,
+            &Packet::tcp_data(FlowId(1), 0, 0, 1000),
+        );
         c.observe(Nanos(2), Direction::In, &Packet::tcp_ack(FlowId(1), 0, 0));
         assert_eq!(c.bytes(Direction::Out), 166);
         assert_eq!(c.bytes(Direction::In), 1066 + 66);
@@ -149,7 +173,11 @@ mod tests {
     #[test]
     fn ack_filtering() {
         let mut c = Capture::new();
-        c.observe(Nanos(0), Direction::Out, &Packet::tcp_data(FlowId(1), 0, 0, 10));
+        c.observe(
+            Nanos(0),
+            Direction::Out,
+            &Packet::tcp_data(FlowId(1), 0, 0, 10),
+        );
         c.observe(Nanos(1), Direction::In, &Packet::tcp_ack(FlowId(1), 0, 10));
         let d = c.without_acks();
         assert_eq!(d.len(), 1);

@@ -168,4 +168,39 @@ mod tests {
         q.pop();
         q.schedule_at(Nanos(50), 2);
     }
+
+    #[test]
+    fn fifo_order_is_stable_under_the_parallel_driver() {
+        // The simulator's sharding model: every parallel work item owns
+        // its own EventQueue; queues are never shared across workers.
+        // Within a shard, two interleaved producers schedule bursts of
+        // same-instant events — the drain order must equal scheduling
+        // order on every shard, and be identical at every worker count.
+        let shards: Vec<u64> = (0..64).collect();
+        let drain = |workers: usize| -> Vec<Vec<u64>> {
+            crate::par::par_map_n(workers, &shards, |_, &s| {
+                let mut q = EventQueue::new();
+                for k in 0..50u64 {
+                    q.schedule_at(Nanos(100), s * 1000 + 2 * k); // producer A
+                    q.schedule_at(Nanos(100), s * 1000 + 2 * k + 1); // producer B
+                }
+                // An earlier event scheduled last: time order still wins.
+                q.schedule_at(Nanos(50), s);
+                let mut order = Vec::new();
+                while let Some((_, e)) = q.pop() {
+                    order.push(e);
+                }
+                order
+            })
+        };
+        let sequential = drain(1);
+        for workers in [2usize, 3, 8, 64] {
+            assert_eq!(sequential, drain(workers), "at {workers} workers");
+        }
+        for (&s, order) in shards.iter().zip(&sequential) {
+            assert_eq!(order[0], s, "shard {s}: earliest event first");
+            let expected: Vec<u64> = (0..100).map(|k| s * 1000 + k).collect();
+            assert_eq!(order[1..], expected, "shard {s}: FIFO interleaving");
+        }
+    }
 }

@@ -6,14 +6,20 @@
 //! router queues, and a vantage-point capture facility that plays the role
 //! of `tcpdump` in the paper's data-collection methodology.
 //!
-//! Everything here is single-threaded and fully deterministic: two runs
-//! with the same seed produce byte-identical traces. That property is what
-//! makes the reproduction's experiments (Table 2, Figure 3) repeatable.
+//! Each simulation shard is single-threaded and fully deterministic: two
+//! runs with the same seed produce byte-identical traces. That property is
+//! what makes the reproduction's experiments (Table 2, Figure 3)
+//! repeatable. The [`par`] module fans independent shards and work items
+//! out across threads without giving that property up: every item derives
+//! its randomness from the root seed and its stable index, so thread
+//! count never changes results.
 
 pub mod capture;
 pub mod event;
+pub mod json;
 pub mod link;
 pub mod packet;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -21,8 +27,10 @@ pub mod time;
 
 pub use capture::{Capture, CaptureRecord, Direction};
 pub use event::EventQueue;
+pub use json::{Json, JsonError};
 pub use link::Link;
 pub use packet::{FlowId, Packet, PacketKind, PacketMeta};
+pub use par::{par_map, par_map_n, par_run, Timings};
 pub use queue::{DropTailQueue, QueueStats};
 pub use rng::SimRng;
 pub use stats::{percentile, Histogram, RunningStats};

@@ -7,16 +7,13 @@
 //! the TCP layer with sequence-number accounting instead of real buffers.
 
 use crate::time::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Identifies one transport flow (5-tuple stand-in).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FlowId(pub u32);
 
 /// What kind of transport PDU this wire packet carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// TCP data segment carrying `payload` bytes of the stream
     /// starting at `seq`.
@@ -50,7 +47,7 @@ impl PacketKind {
 }
 
 /// Metadata attached by the stack for observability and for Stob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PacketMeta {
     /// 1-based index of the TSO segment this packet was split from
     /// (0 = not produced by TSO).
@@ -66,7 +63,7 @@ pub struct PacketMeta {
 }
 
 /// One wire packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Globally unique id (monotone in creation order).
     pub id: u64,

@@ -5,10 +5,8 @@
 //! the paper proposes for sharing obfuscation policies between the
 //! application and the stack).
 
-use serde::{Deserialize, Serialize};
-
 /// Numerically stable running mean/variance (Welford).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -89,8 +87,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let d = other.mean - self.mean;
         let mean = self.mean + d * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -119,7 +116,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 
 /// Fixed-width-bin histogram over [lo, hi). Out-of-range samples clamp to
 /// the edge bins, so the histogram always accounts for every sample.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     pub lo: f64,
     pub hi: f64,
@@ -179,6 +176,35 @@ impl Histogram {
         }
         let w = (self.hi - self.lo) / self.counts.len() as f64;
         self.lo + bin as f64 * w + u2 * w
+    }
+
+    /// JSON form `{lo, hi, counts, total}` (policy exports, §4.1).
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj()
+            .set("lo", self.lo)
+            .set("hi", self.hi)
+            .set("counts", self.counts.clone())
+            .set("total", self.total)
+    }
+
+    /// Parse the [`Histogram::to_json`] form back.
+    pub fn from_json(v: &crate::json::Json) -> Result<Histogram, crate::json::JsonError> {
+        let counts = v
+            .req_arr("counts")?
+            .iter()
+            .map(|c| {
+                c.as_u64().ok_or(crate::json::JsonError {
+                    offset: 0,
+                    message: "histogram count is not a u64".to_string(),
+                })
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(Histogram {
+            lo: v.req_f64("lo")?,
+            hi: v.req_f64("hi")?,
+            counts,
+            total: v.req_u64("total")?,
+        })
     }
 
     /// Normalized probability mass per bin.

@@ -6,15 +6,12 @@
 //! for both instants and durations, mirroring how the Linux pacing layer
 //! treats `ktime_t`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A simulated time instant or duration, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Nanos(pub u64);
 
 impl Nanos {
@@ -171,10 +168,7 @@ mod tests {
     #[test]
     fn serialization_time_at_line_rates() {
         // 1500 B at 100 Gb/s = 120 ns.
-        assert_eq!(
-            Nanos::for_bytes_at_rate(1500, 100_000_000_000),
-            Nanos(120)
-        );
+        assert_eq!(Nanos::for_bytes_at_rate(1500, 100_000_000_000), Nanos(120));
         // 1500 B at 1 Gb/s = 12 us.
         assert_eq!(Nanos::for_bytes_at_rate(1500, 1_000_000_000), Nanos(12_000));
         // 64 KB TSO segment at 100 Gb/s ~ 5.24 us.

@@ -110,8 +110,10 @@ mod tests {
 
     #[test]
     fn bulk_sender_stops_at_total_and_closes() {
-        let mut h = HostConfig::default();
-        h.cpu = CpuModel::infinitely_fast();
+        let h = HostConfig {
+            cpu: CpuModel::infinitely_fast(),
+            ..HostConfig::default()
+        };
         let mut net = Network::new(
             h.clone(),
             h,
@@ -133,8 +135,10 @@ mod tests {
 
     #[test]
     fn endless_sender_runs_until_deadline() {
-        let mut h = HostConfig::default();
-        h.cpu = CpuModel::infinitely_fast();
+        let h = HostConfig {
+            cpu: CpuModel::infinitely_fast(),
+            ..HostConfig::default()
+        };
         let mut net = Network::new(
             h.clone(),
             h,

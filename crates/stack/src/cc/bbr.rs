@@ -72,10 +72,7 @@ impl Bbr {
 
     /// Max filtered bandwidth estimate, bytes/sec.
     pub fn btl_bw(&self) -> f64 {
-        self.bw_samples
-            .iter()
-            .map(|&(_, b)| b)
-            .fold(0.0, f64::max)
+        self.bw_samples.iter().map(|&(_, b)| b).fold(0.0, f64::max)
     }
 
     fn pacing_gain(&self) -> f64 {
@@ -140,7 +137,7 @@ impl CongestionControl for Bbr {
         // Min-RTT filter with a 10 s window.
         if let Some(rtt) = ack.rtt {
             let expired = ack.now.saturating_sub(self.min_rtt_stamp) > Nanos::from_secs(10);
-            if expired || self.min_rtt.map_or(true, |m| rtt <= m) {
+            if expired || self.min_rtt.is_none_or(|m| rtt <= m) {
                 self.min_rtt = Some(rtt);
                 self.min_rtt_stamp = ack.now;
             } else if expired && self.state != State::ProbeRtt {
@@ -249,10 +246,7 @@ mod tests {
             Nanos::ZERO,
         );
         let bw = cc.btl_bw();
-        assert!(
-            (1.3e6..1.6e6).contains(&bw),
-            "filtered bw {bw} bytes/s"
-        );
+        assert!((1.3e6..1.6e6).contains(&bw), "filtered bw {bw} bytes/s");
     }
 
     #[test]

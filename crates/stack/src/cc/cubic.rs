@@ -71,7 +71,7 @@ impl CongestionControl for Cubic {
     fn on_ack(&mut self, ack: &AckInfo) {
         if let Some(rtt) = ack.rtt {
             self.last_rtt = rtt;
-            if self.min_rtt.map_or(true, |m| rtt < m) {
+            if self.min_rtt.is_none_or(|m| rtt < m) {
                 self.min_rtt = Some(rtt);
             }
             // HyStart-lite (delay increase detection): leave slow start
@@ -134,8 +134,7 @@ impl CongestionControl for Cubic {
             // Approach the target gradually: cwnd/(target-cwnd) acks per
             // MSS of growth, i.e. grow by (goal-cwnd)/cwnd per acked cwnd
             // (Linux's tcp_cubic update rule).
-            let incr =
-                (goal - self.cwnd as f64) * ack.newly_acked as f64 / self.cwnd.max(1) as f64;
+            let incr = (goal - self.cwnd as f64) * ack.newly_acked as f64 / self.cwnd.max(1) as f64;
             // Never grow faster than slow start would (safety clamp).
             self.cwnd += (incr.max(0.0) as u64).min(ack.newly_acked);
         }
@@ -255,7 +254,11 @@ mod tests {
             "convex {convex} should dwarf plateau {plateau}"
         );
         // And the window did regrow past W_max by the end.
-        assert!(cc.cwnd() > 100 * MSS, "cwnd {} never passed w_max", cc.cwnd());
+        assert!(
+            cc.cwnd() > 100 * MSS,
+            "cwnd {} never passed w_max",
+            cc.cwnd()
+        );
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod tls;
 
 pub use config::{HostConfig, PathConfig, StackConfig};
 pub use cpu::{Cpu, CpuModel};
-pub use net::{App, Api, AppEvent, Network, CLIENT, SERVER};
+pub use net::{Api, App, AppEvent, Network, CLIENT, SERVER};
 pub use shaper::{NoopShaper, ShapeCtx, Shaper};

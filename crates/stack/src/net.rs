@@ -48,7 +48,11 @@ enum Ev {
     /// One wire packet's last bit left the host NIC.
     PktLeaveNic { host: usize, pkt: Packet },
     /// The NIC finished serializing a whole segment of `flow`.
-    SegTxDone { host: usize, flow: FlowId, wire: u64 },
+    SegTxDone {
+        host: usize,
+        flow: FlowId,
+        wire: u64,
+    },
     /// Bottleneck transmitter finished the packet in flight.
     BnTxDone { dir: usize },
     /// Re-examine the qdisc (pacing eligibility or NIC became free).
@@ -246,7 +250,10 @@ impl Network {
     }
 
     pub fn nic_counters(&self, host: usize) -> (u64, u64) {
-        (self.hosts[host].nic.segments_tx, self.hosts[host].nic.packets_tx)
+        (
+            self.hosts[host].nic.segments_tx,
+            self.hosts[host].nic.packets_tx,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -592,9 +599,7 @@ impl<'a> Api<'a> {
     /// Arm an application timer delivering `token` after `delay`.
     pub fn set_timer(&mut self, delay: Nanos, token: u64) {
         let host = self.host;
-        self.net
-            .q
-            .schedule_in(delay, Ev::AppTimer { host, token });
+        self.net.q.schedule_in(delay, Ev::AppTimer { host, token });
     }
 
     /// Stats of one of this host's connections.
@@ -624,8 +629,10 @@ mod tests {
     use crate::cpu::CpuModel;
 
     fn fast_hosts() -> (HostConfig, HostConfig) {
-        let mut h = HostConfig::default();
-        h.cpu = CpuModel::infinitely_fast();
+        let h = HostConfig {
+            cpu: CpuModel::infinitely_fast(),
+            ..HostConfig::default()
+        };
         (h.clone(), h)
     }
 
@@ -981,8 +988,14 @@ mod tests {
             31,
         );
         net.run_until(Nanos::from_secs(8));
-        let d1 = net.conn_stats(SERVER, FlowId(1)).expect("f1").bytes_delivered;
-        let d2 = net.conn_stats(SERVER, FlowId(2)).expect("f2").bytes_delivered;
+        let d1 = net
+            .conn_stats(SERVER, FlowId(1))
+            .expect("f1")
+            .bytes_delivered;
+        let d2 = net
+            .conn_stats(SERVER, FlowId(2))
+            .expect("f2")
+            .bytes_delivered;
         let ratio = d1.max(d2) as f64 / d1.min(d2).max(1) as f64;
         assert!(
             ratio < 2.0,

@@ -59,7 +59,11 @@ pub enum TcpAction {
     /// Unpaced control packet (SYN/SYN-ACK/ACK/FIN) for the prio band.
     SendCtl(Packet),
     /// (Re-)arm a timer; `gen` disambiguates stale events.
-    ArmTimer { kind: TimerKind, at: Nanos, gen: u64 },
+    ArmTimer {
+        kind: TimerKind,
+        at: Nanos,
+        gen: u64,
+    },
     /// `n` new in-order payload bytes are available to the application.
     Deliver(u64),
     /// Socket-buffer space freed after the app previously hit the limit.
@@ -546,11 +550,7 @@ impl TcpConn {
             self.drop_sacked_below_una();
             // Harvest every probe this ACK covers; sample from the most
             // recent one (closest to a per-segment timestamp).
-            let covered: Vec<u64> = self
-                .rtt_probes
-                .range(..=pkt.ack)
-                .map(|(&k, _)| k)
-                .collect();
+            let covered: Vec<u64> = self.rtt_probes.range(..=pkt.ack).map(|(&k, _)| k).collect();
             let mut latest: Option<Nanos> = None;
             for k in covered {
                 let t0 = self.rtt_probes.remove(&k).expect("probe present");
@@ -831,8 +831,8 @@ impl TcpConn {
 mod tests {
     use super::*;
     use crate::config::StackConfig;
-    use crate::shaper::Shaper;
     use crate::cpu::{Cpu, CpuModel};
+    use crate::shaper::Shaper;
 
     const MSS: u64 = 1448;
 
@@ -868,8 +868,10 @@ mod tests {
     ) -> (u64, u64) {
         let mut delivered = (0u64, 0u64);
         let mut inbox: Vec<(bool, Packet)> = Vec::new();
-        let absorb = |acts: Vec<TcpAction>, from_a: bool, inbox: &mut Vec<(bool, Packet)>,
-                          delivered: &mut (u64, u64)| {
+        let absorb = |acts: Vec<TcpAction>,
+                      from_a: bool,
+                      inbox: &mut Vec<(bool, Packet)>,
+                      delivered: &mut (u64, u64)| {
             for act in acts {
                 match act {
                     TcpAction::SendSeg(seg) => {
@@ -955,7 +957,15 @@ mod tests {
         let n = 1_000_000;
         assert_eq!(a.write(n), n);
         let acts = a.output(Nanos::from_millis(1), &mut ca);
-        let (_, to_b) = shuttle(&mut a, &mut b, &mut ca, &mut cb, Nanos::from_millis(1), acts, true);
+        let (_, to_b) = shuttle(
+            &mut a,
+            &mut b,
+            &mut ca,
+            &mut cb,
+            Nanos::from_millis(1),
+            acts,
+            true,
+        );
         assert_eq!(to_b, n, "receiver must get exactly the written bytes");
         assert_eq!(a.snd_una, n);
         assert_eq!(b.rcv_nxt, n);
@@ -1051,9 +1061,13 @@ mod tests {
         p1.rwnd = 1 << 20;
         let acts = b.input(&p1, Nanos::from_millis(1), &mut cb);
         // First segment: delack timer armed, no immediate ACK.
-        assert!(acts
-            .iter()
-            .any(|x| matches!(x, TcpAction::ArmTimer { kind: TimerKind::DelAck, .. })));
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            TcpAction::ArmTimer {
+                kind: TimerKind::DelAck,
+                ..
+            }
+        )));
         assert!(!acts.iter().any(|x| matches!(x, TcpAction::SendCtl(_))));
         let mut p2 = Packet::tcp_data(FlowId(1), MSS, 0, MSS as u32);
         p2.rwnd = 1 << 20;
@@ -1215,9 +1229,13 @@ mod tests {
         assert!(acts
             .iter()
             .all(|x| !matches!(x, TcpAction::SendCtl(p) if p.meta.retransmit)));
-        assert!(acts
-            .iter()
-            .any(|x| matches!(x, TcpAction::ArmTimer { kind: TimerKind::Rto, .. })));
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            TcpAction::ArmTimer {
+                kind: TimerKind::Rto,
+                ..
+            }
+        )));
         assert_eq!(a.stats.rtos, 0);
     }
 
@@ -1313,9 +1331,12 @@ mod tests {
         let sizes: Vec<u32> = acts
             .iter()
             .filter_map(|x| match x {
-                TcpAction::SendSeg(s) => {
-                    Some(s.pkts.iter().map(|p| p.payload + IP_TCP_OVERHEAD).collect::<Vec<_>>())
-                }
+                TcpAction::SendSeg(s) => Some(
+                    s.pkts
+                        .iter()
+                        .map(|p| p.payload + IP_TCP_OVERHEAD)
+                        .collect::<Vec<_>>(),
+                ),
                 _ => None,
             })
             .flatten()
@@ -1379,9 +1400,7 @@ mod tests {
         a.write(50);
         let acts2 = a.output(Nanos::from_millis(1), &mut ca);
         // Second small write held back while the first is unacked.
-        assert!(acts2
-            .iter()
-            .all(|x| !matches!(x, TcpAction::SendSeg(_))));
+        assert!(acts2.iter().all(|x| !matches!(x, TcpAction::SendSeg(_))));
     }
 
     #[test]
@@ -1409,7 +1428,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(times.len() >= 2, "need multiple segments, got {}", times.len());
+        assert!(
+            times.len() >= 2,
+            "need multiple segments, got {}",
+            times.len()
+        );
         assert!(
             times.windows(2).all(|w| w[1] > w[0]),
             "pacing must strictly space departures: {times:?}"

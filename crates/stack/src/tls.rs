@@ -12,8 +12,6 @@
 //! We model records as byte accounting: `wrap(n)` returns how many
 //! ciphertext bytes enter the TCP stream for `n` plaintext bytes.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum plaintext fragment per TLS record (RFC 8446).
 pub const MAX_RECORD_PLAINTEXT: u64 = 16_384;
 /// Per-record overhead: 5-byte header + 16-byte AEAD tag + 1-byte content
@@ -21,7 +19,7 @@ pub const MAX_RECORD_PLAINTEXT: u64 = 16_384;
 pub const RECORD_OVERHEAD: u64 = 22;
 
 /// Where records are produced (affects which layer may pad).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TlsMode {
     /// Records formed by the application library before `send()`.
     Userspace,
@@ -33,7 +31,7 @@ pub enum TlsMode {
 /// Record padding policy: pad each record's plaintext up to a multiple of
 /// `quantum` bytes (0 or 1 = no padding). This is the TLS 1.3 padding
 /// mechanism several app-level defenses (ALPaCA-style) build on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecordPadding {
     pub quantum: u64,
 }
@@ -50,7 +48,7 @@ impl RecordPadding {
 }
 
 /// A TLS session's record-layer accounting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TlsSession {
     pub mode: TlsMode,
     pub padding: RecordPadding,
@@ -88,10 +86,7 @@ impl TlsSession {
         let mut out = 0;
         while remaining > 0 {
             let frag = remaining.min(MAX_RECORD_PLAINTEXT);
-            let padded = self
-                .padding
-                .padded_len(frag)
-                .min(MAX_RECORD_PLAINTEXT);
+            let padded = self.padding.padded_len(frag).min(MAX_RECORD_PLAINTEXT);
             out += padded + RECORD_OVERHEAD;
             self.records += 1;
             remaining -= frag;

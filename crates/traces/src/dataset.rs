@@ -1,11 +1,11 @@
 //! Labelled datasets and evaluation splits.
 
 use crate::model::Trace;
+use netsim::json::{Json, JsonError};
 use netsim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A closed-world dataset: traces with labels in `0..n_classes`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     pub traces: Vec<Trace>,
     pub class_names: Vec<String>,
@@ -42,10 +42,48 @@ impl Dataset {
         counts
     }
 
+    /// JSON form `{class_names, traces}` for on-disk persistence.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set(
+                "class_names",
+                Json::Arr(
+                    self.class_names
+                        .iter()
+                        .map(|n| Json::from(n.as_str()))
+                        .collect(),
+                ),
+            )
+            .set(
+                "traces",
+                Json::Arr(self.traces.iter().map(|t| t.to_json()).collect()),
+            )
+    }
+
+    /// Parse the [`Dataset::to_json`] form back.
+    pub fn from_json(v: &Json) -> Result<Dataset, JsonError> {
+        let class_names = v
+            .req_arr("class_names")?
+            .iter()
+            .map(|n| {
+                n.as_str().map(str::to_string).ok_or(JsonError {
+                    offset: 0,
+                    message: "class name is not a string".to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let traces = v
+            .req_arr("traces")?
+            .iter()
+            .map(Trace::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Dataset::new(traces, class_names))
+    }
+
     /// Apply a per-trace transformation (e.g. a defense) to every trace.
-    pub fn map_traces(&self, mut f: impl FnMut(&Trace) -> Trace) -> Dataset {
+    pub fn map_traces(&self, f: impl FnMut(&Trace) -> Trace) -> Dataset {
         Dataset {
-            traces: self.traces.iter().map(|t| f(t)).collect(),
+            traces: self.traces.iter().map(f).collect(),
             class_names: self.class_names.clone(),
         }
     }
@@ -72,7 +110,9 @@ impl Dataset {
                 .collect();
             rng.shuffle(&mut idx);
             let n_test = ((idx.len() as f64) * test_frac).round() as usize;
-            let n_test = n_test.min(idx.len().saturating_sub(1)).max(1.min(idx.len()));
+            let n_test = n_test
+                .min(idx.len().saturating_sub(1))
+                .max(1.min(idx.len()));
             test.extend(idx.drain(..n_test));
             train.extend(idx);
         }

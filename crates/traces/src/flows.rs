@@ -17,8 +17,8 @@ use stack::config::CcKind;
 use stack::net::{Api, App, Network};
 use stack::{HostConfig, PathConfig, StackConfig};
 use stob::policy::ObfuscationPolicy;
-use stob::sockopt::attach_policy;
 use stob::registry::{PolicyKey, PolicyRegistry};
+use stob::sockopt::attach_policy;
 
 /// Parameters of one bulk-flow sample.
 #[derive(Debug, Clone)]
@@ -83,8 +83,10 @@ pub fn run_flow(sc: &FlowScenario, label: usize, visit: usize, seed: u64) -> Tra
         Box::new(attach_policy(&reg, 1, 0, seed).expect("policy published"))
             as Box<dyn stack::Shaper>
     });
-    let mut host = HostConfig::default();
-    host.nic_rate_bps = 10_000_000_000;
+    let host = HostConfig {
+        nic_rate_bps: 10_000_000_000,
+        ..HostConfig::default()
+    };
     let path = PathConfig {
         bottleneck_bps: sc.bottleneck_mbps * 1_000_000,
         one_way_delay: Nanos::from_micros(sc.rtt_ms * 500),
@@ -110,11 +112,7 @@ pub fn run_flow(sc: &FlowScenario, label: usize, visit: usize, seed: u64) -> Tra
 }
 
 /// Generate a labelled corpus of `per_class` flows for each CCA.
-pub fn cc_corpus(
-    per_class: usize,
-    seed: u64,
-    policy: Option<ObfuscationPolicy>,
-) -> Vec<Trace> {
+pub fn cc_corpus(per_class: usize, seed: u64, policy: Option<ObfuscationPolicy>) -> Vec<Trace> {
     let kinds = [CcKind::Reno, CcKind::Cubic, CcKind::Bbr];
     let mut out = Vec::with_capacity(kinds.len() * per_class);
     for (label, &cc) in kinds.iter().enumerate() {
@@ -122,7 +120,12 @@ pub fn cc_corpus(
             let mut rng = SimRng::new(seed).fork(label as u64).fork(v as u64 + 1);
             let mut sc = FlowScenario::sample(cc, &mut rng);
             sc.policy = policy.clone();
-            out.push(run_flow(&sc, label, v, seed ^ (label as u64) << 32 ^ v as u64));
+            out.push(run_flow(
+                &sc,
+                label,
+                v,
+                seed ^ (label as u64) << 32 ^ v as u64,
+            ));
         }
     }
     out

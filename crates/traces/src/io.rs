@@ -3,21 +3,21 @@
 //! sweeps, defense matrices) without re-simulation.
 
 use crate::dataset::Dataset;
+use netsim::json::Json;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// Save a dataset as JSON.
 pub fn save_dataset(dataset: &Dataset, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string(dataset)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    fs::write(path, dataset.to_json().to_string_compact())
 }
 
 /// Load a dataset from JSON.
 pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
     let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let value = Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Dataset::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

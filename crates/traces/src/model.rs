@@ -5,11 +5,11 @@
 //! the defended trace generator needs them), but the attack can be
 //! configured to ignore sizes for strict parity with the paper.
 
+use netsim::json::{Json, JsonError};
 use netsim::{Capture, Direction, Nanos};
-use serde::{Deserialize, Serialize};
 
 /// One packet as the eavesdropper records it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TracePacket {
     /// Time since the first packet of the trace.
     pub ts: Nanos,
@@ -22,6 +22,34 @@ impl TracePacket {
     pub fn new(ts: Nanos, dir: Direction, size: u32) -> Self {
         TracePacket { ts, dir, size }
     }
+
+    /// Compact JSON form `[ts_nanos, "i"|"o", size]`.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            Json::from(self.ts.0),
+            Json::from(self.dir.as_str()),
+            Json::from(self.size),
+        ])
+    }
+
+    /// Parse the [`TracePacket::to_json`] form back.
+    pub fn from_json(v: &Json) -> Result<TracePacket, JsonError> {
+        let bad = |msg: &str| JsonError {
+            offset: 0,
+            message: msg.to_string(),
+        };
+        let parts = v.as_arr().ok_or_else(|| bad("packet is not an array"))?;
+        if parts.len() != 3 {
+            return Err(bad("packet array is not [ts, dir, size]"));
+        }
+        let ts = parts[0].as_u64().ok_or_else(|| bad("packet ts"))?;
+        let dir = parts[1]
+            .as_str()
+            .and_then(Direction::from_str_code)
+            .ok_or_else(|| bad("packet dir"))?;
+        let size = parts[2].as_u64().ok_or_else(|| bad("packet size"))? as u32;
+        Ok(TracePacket::new(Nanos(ts), dir, size))
+    }
     /// Signed size: positive outgoing, negative incoming (the WF
     /// literature's convention).
     pub fn signed_size(&self) -> i64 {
@@ -30,7 +58,7 @@ impl TracePacket {
 }
 
 /// A full visit trace with its ground-truth label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     pub packets: Vec<TracePacket>,
     /// Site index (class label).
@@ -121,6 +149,31 @@ impl Trace {
             .collect()
     }
 
+    /// JSON form `{label, visit, packets: [[ts, dir, size], ...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("label", self.label)
+            .set("visit", self.visit)
+            .set(
+                "packets",
+                Json::Arr(self.packets.iter().map(|p| p.to_json()).collect()),
+            )
+    }
+
+    /// Parse the [`Trace::to_json`] form back.
+    pub fn from_json(v: &Json) -> Result<Trace, JsonError> {
+        let packets = v
+            .req_arr("packets")?
+            .iter()
+            .map(TracePacket::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace {
+            packets,
+            label: v.req_u64("label")? as usize,
+            visit: v.req_u64("visit")? as usize,
+        })
+    }
+
     /// Re-sort packets by timestamp (stable), then rebase to zero. Used
     /// after defenses shift timings.
     pub fn normalize(&mut self) {
@@ -129,7 +182,7 @@ impl Trace {
             let t0 = first.ts;
             if !t0.is_zero() {
                 for p in &mut self.packets {
-                    p.ts = p.ts - t0;
+                    p.ts -= t0;
                 }
             }
         }
@@ -204,7 +257,7 @@ mod tests {
         // A nonzero first timestamp is also malformed until rebased.
         let mut u = trace();
         for p in &mut u.packets {
-            p.ts = p.ts + Nanos(500);
+            p.ts += Nanos(500);
         }
         assert!(!u.is_well_formed());
         u.normalize();
@@ -220,10 +273,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = trace();
-        let s = serde_json::to_string(&t).expect("ser");
-        let back: Trace = serde_json::from_str(&s).expect("de");
+        let s = t.to_json().to_string_compact();
+        let back = Trace::from_json(&Json::parse(&s).expect("parse")).expect("de");
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_rejects_malformed_packets() {
+        let v = Json::parse(r#"{"label":0,"visit":0,"packets":[[1,"x",5]]}"#).expect("parse");
+        assert!(Trace::from_json(&v).is_err(), "bad direction code");
+        let v = Json::parse(r#"{"label":0,"packets":[]}"#).expect("parse");
+        assert!(Trace::from_json(&v).is_err(), "missing visit");
     }
 }

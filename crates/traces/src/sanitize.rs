@@ -98,11 +98,7 @@ mod tests {
     fn trace_of_bytes(label: usize, visit: usize, dl_pkts: usize) -> Trace {
         let mut pkts = vec![TracePacket::new(Nanos(0), Direction::Out, 576)];
         for i in 0..dl_pkts.max(MIN_PACKETS) {
-            pkts.push(TracePacket::new(
-                Nanos(1 + i as u64),
-                Direction::In,
-                1514,
-            ));
+            pkts.push(TracePacket::new(Nanos(1 + i as u64), Direction::In, 1514));
         }
         Trace::new(label, visit, pkts)
     }

@@ -11,10 +11,9 @@
 //! WF attack to a similar degree as the paper reports.
 
 use netsim::{Nanos, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// A lognormal in natural-log space.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LogNorm {
     pub mu: f64,
     pub sigma: f64,
@@ -34,7 +33,7 @@ impl LogNorm {
 }
 
 /// A website's page-structure model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteProfile {
     pub name: &'static str,
     /// Main document size in bytes (lognormal).
@@ -113,8 +112,7 @@ impl SiteProfile {
         let rtt_f = self.rtt_ms * (1.0 + rng.range_f64(-self.rtt_jitter, self.rtt_jitter));
         // The certificate chain varies slightly between visits (OCSP
         // staples, session tickets), the infrastructure knobs do not.
-        let tls_flight =
-            (self.tls_flight as f64 * rng.lognormal(0.0, 0.02)).max(1_200.0) as u64;
+        let tls_flight = (self.tls_flight as f64 * rng.lognormal(0.0, 0.02)).max(1_200.0) as u64;
         VisitPlan {
             main_doc,
             objects,

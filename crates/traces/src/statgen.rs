@@ -17,9 +17,7 @@ const REQ_WIRE: u32 = 576;
 
 /// Generate one synthetic visit trace.
 pub fn generate(site: &SiteProfile, label: usize, visit: usize, seed: u64) -> Trace {
-    let mut rng = SimRng::new(seed)
-        .fork(label as u64)
-        .fork(visit as u64 + 1);
+    let mut rng = SimRng::new(seed).fork(label as u64).fork(visit as u64 + 1);
     let plan = site.plan_visit(&mut rng);
     let mut pkts: Vec<TracePacket> = Vec::new();
     let mut now = Nanos::ZERO;

@@ -84,7 +84,10 @@ pub fn cc_features(trace: &Trace) -> Vec<f64> {
     }
 
     // ---- inter-departure texture ----
-    let iats: Vec<f64> = data.windows(2).map(|w| (w[1].0 - w[0].0).max(0.0)).collect();
+    let iats: Vec<f64> = data
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0).max(0.0))
+        .collect();
     if iats.is_empty() {
         f.extend([0.0; 8]);
     } else {
@@ -102,7 +105,16 @@ pub fn cc_features(trace: &Trace) -> Vec<f64> {
         };
         // Fraction of near-zero gaps (line-rate bursts).
         let burst_frac = iats.iter().filter(|&&x| x < 5e-6).count() as f64 / iats.len() as f64;
-        f.extend([rs.mean(), rs.std_dev(), p50, p90, p99, cv, burst_frac, rs.max()]);
+        f.extend([
+            rs.mean(),
+            rs.std_dev(),
+            p50,
+            p90,
+            p99,
+            cv,
+            burst_frac,
+            rs.max(),
+        ]);
     }
 
     // ---- burst-length texture (runs of near-back-to-back packets) ----

@@ -236,7 +236,11 @@ mod tests {
         let mk = |n: usize| {
             let pkts = (0..n)
                 .map(|i| {
-                    let dir = if i % 10 == 0 { Direction::Out } else { Direction::In };
+                    let dir = if i % 10 == 0 {
+                        Direction::Out
+                    } else {
+                        Direction::In
+                    };
                     TracePacket::new(Nanos(i as u64 * 1000), dir, 1514)
                 })
                 .collect();
@@ -271,11 +275,7 @@ mod tests {
             ..DlConfig::default()
         };
         let r = evaluate_dl(&d, &cfg);
-        assert!(
-            r.mean > 0.75,
-            "CUMUL-MLP accuracy {} vs chance 0.2",
-            r.mean
-        );
+        assert!(r.mean > 0.75, "CUMUL-MLP accuracy {} vs chance 0.2", r.mean);
     }
 
     #[test]

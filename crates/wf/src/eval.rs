@@ -66,7 +66,10 @@ impl EvalResult {
 
 /// Evaluate the k-FP random-forest attack on a dataset.
 pub fn evaluate(dataset: &Dataset, cfg: &EvalConfig) -> EvalResult {
-    assert!(dataset.len() >= 2 * dataset.n_classes(), "dataset too small");
+    assert!(
+        dataset.len() >= 2 * dataset.n_classes(),
+        "dataset too small"
+    );
     let k = dataset.n_classes();
     let features = extract_all(&dataset.traces, &cfg.features);
     let labels: Vec<usize> = dataset.traces.iter().map(|t| t.label).collect();
@@ -80,7 +83,10 @@ pub fn evaluate(dataset: &Dataset, cfg: &EvalConfig) -> EvalResult {
         let pred: Vec<usize> = match cfg.attack {
             AttackKind::RandomForest => {
                 let forest = Forest::fit(&x_train, &y_train, k, &cfg.forest, &mut rng);
-                test_idx.iter().map(|&i| forest.predict(&features[i])).collect()
+                test_idx
+                    .iter()
+                    .map(|&i| forest.predict(&features[i]))
+                    .collect()
             }
             AttackKind::KfpLeafKnn => {
                 let forest = Forest::fit(&x_train, &y_train, k, &cfg.forest, &mut rng);
@@ -92,7 +98,10 @@ pub fn evaluate(dataset: &Dataset, cfg: &EvalConfig) -> EvalResult {
             }
             AttackKind::FeatureKnn => {
                 let knn = FeatureKnn::fit(&x_train, &y_train, k, cfg.knn);
-                test_idx.iter().map(|&i| knn.predict(&features[i])).collect()
+                test_idx
+                    .iter()
+                    .map(|&i| knn.predict(&features[i]))
+                    .collect()
             }
         };
         let truth: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();

@@ -107,11 +107,7 @@ pub fn extract_features(trace: &Trace, cfg: &FeatureConfig) -> Vec<f64> {
     let mut f = Vec::with_capacity(N_FEATURES);
     let n = trace.len();
     let dirs: Vec<i8> = trace.packets.iter().map(|p| p.dir.sign()).collect();
-    let times: Vec<f64> = trace
-        .packets
-        .iter()
-        .map(|p| p.ts.as_secs_f64())
-        .collect();
+    let times: Vec<f64> = trace.packets.iter().map(|p| p.ts.as_secs_f64()).collect();
     let n_out = dirs.iter().filter(|&&d| d > 0).count();
     let n_in = n - n_out;
 
@@ -239,7 +235,7 @@ pub fn extract_features(trace: &Trace, cfg: &FeatureConfig) -> Vec<f64> {
         let full = trace.packets.iter().filter(|p| p.size >= 1514).count();
         f.push(if n > 0 { full as f64 / n as f64 } else { 0.0 });
     } else {
-        f.extend(std::iter::repeat(0.0).take(12));
+        f.extend(std::iter::repeat_n(0.0, 12));
     }
 
     debug_assert_eq!(f.len(), N_FEATURES);
@@ -276,7 +272,12 @@ pub fn feature_names() -> Vec<String> {
     for stat in ["max", "mean", "std", "p75", "median"] {
         n.push(format!("rate_{stat}"));
     }
-    for s in ["order_out_mean", "order_out_std", "order_in_mean", "order_in_std"] {
+    for s in [
+        "order_out_mean",
+        "order_out_std",
+        "order_in_mean",
+        "order_in_std",
+    ] {
         n.push(s.to_string());
     }
     for i in 0..N_CHUNKS {
@@ -294,8 +295,17 @@ pub fn feature_names() -> Vec<String> {
         n.push(s.to_string());
     }
     for s in [
-        "bytes_in", "bytes_out", "size_in_max", "size_in_mean", "size_in_std", "size_in_p75",
-        "size_out_max", "size_out_mean", "size_out_std", "size_out_p75", "size_unique",
+        "bytes_in",
+        "bytes_out",
+        "size_in_max",
+        "size_in_mean",
+        "size_in_std",
+        "size_in_p75",
+        "size_out_max",
+        "size_out_mean",
+        "size_out_std",
+        "size_out_p75",
+        "size_unique",
         "size_frac_full",
     ] {
         n.push(s.to_string());
@@ -332,7 +342,10 @@ mod tests {
     #[test]
     fn feature_vector_has_fixed_length() {
         let t = sample_trace();
-        assert_eq!(extract_features(&t, &FeatureConfig::paper()).len(), N_FEATURES);
+        assert_eq!(
+            extract_features(&t, &FeatureConfig::paper()).len(),
+            N_FEATURES
+        );
         assert_eq!(
             extract_features(&t, &FeatureConfig::with_sizes()).len(),
             N_FEATURES

@@ -4,7 +4,7 @@
 //! k-FP's k-NN stage fingerprints with.
 
 use crate::tree::{Tree, TreeConfig};
-use netsim::SimRng;
+use netsim::{par, SimRng};
 
 #[derive(Debug, Clone, Copy)]
 pub struct ForestConfig {
@@ -43,15 +43,19 @@ impl Forest {
         assert!(!x.is_empty());
         let n = x.len();
         let boot = ((n as f64) * cfg.bootstrap_frac).round().max(1.0) as usize;
-        let trees = (0..cfg.n_trees)
-            .map(|t| {
-                let mut tree_rng = rng.fork(t as u64 + 1);
-                let idx: Vec<usize> = (0..boot)
-                    .map(|_| tree_rng.next_below(n as u64) as usize)
-                    .collect();
-                Tree::fit(x, y, &idx, n_classes, &cfg.tree, &mut tree_rng)
-            })
-            .collect();
+        // Each tree's rng is forked from the parent by tree index, so the
+        // training result is a pure function of (inputs, seed, t) — the
+        // parallel map below is bit-identical to the old sequential loop
+        // at any thread count.
+        let rng = &*rng;
+        let tree_ids: Vec<usize> = (0..cfg.n_trees).collect();
+        let trees = par::par_map(&tree_ids, |_, &t| {
+            let mut tree_rng = rng.fork(t as u64 + 1);
+            let idx: Vec<usize> = (0..boot)
+                .map(|_| tree_rng.next_below(n as u64) as usize)
+                .collect();
+            Tree::fit(x, y, &idx, n_classes, &cfg.tree, &mut tree_rng)
+        });
         Forest { trees, n_classes }
     }
 
@@ -90,17 +94,13 @@ impl Forest {
     }
 
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
-        xs.iter().map(|s| self.predict(s)).collect()
+        par::par_map(xs, |_, s| self.predict(s))
     }
 
     /// Mean Gini importance per feature across the forest — "which
     /// traffic features leak". Sums to ~1 when any tree split.
     pub fn feature_importances(&self) -> Vec<f64> {
-        let d = self
-            .trees
-            .first()
-            .map(|t| t.importances.len())
-            .unwrap_or(0);
+        let d = self.trees.first().map(|t| t.importances.len()).unwrap_or(0);
         let mut acc = vec![0.0f64; d];
         for t in &self.trees {
             for (a, v) in acc.iter_mut().zip(&t.importances) {
@@ -211,10 +211,7 @@ mod tests {
         let imp = f.feature_importances();
         assert_eq!(imp.len(), 3);
         // Dims 0 and 1 carry the blob structure; dim 2 is noise.
-        assert!(
-            imp[0] + imp[1] > imp[2] * 5.0,
-            "importances {imp:?}"
-        );
+        assert!(imp[0] + imp[1] > imp[2] * 5.0, "importances {imp:?}");
     }
 
     #[test]

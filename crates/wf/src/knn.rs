@@ -120,8 +120,7 @@ impl FeatureKnn {
                 *sd += (v - m) * (v - m);
             }
         }
-        std.iter_mut()
-            .for_each(|s| *s = (*s / n).sqrt().max(1e-9));
+        std.iter_mut().for_each(|s| *s = (*s / n).sqrt().max(1e-9));
         let x = x_train
             .iter()
             .map(|s| {

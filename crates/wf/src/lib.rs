@@ -31,11 +31,11 @@ pub mod mlp;
 pub mod openworld;
 pub mod tree;
 
+pub use dl::{evaluate_dl, DlConfig, DlResult};
 pub use eval::{evaluate, AttackKind, EvalConfig, EvalResult};
 pub use features::{extract_features, FeatureConfig, N_FEATURES};
-pub use dl::{evaluate_dl, DlConfig, DlResult};
 pub use forest::{Forest, ForestConfig};
 pub use knn::{KfpKnn, KnnConfig};
-pub use openworld::{evaluate_open_world, OpenWorldConfig, OpenWorldResult};
 pub use metrics::{accuracy, confusion_matrix, per_class_precision_recall};
+pub use openworld::{evaluate_open_world, OpenWorldConfig, OpenWorldResult};
 pub use tree::Tree;

@@ -124,10 +124,7 @@ impl Mlp {
 
     /// Class probabilities for one sample.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let logits = self
-            .forward_all(x)
-            .pop()
-            .expect("network has layers");
+        let logits = self.forward_all(x).pop().expect("network has layers");
         softmax(&logits)
     }
 
@@ -155,16 +152,8 @@ impl Mlp {
 
     fn train_batch(&mut self, x: &[Vec<f64>], y: &[usize], idx: &[usize]) -> f64 {
         // Accumulate gradients over the batch.
-        let mut gw: Vec<Vec<f64>> = self
-            .layers
-            .iter()
-            .map(|l| vec![0.0; l.w.len()])
-            .collect();
-        let mut gb: Vec<Vec<f64>> = self
-            .layers
-            .iter()
-            .map(|l| vec![0.0; l.b.len()])
-            .collect();
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
         let mut loss_sum = 0.0;
         for &i in idx {
             let acts = self.forward_all(&x[i]);
@@ -187,10 +176,10 @@ impl Mlp {
                 if li > 0 {
                     // delta_prev = W^T delta, gated by ReLU'.
                     let mut prev = vec![0.0; layer.n_in];
-                    for o in 0..layer.n_out {
+                    for (o, d) in delta.iter().enumerate() {
                         let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
                         for (p, wi) in prev.iter_mut().zip(row) {
-                            *p += wi * delta[o];
+                            *p += wi * d;
                         }
                     }
                     for (p, a) in prev.iter_mut().zip(&acts[li - 1]) {

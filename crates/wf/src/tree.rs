@@ -119,7 +119,7 @@ impl Tree {
             .max_by_key(|(_, &c)| c)
             .expect("classes nonempty")
             .0;
-        let pure = counts.iter().any(|&c| c == total);
+        let pure = counts.contains(&total);
         if pure || total < cfg.min_samples_split || depth >= cfg.max_depth {
             return self.push_leaf(majority);
         }
@@ -149,7 +149,7 @@ impl Tree {
                 let g = parent_gini
                     - (left_n as f64 / total as f64) * gini(&left_counts, left_n)
                     - (right_n as f64 / total as f64) * gini(&right_counts, right_n);
-                if best.map_or(true, |(bg, _, _)| g > bg) {
+                if best.is_none_or(|(bg, _, _)| g > bg) {
                     best = Some((g, feat, (v + next_v) / 2.0));
                 }
             }
@@ -180,8 +180,28 @@ impl Tree {
             class: majority,
             id: 0,
         }); // placeholder
-        let l = self.grow(x, y, &mut left, n_classes, cfg, mtry, rng, depth + 1, n_total);
-        let r = self.grow(x, y, &mut right, n_classes, cfg, mtry, rng, depth + 1, n_total);
+        let l = self.grow(
+            x,
+            y,
+            &mut left,
+            n_classes,
+            cfg,
+            mtry,
+            rng,
+            depth + 1,
+            n_total,
+        );
+        let r = self.grow(
+            x,
+            y,
+            &mut right,
+            n_classes,
+            cfg,
+            mtry,
+            rng,
+            depth + 1,
+            n_total,
+        );
         self.nodes[node_pos] = Node::Split {
             feature: feat,
             threshold: thr,
@@ -260,10 +280,7 @@ mod tests {
         let idx: Vec<usize> = (0..x.len()).collect();
         let mut rng = SimRng::new(2);
         let tree = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut rng);
-        let correct = idx
-            .iter()
-            .filter(|&&i| tree.predict(&x[i]) == y[i])
-            .count();
+        let correct = idx.iter().filter(|&&i| tree.predict(&x[i]) == y[i]).count();
         assert_eq!(correct, x.len(), "separable data must fit exactly");
     }
 
@@ -341,8 +358,22 @@ mod tests {
     fn deterministic_for_seed() {
         let (x, y) = blobs(100, 10);
         let idx: Vec<usize> = (0..x.len()).collect();
-        let t1 = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut SimRng::new(11));
-        let t2 = Tree::fit(&x, &y, &idx, 2, &TreeConfig::default(), &mut SimRng::new(11));
+        let t1 = Tree::fit(
+            &x,
+            &y,
+            &idx,
+            2,
+            &TreeConfig::default(),
+            &mut SimRng::new(11),
+        );
+        let t2 = Tree::fit(
+            &x,
+            &y,
+            &idx,
+            2,
+            &TreeConfig::default(),
+            &mut SimRng::new(11),
+        );
         for s in &x {
             assert_eq!(t1.predict_with_leaf(s), t2.predict_with_leaf(s));
         }
@@ -360,10 +391,7 @@ mod tests {
         }
         let idx: Vec<usize> = (0..x.len()).collect();
         let tree = Tree::fit(&x, &y, &idx, 3, &TreeConfig::default(), &mut rng);
-        let correct = idx
-            .iter()
-            .filter(|&&i| tree.predict(&x[i]) == y[i])
-            .count();
+        let correct = idx.iter().filter(|&&i| tree.predict(&x[i]) == y[i]).count();
         assert!(correct as f64 / x.len() as f64 > 0.98);
     }
 }

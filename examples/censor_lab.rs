@@ -39,10 +39,7 @@ fn main() {
         .collect();
     let (clean, _, per_class) = traces::sanitize::sanitize(per_site);
     println!("sanitized to {per_class} traces/site (IQR on download size)\n");
-    let dataset = traces::Dataset::new(
-        clean,
-        sites.iter().map(|s| s.name.to_string()).collect(),
-    );
+    let dataset = traces::Dataset::new(clean, sites.iter().map(|s| s.name.to_string()).collect());
 
     let eval_cfg = EvalConfig {
         forest: ForestConfig {

@@ -99,9 +99,7 @@ fn main() {
     );
     println!(
         "safety audit: {} decisions checked, {} clamped (must be 0 for a benign policy)",
-        audit
-            .decisions
-            .load(std::sync::atomic::Ordering::Relaxed),
+        audit.decisions.load(std::sync::atomic::Ordering::Relaxed),
         audit.total_clamped()
     );
 }

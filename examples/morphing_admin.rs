@@ -20,9 +20,7 @@ fn main() {
     // timing. (Bulk web downloads all ride at full MTU, so to *look*
     // interactive the victim's packets must shrink toward this band.)
     let mut rng = netsim::SimRng::new(42);
-    let sizes: Vec<u32> = (0..400)
-        .map(|_| rng.range_u64(700, 950) as u32)
-        .collect();
+    let sizes: Vec<u32> = (0..400).map(|_| rng.range_u64(700, 950) as u32).collect();
     let gaps: Vec<f64> = (0..400).map(|_| rng.range_f64(200.0, 1_500.0)).collect();
     println!(
         "target profile: interactive app, {} size samples (700-950 B), {} gap samples",
@@ -70,17 +68,20 @@ fn main() {
             .filter(|p| p.dir == Direction::In && p.size > 100)
             .map(|p| p.size as f64)
             .collect();
-        (
-            inc.len(),
-            inc.iter().sum::<f64>() / inc.len().max(1) as f64,
-        )
+        (inc.len(), inc.iter().sum::<f64>() / inc.len().max(1) as f64)
     };
     let (n_p, mean_p) = stat(&plain.trace);
     let (n_d, mean_d) = stat(&defended.trace);
     println!("\nincoming data packets (count, mean wire size):");
     println!("  target profile          :   n/a pkts,    ~840 B");
-    println!("  victim plain    ({}): {n_p:>5} pkts, {mean_p:>6.0} B", sites[8].name);
-    println!("  victim morphed  ({}): {n_d:>5} pkts, {mean_d:>6.0} B", sites[8].name);
+    println!(
+        "  victim plain    ({}): {n_p:>5} pkts, {mean_p:>6.0} B",
+        sites[8].name
+    );
+    println!(
+        "  victim morphed  ({}): {n_d:>5} pkts, {mean_d:>6.0} B",
+        sites[8].name
+    );
     println!(
         "\nthe morphed flow's packet sizes moved toward the target's \
          distribution\n(one-sided: Stob can shrink and delay, never grow or \

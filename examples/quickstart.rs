@@ -23,8 +23,7 @@ struct ObfuscatedSender {
 
 impl App for ObfuscatedSender {
     fn on_start(&mut self, api: &mut Api) {
-        let shaper = attach_policy(&self.registry, 1, 0, 42)
-            .expect("policy published below");
+        let shaper = attach_policy(&self.registry, 1, 0, 42).expect("policy published below");
         println!("  attached policy: {}", shaper.policy_name);
         api.connect_with(StackConfig::default(), Some(Box::new(shaper)));
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run the exact checks CI runs (.github/workflows/ci.yml), locally.
+# Usage: scripts/ci-local.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace --release --locked
+run cargo test --workspace -q --locked
+run env STOB_THREADS=4 cargo test --workspace -q --locked --test determinism
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo
+echo "ci-local: all checks passed"

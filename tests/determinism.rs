@@ -1,0 +1,72 @@
+//! The parallel driver's regression test: results must be bit-identical
+//! at any thread count. `netsim::par`'s contract is that worker count
+//! changes only *where* a work item runs, never *what* it computes —
+//! every item derives its randomness by forking the root rng on its
+//! stable index. This test sweeps thread counts over the three wired
+//! hot paths (forest training, defense emulation, figure-3 fan-out) and
+//! compares against the single-threaded result.
+//!
+//! Everything runs inside ONE test function: `par::set_threads` is a
+//! process-wide override, so concurrent test functions would race on it.
+
+use defenses::emulate::{apply_all, CounterMeasure, EmulateConfig};
+use netsim::{par, Nanos, SimRng};
+use traces::sites::paper_sites;
+use traces::statgen::generate_corpus;
+use wf::features::{extract_all, FeatureConfig};
+use wf::forest::{Forest, ForestConfig};
+
+#[test]
+fn thread_count_never_changes_results() {
+    let sites: Vec<_> = paper_sites().into_iter().take(4).collect();
+    let corpus = generate_corpus(&sites, 8, 7);
+    let x = extract_all(&corpus, &FeatureConfig::paper());
+    let y: Vec<usize> = corpus.iter().map(|t| t.label).collect();
+    let fcfg = ForestConfig {
+        n_trees: 24,
+        ..ForestConfig::default()
+    };
+    let em = EmulateConfig::default();
+    let root = SimRng::new(0xDE7);
+
+    // Reference: everything single-threaded.
+    par::set_threads(1);
+    let forest_1 = Forest::fit(&x, &y, 4, &fcfg, &mut SimRng::new(11));
+    let preds_1 = forest_1.predict_batch(&x);
+    let leaves_1: Vec<Vec<u32>> = x.iter().map(|s| forest_1.leaf_vector(s)).collect();
+    let defended_1 = apply_all(CounterMeasure::Combined, &corpus, &em, &root);
+    let fig3_1 = stob_bench::run_figure3(&[0, 20, 40], Nanos::from_millis(2), 1);
+
+    for threads in [2usize, 4, 8] {
+        par::set_threads(threads);
+        let forest_n = Forest::fit(&x, &y, 4, &fcfg, &mut SimRng::new(11));
+        let preds_n = forest_n.predict_batch(&x);
+        assert_eq!(preds_1, preds_n, "forest predictions at {threads} threads");
+        for (i, s) in x.iter().enumerate() {
+            assert_eq!(
+                leaves_1[i],
+                forest_n.leaf_vector(s),
+                "leaf vector {i} at {threads} threads"
+            );
+        }
+        let defended_n = apply_all(CounterMeasure::Combined, &corpus, &em, &root);
+        assert_eq!(
+            defended_1.len(),
+            defended_n.len(),
+            "corpus size at {threads} threads"
+        );
+        for (a, b) in defended_1.iter().zip(&defended_n) {
+            assert_eq!(a.trace, b.trace, "emulated trace at {threads} threads");
+        }
+        let fig3_n = stob_bench::run_figure3(&[0, 20, 40], Nanos::from_millis(2), 1);
+        for (a, b) in fig3_1.iter().zip(&fig3_n) {
+            assert_eq!(a.alpha, b.alpha);
+            assert_eq!(
+                a.goodput_gbps.to_bits(),
+                b.goodput_gbps.to_bits(),
+                "figure3 goodput at {threads} threads"
+            );
+        }
+    }
+    par::set_threads(0); // restore automatic resolution for other tests
+}

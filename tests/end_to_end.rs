@@ -85,7 +85,10 @@ fn countermeasures_change_the_attack_surface_without_breaking_it() {
     // The paper's conservative countermeasures never collapse the attack
     // (Table 2 stays above 0.79 everywhere) and never add more than
     // modest improvement.
-    assert!(def.mean > 2.0 / 9.0, "defense should not destroy the signal");
+    assert!(
+        def.mean > 2.0 / 9.0,
+        "defense should not destroy the signal"
+    );
     assert!(
         (def.mean - plain.mean).abs() < 0.35,
         "defense moved accuracy implausibly: {} -> {}",

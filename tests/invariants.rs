@@ -1,50 +1,51 @@
-//! Property-based invariants spanning crates: the §3 countermeasures,
-//! trace algebra and the sanitizer, checked over randomized traces.
+//! Randomized invariants spanning crates: the §3 countermeasures, trace
+//! algebra and the sanitizer, checked over seeded random traces. The
+//! sweep replaces the earlier proptest suite with a deterministic
+//! `SimRng` generator so the workspace carries no external test deps;
+//! every case is reproducible from the loop index.
 
 use defenses::emulate::{delay, split, EmulateConfig};
 use netsim::{Direction, Nanos, SimRng};
-use proptest::prelude::*;
 use traces::{Trace, TracePacket};
 
-/// Strategy: an arbitrary well-formed trace.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    proptest::collection::vec(
-        (
-            0u64..5_000_000_000,            // raw timestamp
-            prop::bool::ANY,                // direction
-            66u32..3000,                    // wire size
-        ),
-        1..120,
-    )
-    .prop_map(|pkts| {
-        let mut packets: Vec<TracePacket> = pkts
-            .into_iter()
-            .map(|(ts, out, size)| {
-                TracePacket::new(
-                    Nanos(ts),
-                    if out { Direction::Out } else { Direction::In },
-                    size,
-                )
-            })
-            .collect();
-        packets.sort_by_key(|p| p.ts);
-        let mut t = Trace::new(0, 0, packets);
-        t.normalize();
-        t
-    })
+const CASES: u64 = 300;
+
+/// A random well-formed trace, analogous to the old proptest strategy:
+/// 1-120 packets, raw timestamps below 5 s, sizes in [66, 3000).
+fn arb_trace(rng: &mut SimRng) -> Trace {
+    let n = rng.range_usize(1, 120);
+    let mut packets: Vec<TracePacket> = (0..n)
+        .map(|_| {
+            TracePacket::new(
+                Nanos(rng.next_below(5_000_000_000)),
+                if rng.chance(0.5) {
+                    Direction::Out
+                } else {
+                    Direction::In
+                },
+                rng.range_u64(66, 2999) as u32,
+            )
+        })
+        .collect();
+    packets.sort_by_key(|p| p.ts);
+    let mut t = Trace::new(0, 0, packets);
+    t.normalize();
+    t
 }
 
-proptest! {
-    /// Splitting conserves total bytes, never produces packets above the
-    /// threshold in the affected direction, and keeps time order.
-    #[test]
-    fn split_conserves_bytes_and_bounds_sizes(trace in arb_trace()) {
+/// Splitting conserves total bytes, never produces packets above the
+/// threshold in the affected direction, and keeps time order.
+#[test]
+fn split_conserves_bytes_and_bounds_sizes() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x1A).fork(case + 1);
+        let trace = arb_trace(&mut rng);
         let cfg = EmulateConfig::default();
         let s = split(&trace, &cfg);
         let orig: u64 = trace.packets.iter().map(|p| p.size as u64).sum();
         let new: u64 = s.packets.iter().map(|p| p.size as u64).sum();
-        prop_assert_eq!(orig, new);
-        prop_assert!(s.is_well_formed());
+        assert_eq!(orig, new, "case {case}");
+        assert!(s.is_well_formed(), "case {case}");
         // The paper's rule halves once (not recursively): every incoming
         // packet in the output is either an untouched small packet or
         // half of an oversize one.
@@ -56,75 +57,96 @@ proptest! {
             .max()
             .unwrap_or(0);
         let bound = cfg.split_threshold.max(max_in_half);
-        prop_assert!(s
-            .packets
-            .iter()
-            .filter(|p| p.dir == Direction::In)
-            .all(|p| p.size <= bound));
+        assert!(
+            s.packets
+                .iter()
+                .filter(|p| p.dir == Direction::In)
+                .all(|p| p.size <= bound),
+            "case {case}"
+        );
         // And for MTU-sized inputs (the real case), halves are bounded
         // by the threshold itself.
-        prop_assert!(s
+        if trace
             .packets
             .iter()
-            .filter(|p| p.dir == Direction::In
-                && trace.packets.iter().all(|q| q.size <= 2 * cfg.split_threshold))
-            .all(|p| p.size <= cfg.split_threshold));
+            .all(|q| q.size <= 2 * cfg.split_threshold)
+        {
+            assert!(
+                s.packets
+                    .iter()
+                    .filter(|p| p.dir == Direction::In)
+                    .all(|p| p.size <= cfg.split_threshold),
+                "case {case}"
+            );
+        }
         // Outgoing packets are untouched.
-        let orig_out: Vec<u32> = trace
-            .packets
-            .iter()
-            .filter(|p| p.dir == Direction::Out)
-            .map(|p| p.size)
-            .collect();
-        let new_out: Vec<u32> = s
-            .packets
-            .iter()
-            .filter(|p| p.dir == Direction::Out)
-            .map(|p| p.size)
-            .collect();
-        prop_assert_eq!(orig_out, new_out);
+        let out_sizes = |t: &Trace| -> Vec<u32> {
+            t.packets
+                .iter()
+                .filter(|p| p.dir == Direction::Out)
+                .map(|p| p.size)
+                .collect()
+        };
+        assert_eq!(out_sizes(&trace), out_sizes(&s), "case {case}");
     }
+}
 
-    /// Delaying preserves count, sizes and directions, keeps timestamps
-    /// ordered, and only moves packets later (relative to the rebased
-    /// origin).
-    #[test]
-    fn delay_preserves_everything_but_time(trace in arb_trace(), seed in 0u64..1000) {
+/// Delaying preserves count, sizes and directions, keeps timestamps
+/// ordered, and only moves packets later (relative to the rebased
+/// origin).
+#[test]
+fn delay_preserves_everything_but_time() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x2B).fork(case + 1);
+        let trace = arb_trace(&mut rng);
         let cfg = EmulateConfig::default();
-        let mut rng = SimRng::new(seed);
-        let d = delay(&trace, &cfg, &mut rng);
-        prop_assert_eq!(d.len(), trace.len());
-        prop_assert!(d.is_well_formed());
+        let mut delay_rng = rng.fork(0xD);
+        let d = delay(&trace, &cfg, &mut delay_rng);
+        assert_eq!(d.len(), trace.len(), "case {case}");
+        assert!(d.is_well_formed(), "case {case}");
         for (a, b) in trace.packets.iter().zip(&d.packets) {
-            prop_assert_eq!(a.size, b.size);
-            prop_assert_eq!(a.dir, b.dir);
-            prop_assert!(b.ts >= a.ts, "packet moved earlier");
+            assert_eq!(a.size, b.size, "case {case}");
+            assert_eq!(a.dir, b.dir, "case {case}");
+            assert!(b.ts >= a.ts, "case {case}: packet moved earlier");
         }
         // Total stretch is bounded by the configured band.
         let max_growth = trace.duration().mul_f64(cfg.delay_hi);
-        prop_assert!(d.duration() <= trace.duration() + max_growth + Nanos(2));
+        assert!(
+            d.duration() <= trace.duration() + max_growth + Nanos(2),
+            "case {case}"
+        );
     }
+}
 
-    /// Truncation then featurization is always safe, and truncation is
-    /// idempotent.
-    #[test]
-    fn truncation_is_idempotent_and_monotone(trace in arb_trace(), n in 0usize..60) {
+/// Truncation then featurization is always safe, and truncation is
+/// idempotent.
+#[test]
+fn truncation_is_idempotent_and_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x3C).fork(case + 1);
+        let trace = arb_trace(&mut rng);
+        let n = rng.next_below(60) as usize;
         let t1 = trace.truncated(n);
         let t2 = t1.truncated(n);
-        prop_assert_eq!(&t1, &t2);
+        assert_eq!(t1, t2, "case {case}");
         if n > 0 {
-            prop_assert!(t1.len() <= n);
+            assert!(t1.len() <= n, "case {case}");
         } else {
-            prop_assert_eq!(t1.len(), trace.len());
+            assert_eq!(t1.len(), trace.len(), "case {case}");
         }
         let f = wf::features::extract_features(&t1, &wf::features::FeatureConfig::paper());
-        prop_assert_eq!(f.len(), wf::features::N_FEATURES);
-        prop_assert!(f.iter().all(|x| x.is_finite()));
+        assert_eq!(f.len(), wf::features::N_FEATURES, "case {case}");
+        assert!(f.iter().all(|x| x.is_finite()), "case {case}");
     }
+}
 
-    /// Feature extraction is invariant under size changes in paper mode.
-    #[test]
-    fn paper_features_ignore_sizes(trace in arb_trace(), bump in 1u32..500) {
+/// Feature extraction is invariant under size changes in paper mode.
+#[test]
+fn paper_features_ignore_sizes() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x4D).fork(case + 1);
+        let trace = arb_trace(&mut rng);
+        let bump = rng.range_u64(1, 499) as u32;
         let cfg = wf::features::FeatureConfig::paper();
         let f1 = wf::features::extract_features(&trace, &cfg);
         let mut bigger = trace.clone();
@@ -132,19 +154,20 @@ proptest! {
             p.size = p.size.saturating_add(bump);
         }
         let f2 = wf::features::extract_features(&bigger, &cfg);
-        prop_assert_eq!(f1, f2);
+        assert_eq!(f1, f2, "case {case}");
     }
+}
 
-    /// The sanitizer never *increases* the trace count and keeps only
-    /// well-formed members of the input.
-    #[test]
-    fn sanitizer_output_is_a_subset(
-        sizes in proptest::collection::vec(30usize..200, 5..25)
-    ) {
-        let traces: Vec<Trace> = sizes
-            .iter()
-            .enumerate()
-            .map(|(v, &n)| {
+/// The sanitizer never *increases* the trace count and keeps only
+/// well-formed members of the input.
+#[test]
+fn sanitizer_output_is_a_subset() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x5E).fork(case + 1);
+        let n_traces = rng.range_usize(5, 24);
+        let traces: Vec<Trace> = (0..n_traces)
+            .map(|v| {
+                let n = rng.range_usize(30, 199);
                 let pkts = (0..n)
                     .map(|i| TracePacket::new(Nanos(i as u64 * 1000), Direction::In, 1514))
                     .collect();
@@ -153,13 +176,14 @@ proptest! {
             .collect();
         let complete = vec![true; traces.len()];
         let (kept, rep) = traces::sanitize::sanitize_site(traces.clone(), &complete);
-        prop_assert!(kept.len() <= traces.len());
-        prop_assert_eq!(
+        assert!(kept.len() <= traces.len(), "case {case}");
+        assert_eq!(
             rep.kept + rep.dropped_errors + rep.dropped_outliers,
-            rep.input
+            rep.input,
+            "case {case}"
         );
         for k in &kept {
-            prop_assert!(traces.iter().any(|t| t == k));
+            assert!(traces.iter().any(|t| t == k), "case {case}");
         }
     }
 }
@@ -168,7 +192,7 @@ proptest! {
 fn split_then_delay_commutes_with_byte_conservation() {
     // Not strictly commutative in timestamps, but byte totals and packet
     // counts agree regardless of order.
-    let mut rng = SimRng::new(1);
+    let rng = SimRng::new(1);
     let site = &traces::sites::paper_sites()[1];
     let t = traces::statgen::generate(site, 1, 0, 2);
     let cfg = EmulateConfig::default();

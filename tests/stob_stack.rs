@@ -4,12 +4,12 @@
 
 use netsim::{Direction, FlowId, Nanos, PacketKind};
 use stack::apps::{BulkSender, Sink};
-use stack::net::{Api, App, Network, CLIENT, SERVER};
+use stack::net::{Api, App, Network, SERVER};
 use stack::{HostConfig, PathConfig, StackConfig};
+use std::sync::Arc;
 use stob::guard::CcaPhaseGuard;
 use stob::safety::{SafetyAudit, SafetyCap};
-use stob::strategies::{DelayJitter, IncrementalReduce, SplitThreshold};
-use std::sync::Arc;
+use stob::strategies::{IncrementalReduce, SplitThreshold};
 
 struct Shaped {
     inner: BulkSender,
@@ -99,9 +99,7 @@ fn safety_audit_is_clean_for_shipped_strategies() {
     let audit: Arc<SafetyAudit> = cap.audit_handle();
     let mut net = lab_net(Box::new(cap), 5);
     net.run_until(Nanos::from_millis(50));
-    let decisions = audit
-        .decisions
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let decisions = audit.decisions.load(std::sync::atomic::Ordering::Relaxed);
     assert!(decisions > 1000, "shaper barely exercised: {decisions}");
     assert_eq!(
         audit.total_clamped(),
@@ -152,7 +150,9 @@ fn delay_strategy_stretches_wire_gaps() {
         );
         net.run_to_idle();
         assert_eq!(
-            net.conn_stats(SERVER, FlowId(1)).expect("conn").bytes_delivered,
+            net.conn_stats(SERVER, FlowId(1))
+                .expect("conn")
+                .bytes_delivered,
             total
         );
         net.client_capture.duration()
