@@ -46,5 +46,5 @@ pub use guard::CcaPhaseGuard;
 pub use policy::{DelaySpec, ObfuscationPolicy, SizeSpec};
 pub use registry::{PolicyKey, PolicyRegistry};
 pub use safety::{SafetyAudit, SafetyCap};
-pub use sockopt::attach_policy;
+pub use sockopt::{attach_policy, attach_policy_checked, AttachResolution};
 pub use strategies::{Chain, DelayJitter, HistogramSampler, IncrementalReduce, SplitThreshold};

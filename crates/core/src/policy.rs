@@ -106,6 +106,73 @@ impl ObfuscationPolicy {
         }
     }
 
+    /// Check internal consistency before the policy reaches the
+    /// datapath. An inconsistent policy (an empty histogram, an inverted
+    /// delay range, a zero split threshold) must not drive a live shaper:
+    /// [`crate::sockopt::attach_policy_checked`] consults this and falls
+    /// back to pass-through — shaping wrongly is worse than not shaping,
+    /// and crashing the stack is worse than both.
+    pub fn validate(&self) -> Result<(), String> {
+        match &self.size {
+            SizeSpec::Unchanged => {}
+            SizeSpec::SplitAbove { threshold } => {
+                if *threshold == 0 {
+                    return Err("SplitAbove: threshold must be positive".into());
+                }
+            }
+            SizeSpec::IncrementalReduce { steps, .. } => {
+                if *steps == 0 {
+                    return Err("size IncrementalReduce: steps must be positive".into());
+                }
+            }
+            SizeSpec::FromHistogram(h) => {
+                if h.total == 0 {
+                    return Err("size histogram has no samples".into());
+                }
+            }
+            SizeSpec::Fixed { ip_size } => {
+                if *ip_size == 0 {
+                    return Err("Fixed: ip_size must be positive".into());
+                }
+            }
+        }
+        match &self.delay {
+            DelaySpec::Unchanged => {}
+            DelaySpec::UniformFraction { lo_frac, hi_frac } => {
+                if !lo_frac.is_finite() || !hi_frac.is_finite() || *lo_frac < 0.0 {
+                    return Err("UniformFraction: fractions must be finite and >= 0".into());
+                }
+                if hi_frac < lo_frac {
+                    return Err("UniformFraction: hi_frac below lo_frac".into());
+                }
+            }
+            DelaySpec::UniformAbsolute { lo, hi } => {
+                if hi < lo {
+                    return Err("UniformAbsolute: hi below lo".into());
+                }
+            }
+            DelaySpec::FromHistogramMicros(h) => {
+                if h.total == 0 {
+                    return Err("delay histogram has no samples".into());
+                }
+            }
+        }
+        match &self.tso {
+            TsoSpec::Unchanged => {}
+            TsoSpec::IncrementalReduce { steps, .. } => {
+                if *steps == 0 {
+                    return Err("tso IncrementalReduce: steps must be positive".into());
+                }
+            }
+            TsoSpec::Cap { pkts } => {
+                if *pkts == 0 {
+                    return Err("tso Cap: pkts must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Figure 3's incremental-reduce policy at aggressiveness `alpha`.
     pub fn incremental(name: &str, alpha: u32) -> Self {
         ObfuscationPolicy {
@@ -380,6 +447,46 @@ mod tests {
                 "{d}"
             );
         }
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_policies() {
+        assert!(ObfuscationPolicy::passthrough("p").validate().is_ok());
+        assert!(ObfuscationPolicy::split_and_delay("s").validate().is_ok());
+        assert!(ObfuscationPolicy::incremental("i", 20).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_policies() {
+        let mut p = ObfuscationPolicy::passthrough("bad");
+        p.size = SizeSpec::SplitAbove { threshold: 0 };
+        assert!(p.validate().is_err());
+
+        p.size = SizeSpec::FromHistogram(Histogram::new(0.0, 1500.0, 10));
+        assert!(p.validate().is_err(), "empty histogram must not sample");
+
+        p.size = SizeSpec::Unchanged;
+        p.delay = DelaySpec::UniformFraction {
+            lo_frac: 0.30,
+            hi_frac: 0.10,
+        };
+        assert!(p.validate().is_err(), "inverted fraction range");
+
+        p.delay = DelaySpec::UniformFraction {
+            lo_frac: f64::NAN,
+            hi_frac: 0.1,
+        };
+        assert!(p.validate().is_err(), "NaN fraction");
+
+        p.delay = DelaySpec::UniformAbsolute {
+            lo: Nanos(200),
+            hi: Nanos(100),
+        };
+        assert!(p.validate().is_err(), "inverted absolute range");
+
+        p.delay = DelaySpec::Unchanged;
+        p.tso = TsoSpec::Cap { pkts: 0 };
+        assert!(p.validate().is_err(), "zero TSO cap");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::policy::ObfuscationPolicy;
 use netsim::json::{Json, JsonError};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// What a policy is keyed on. Destination-scoped entries let many flows
@@ -36,6 +37,10 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct PolicyRegistry {
     inner: Arc<RwLock<Inner>>,
+    /// Connections that resolved a policy but fell back to pass-through
+    /// because it failed validation (shared across clones, like the
+    /// table itself — it is the host's degradation counter).
+    degraded: Arc<AtomicU64>,
 }
 
 impl PolicyKey {
@@ -118,6 +123,16 @@ impl PolicyRegistry {
     /// Current mutation counter (for cache invalidation on the datapath).
     pub fn version(&self) -> u64 {
         self.read().version
+    }
+
+    /// Record one pass-through fallback caused by an invalid policy.
+    pub fn note_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many attachments fell back to pass-through so far.
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {

@@ -68,6 +68,61 @@ pub fn attach_policy(
     })
 }
 
+/// Outcome of [`attach_policy_checked`]: either a live shaper, or an
+/// explicit account of why the connection runs unshaped.
+pub enum AttachResolution {
+    /// The policy resolved, validated, and was assembled.
+    Attached(AttachedShaper),
+    /// No policy applies to this flow: pass-through by configuration.
+    NoPolicy,
+    /// A policy resolved but failed [`ObfuscationPolicy::validate`]:
+    /// the stack degrades to pass-through rather than shaping with an
+    /// inconsistent policy (or panicking in the datapath).
+    ///
+    /// [`ObfuscationPolicy::validate`]: crate::policy::ObfuscationPolicy::validate
+    Degraded { policy_name: String, reason: String },
+}
+
+impl AttachResolution {
+    /// The shaper, if one was attached (degradation folds to `None`,
+    /// i.e. pass-through — exactly what an unshaped connection uses).
+    pub fn into_shaper(self) -> Option<AttachedShaper> {
+        match self {
+            AttachResolution::Attached(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Like [`attach_policy`], but an invalid policy degrades gracefully:
+/// the registry's degradation counter is bumped and the connection is
+/// reported as [`AttachResolution::Degraded`] instead of driving a
+/// shaper with inconsistent parameters. This is the §4.2-spirited
+/// failure mode: the stack must never let obfuscation break delivery.
+pub fn attach_policy_checked(
+    registry: &PolicyRegistry,
+    flow: u32,
+    destination: u32,
+    seed: u64,
+) -> AttachResolution {
+    let Some(policy) = registry.resolve(flow, destination) else {
+        return AttachResolution::NoPolicy;
+    };
+    if let Err(reason) = policy.validate() {
+        registry.note_degraded();
+        return AttachResolution::Degraded {
+            policy_name: policy.name.clone(),
+            reason,
+        };
+    }
+    match attach_policy(registry, flow, destination, seed) {
+        Some(shaper) => AttachResolution::Attached(shaper),
+        // The table changed between resolve and attach (another thread
+        // withdrew the policy): that is pass-through, not degradation.
+        None => AttachResolution::NoPolicy,
+    }
+}
+
 /// Adapter: `Box<dyn Shaper>` itself implements `Shaper` via this
 /// newtype (so it can sit inside the generic `SafetyCap`).
 struct BoxedShaper(Box<dyn Shaper>);
@@ -149,6 +204,53 @@ mod tests {
         let mut s = attach_policy(&reg, 1, 1, 42).expect("resolves");
         assert_eq!(s.packet_ip_size(&ctx(false, 29), 0, 1500), 750);
         assert_eq!(s.packet_ip_size(&ctx(false, 30), 0, 1500), 1500);
+    }
+
+    #[test]
+    fn checked_attach_degrades_on_an_invalid_policy() {
+        use crate::policy::DelaySpec;
+        let reg = PolicyRegistry::new();
+        let mut bad = ObfuscationPolicy::split_and_delay("bad");
+        bad.delay = DelaySpec::UniformFraction {
+            lo_frac: 0.30,
+            hi_frac: 0.10, // inverted: fails validation
+        };
+        reg.publish(PolicyKey::Default, bad);
+        match attach_policy_checked(&reg, 1, 1, 42) {
+            AttachResolution::Degraded {
+                policy_name,
+                reason,
+            } => {
+                assert_eq!(policy_name, "bad");
+                assert!(!reason.is_empty());
+            }
+            _ => panic!("invalid policy must degrade"),
+        }
+        assert_eq!(reg.degraded_count(), 1);
+        // Degradation folds to pass-through.
+        assert!(attach_policy_checked(&reg, 1, 1, 42)
+            .into_shaper()
+            .is_none());
+        assert_eq!(reg.degraded_count(), 2);
+    }
+
+    #[test]
+    fn checked_attach_passes_valid_policies_through() {
+        let reg = PolicyRegistry::new();
+        assert!(matches!(
+            attach_policy_checked(&reg, 1, 5, 42),
+            AttachResolution::NoPolicy
+        ));
+        reg.publish(
+            PolicyKey::Destination(5),
+            ObfuscationPolicy::split_and_delay("dest5"),
+        );
+        let mut s = attach_policy_checked(&reg, 1, 5, 42)
+            .into_shaper()
+            .expect("valid policy attaches");
+        assert_eq!(s.policy_name, "dest5");
+        assert_eq!(s.packet_ip_size(&ctx(false, 0), 0, 1500), 750);
+        assert_eq!(reg.degraded_count(), 0);
     }
 
     #[test]

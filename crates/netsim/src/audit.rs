@@ -1,0 +1,363 @@
+//! Runtime invariant checking for simulation runs.
+//!
+//! Fault injection ([`crate::fault`]) is only half the robustness story:
+//! the other half is noticing when a fault pushes the stack or a defense
+//! into violating one of the properties the reproduction rests on. The
+//! [`Auditor`] collects those checks behind one switch:
+//!
+//! * **event-time monotonicity** — the simulation clock never runs
+//!   backwards across popped events;
+//! * **pacing-release ordering** — no segment departs the qdisc before
+//!   the release time its shaper/pacer assigned;
+//! * **the paper's §4.2 safety rule** — obfuscated departures never
+//!   exceed what the congestion controller allowed at that instant;
+//! * **byte/packet conservation** — everything injected into the path is
+//!   eventually delivered, dropped (and counted), or still in transit.
+//!
+//! Violations are recorded as structured [`Violation`]s in an
+//! [`AuditReport`] instead of panicking, so a faulted sweep can report
+//! "0 violations across N checks" as a first-class experimental result —
+//! and a deliberately broken run can prove the auditor actually fires.
+//!
+//! The auditor is on by default in debug builds; release builds enable it
+//! with the `STOB_AUDIT=1` environment variable or
+//! [`Auditor::set_enabled`]. When disabled every check is a cheap
+//! early-return.
+
+use crate::time::Nanos;
+use crate::Json;
+
+/// The invariant classes the auditor knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    TimeMonotonic,
+    PacingRelease,
+    SafetyRule,
+    Conservation,
+}
+
+impl Invariant {
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::TimeMonotonic => "time-monotonic",
+            Invariant::PacingRelease => "pacing-release",
+            Invariant::SafetyRule => "safety-rule",
+            Invariant::Conservation => "conservation",
+        }
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub invariant: Invariant,
+    /// Simulation time at which the violation was observed.
+    pub at: Nanos,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} @ {}] {}",
+            self.invariant.name(),
+            self.at,
+            self.detail
+        )
+    }
+}
+
+/// Summary of an audited run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Number of individual checks evaluated.
+    pub checks: u64,
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("checks", self.checks)
+            .set("violations", self.violations.len() as u64)
+            .set(
+                "details",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj()
+                                .set("invariant", v.invariant.name())
+                                .set("at_ns", v.at.as_nanos())
+                                .set("detail", v.detail.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Reads the opt-in environment switch for release builds.
+fn env_enabled() -> bool {
+    std::env::var("STOB_AUDIT")
+        .map(|v| v.trim() == "1")
+        .unwrap_or(false)
+}
+
+/// The invariant checker. One per simulation; checks are O(1) and the
+/// caller supplies plain numbers, so `netsim` stays independent of the
+/// stack crate's types.
+#[derive(Debug)]
+pub struct Auditor {
+    enabled: bool,
+    last_pop: Nanos,
+    checks: u64,
+    violations: Vec<Violation>,
+    /// Cap so a systematically broken run cannot balloon memory.
+    max_recorded: usize,
+    dropped: u64,
+}
+
+impl Default for Auditor {
+    fn default() -> Self {
+        Auditor::new()
+    }
+}
+
+impl Auditor {
+    /// Debug builds audit by default; release builds only when
+    /// `STOB_AUDIT=1` (or after [`Auditor::set_enabled`]).
+    pub fn new() -> Self {
+        Auditor {
+            enabled: cfg!(debug_assertions) || env_enabled(),
+            last_pop: Nanos::ZERO,
+            checks: 0,
+            violations: Vec::new(),
+            max_recorded: 256,
+            dropped: 0,
+        }
+    }
+
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&mut self, invariant: Invariant, at: Nanos, detail: String) {
+        if self.violations.len() < self.max_recorded {
+            self.violations.push(Violation {
+                invariant,
+                at,
+                detail,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Event-pop times must be non-decreasing.
+    pub fn check_monotonic(&mut self, now: Nanos) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        if now < self.last_pop {
+            let last = self.last_pop;
+            self.record(
+                Invariant::TimeMonotonic,
+                now,
+                format!("event popped at {now} after clock reached {last}"),
+            );
+        }
+        self.last_pop = now;
+    }
+
+    /// A segment must not depart before its pacer/shaper release time.
+    pub fn check_release(&mut self, now: Nanos, eligible_at: Nanos, flow: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        if eligible_at > now {
+            self.record(
+                Invariant::PacingRelease,
+                now,
+                format!(
+                    "flow {flow}: segment departed at {now} before its release time {eligible_at}"
+                ),
+            );
+        }
+    }
+
+    /// §4.2 safety rule: bytes the flow has outstanding after a departure
+    /// must not exceed the congestion-control grant (`allowed`).
+    pub fn check_safety(&mut self, now: Nanos, flow: u64, outstanding: u64, allowed: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        if outstanding > allowed {
+            self.record(
+                Invariant::SafetyRule,
+                now,
+                format!(
+                    "flow {flow}: {outstanding} bytes outstanding exceeds the CCA grant of {allowed}"
+                ),
+            );
+        }
+    }
+
+    /// Path conservation: packets injected must equal delivered plus
+    /// dropped plus still-in-transit. Checked whenever the caller's
+    /// ledgers are supposed to balance (typically every delivery and at
+    /// finalize).
+    pub fn check_conservation(
+        &mut self,
+        now: Nanos,
+        injected: u64,
+        delivered: u64,
+        dropped: u64,
+        in_transit: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        if injected != delivered + dropped + in_transit {
+            self.record(
+                Invariant::Conservation,
+                now,
+                format!(
+                    "ledger off: injected {injected} != delivered {delivered} \
+                     + dropped {dropped} + in transit {in_transit}"
+                ),
+            );
+        }
+    }
+
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    pub fn report(&self) -> AuditReport {
+        let mut r = AuditReport {
+            checks: self.checks,
+            violations: self.violations.clone(),
+        };
+        if self.dropped > 0 {
+            let n = self.dropped;
+            r.violations.push(Violation {
+                invariant: Invariant::Conservation,
+                at: self.last_pop,
+                detail: format!("...and {n} further violations not recorded"),
+            });
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> Auditor {
+        let mut a = Auditor::new();
+        a.set_enabled(true);
+        a
+    }
+
+    #[test]
+    fn clean_run_reports_no_violations() {
+        let mut a = on();
+        for ms in [0u64, 1, 1, 2, 5] {
+            a.check_monotonic(Nanos::from_millis(ms));
+        }
+        a.check_release(Nanos::from_millis(5), Nanos::from_millis(5), 1);
+        a.check_safety(Nanos::from_millis(5), 1, 10_000, 20_000);
+        a.check_conservation(Nanos::from_millis(5), 10, 7, 2, 1);
+        let r = a.report();
+        assert!(r.clean());
+        assert_eq!(r.checks, 8);
+    }
+
+    #[test]
+    fn backwards_clock_is_reported() {
+        let mut a = on();
+        a.check_monotonic(Nanos::from_millis(10));
+        a.check_monotonic(Nanos::from_millis(9));
+        let r = a.report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, Invariant::TimeMonotonic);
+    }
+
+    #[test]
+    fn early_departure_is_reported() {
+        let mut a = on();
+        a.check_release(Nanos::from_millis(3), Nanos::from_millis(4), 7);
+        let v = &a.report().violations[0];
+        assert_eq!(v.invariant, Invariant::PacingRelease);
+        assert!(v.detail.contains("flow 7"), "{}", v.detail);
+    }
+
+    #[test]
+    fn safety_rule_breach_is_reported() {
+        let mut a = on();
+        a.check_safety(Nanos::from_millis(1), 3, 30_000, 20_000);
+        let r = a.report();
+        assert_eq!(r.violations[0].invariant, Invariant::SafetyRule);
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn conservation_mismatch_is_reported() {
+        let mut a = on();
+        a.check_conservation(Nanos::from_millis(1), 10, 5, 2, 1);
+        assert_eq!(a.report().violations[0].invariant, Invariant::Conservation);
+    }
+
+    #[test]
+    fn disabled_auditor_checks_nothing() {
+        let mut a = Auditor::new();
+        a.set_enabled(false);
+        a.check_monotonic(Nanos::from_millis(10));
+        a.check_monotonic(Nanos::from_millis(1));
+        a.check_safety(Nanos::ZERO, 1, u64::MAX, 0);
+        let r = a.report();
+        assert_eq!(r.checks, 0);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let mut a = on();
+        a.check_safety(Nanos::from_millis(1), 3, 30_000, 20_000);
+        let j = a.report().to_json();
+        let s = j.to_string_compact();
+        assert!(s.contains("safety-rule"), "{s}");
+        assert!(s.contains("\"violations\":1"), "{s}");
+    }
+
+    #[test]
+    fn recording_is_capped() {
+        let mut a = on();
+        for i in 0..1000 {
+            a.check_monotonic(Nanos::from_millis(1000 - i));
+        }
+        let r = a.report();
+        assert!(r.violations.len() <= 257);
+        assert!(r
+            .violations
+            .last()
+            .expect("capped marker")
+            .detail
+            .contains("not recorded"));
+    }
+}

@@ -85,7 +85,12 @@ impl<E> EventQueue<E> {
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
         self.heap.pop().map(|e| {
-            debug_assert!(e.at >= self.now);
+            debug_assert!(
+                e.at >= self.now,
+                "pop time went backwards: {} after {}",
+                e.at,
+                self.now
+            );
             self.now = e.at;
             (e.at, e.ev)
         })
@@ -167,6 +172,33 @@ mod tests {
         q.schedule_at(Nanos(100), 1);
         q.pop();
         q.schedule_at(Nanos(50), 2);
+    }
+
+    #[test]
+    fn pop_times_are_monotone_non_decreasing() {
+        // Interleave scheduling with popping — including events scheduled
+        // for the current instant mid-drain — and verify the popped
+        // timestamp sequence never decreases.
+        let mut q = EventQueue::new();
+        let mut rng = crate::SimRng::new(0xE7E27);
+        for _ in 0..200 {
+            q.schedule_at(Nanos(rng.range_u64(0, 1_000)), 0u32);
+        }
+        let mut last = Nanos::ZERO;
+        let mut popped = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last, "pop at {at} after {last}");
+            last = at;
+            popped += 1;
+            // Occasionally schedule more work at or after `now`.
+            if popped % 7 == 0 {
+                q.schedule_at(at + Nanos(rng.range_u64(0, 50)), 1);
+            }
+            if popped % 11 == 0 {
+                q.schedule_in(Nanos::ZERO, 2); // same-instant event
+            }
+        }
+        assert!(popped > 200);
     }
 
     #[test]

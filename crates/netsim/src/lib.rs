@@ -14,8 +14,10 @@
 //! its randomness from the root seed and its stable index, so thread
 //! count never changes results.
 
+pub mod audit;
 pub mod capture;
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod link;
 pub mod packet;
@@ -25,8 +27,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::{AuditReport, Auditor, Invariant, Violation};
 pub use capture::{Capture, CaptureRecord, Direction};
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultKind, FaultSchedule, FaultStats};
 pub use json::{Json, JsonError};
 pub use link::Link;
 pub use packet::{FlowId, Packet, PacketKind, PacketMeta};

@@ -47,6 +47,10 @@ impl Link {
     pub fn transmit(&mut self, now: Nanos, bytes: u64) -> (Nanos, Nanos) {
         let start = now.max(self.busy_until);
         let tx_done = start + self.tx_time(bytes);
+        debug_assert!(
+            tx_done >= now,
+            "tx_done {tx_done} earlier than handoff time {now}"
+        );
         self.busy_until = tx_done;
         self.bytes_sent += bytes;
         self.pkts_sent += 1;
@@ -122,6 +126,23 @@ mod tests {
         let l = Link::new(100_000_000_000, Nanos::from_micros(50));
         // 100 Gb/s * 100 us RTT = 1.25 MB
         assert_eq!(l.bdp_bytes(Nanos::from_micros(100)), 1_250_000);
+    }
+
+    #[test]
+    fn tx_done_never_precedes_handoff() {
+        // Even a zero-byte packet on a very fast link completes no
+        // earlier than the instant it was handed over, busy or idle.
+        let mut l = Link::new(100_000_000_000, Nanos::from_micros(50));
+        for (now, bytes) in [
+            (Nanos::ZERO, 0u64),
+            (Nanos::ZERO, 1),
+            (Nanos::from_micros(3), 1500),
+            (Nanos::from_millis(1), 0),
+        ] {
+            let (done, arrive) = l.transmit(now, bytes);
+            assert!(done >= now, "tx_done {done} < now {now}");
+            assert!(arrive >= done);
+        }
     }
 
     #[test]

@@ -294,6 +294,40 @@ mod tests {
     }
 
     #[test]
+    fn reordered_and_duplicated_acks_never_zero_or_wrap_cwnd() {
+        // Duplicated ACKs (same timestamp replayed) and reordered ACKs
+        // (timestamps moving backwards) must not corrupt the delivery-rate
+        // model: cwnd stays at least the 4-MSS floor and never wraps.
+        let mut cc = Bbr::new(MSS as u32, 10);
+        let now = feed(
+            &mut cc,
+            100,
+            MSS,
+            Nanos::from_millis(1),
+            Nanos::from_millis(10),
+            Nanos::ZERO,
+        );
+        let modeled = cc.cwnd();
+        let replay = |t: Nanos| AckInfo {
+            newly_acked: MSS,
+            rtt: Some(Nanos::from_millis(10)),
+            now: t,
+            inflight: 10 * MSS,
+        };
+        for _ in 0..20 {
+            cc.on_ack(&replay(now)); // exact duplicates
+            cc.on_ack(&replay(now.saturating_sub(Nanos::from_millis(5)))); // reordered
+            cc.on_loss(now, 10 * MSS); // duplicate loss signals from one burst
+        }
+        let cwnd = cc.cwnd();
+        assert!(cwnd >= 4 * MSS, "cwnd collapsed: {cwnd}");
+        assert!(
+            cwnd <= 4 * modeled.max(cc.init_cwnd),
+            "cwnd wrapped: {cwnd}"
+        );
+    }
+
+    #[test]
     fn loss_is_ignored_but_rto_resets() {
         let mut cc = Bbr::new(MSS as u32, 10);
         feed(

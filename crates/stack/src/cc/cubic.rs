@@ -119,7 +119,11 @@ impl CongestionControl for Cubic {
             };
             self.w_est = self.cwnd as f64;
         }
-        let t = (now - self.epoch_start.expect("epoch set above")).as_secs_f64();
+        // A reordered ACK can carry a timestamp from before the epoch
+        // started; clamp to t = 0 rather than underflowing.
+        let t = now
+            .saturating_sub(self.epoch_start.expect("epoch set above"))
+            .as_secs_f64();
         let w_max_segs = self.segs(self.w_max as u64).max(self.segs(self.cwnd));
         let target_segs = C * (t - self.k).powi(3) + w_max_segs;
         let target = target_segs * self.mss as f64;
@@ -268,6 +272,30 @@ mod tests {
         let w = cc.cwnd();
         cc.on_loss(Nanos::from_millis(11), w);
         assert_eq!(cc.cwnd(), w);
+    }
+
+    #[test]
+    fn reordered_and_duplicated_acks_never_zero_or_wrap_cwnd() {
+        // An ACK delivered late (carrying a timestamp before the current
+        // congestion-avoidance epoch started) or processed twice must not
+        // panic, zero the window, or wrap it. Regression: the cubic `t`
+        // computation used a plain subtraction that underflowed when
+        // `ack.now` predated `epoch_start`.
+        let mut cc = Cubic::new(MSS as u32, 100);
+        let initial = cc.cwnd();
+        cc.on_loss(Nanos::from_millis(10), initial);
+        // First post-recovery ACK starts the cubic epoch at t = 200 ms.
+        cc.on_ack(&ack_at(MSS, Nanos::from_millis(200)));
+        // A reordered ACK from before the epoch, then an exact duplicate,
+        // then a duplicate loss signal from the same burst.
+        cc.on_ack(&ack_at(MSS, Nanos::from_millis(150)));
+        cc.on_ack(&ack_at(MSS, Nanos::from_millis(150)));
+        cc.on_loss(Nanos::from_millis(150), cc.cwnd());
+        for _ in 0..50 {
+            cc.on_ack(&ack_at(MSS, Nanos::from_millis(150)));
+        }
+        assert!(cc.cwnd() >= 2 * MSS, "cwnd collapsed: {}", cc.cwnd());
+        assert!(cc.cwnd() <= 4 * initial, "cwnd wrapped: {}", cc.cwnd());
     }
 
     #[test]

@@ -13,8 +13,10 @@ use crate::qdisc::{FqQdisc, SegDesc};
 use crate::quic::{QuicConn, QuicStats};
 use crate::shaper::BoxShaper;
 use crate::tcp::{ConnStats, TcpAction, TcpConn, TimerKind};
+use netsim::fault::Departure;
 use netsim::{
-    Capture, Direction, DropTailQueue, EventQueue, FlowId, Nanos, Packet, PacketKind, SimRng,
+    AuditReport, Auditor, Capture, Direction, DropTailQueue, EventQueue, FaultInjector,
+    FaultSchedule, FaultStats, FlowId, Nanos, Packet, PacketKind, SimRng,
 };
 use std::collections::BTreeMap;
 
@@ -66,6 +68,10 @@ enum Ev {
     },
     /// Application timer.
     AppTimer { host: usize, token: u64 },
+    /// A buffering link flap ended: drain held packets into the path.
+    FlapRelease { dir: usize },
+    /// Scheduled mid-flow path-MTU reduction from the fault schedule.
+    MtuChange { new_mtu_ip: u32 },
 }
 
 /// A transport endpoint: the stack supports TCP and QUIC side by side
@@ -111,6 +117,12 @@ impl Transport {
             Transport::Quic(c) => c.set_shaper(shaper),
         }
     }
+    fn set_mtu(&mut self, mtu_ip: u32) {
+        match self {
+            Transport::Tcp(c) => c.set_mtu(mtu_ip),
+            Transport::Quic(c) => c.set_mtu(mtu_ip),
+        }
+    }
 }
 
 struct Host {
@@ -144,6 +156,18 @@ pub struct PathStats {
     pub delivered_pkts: u64,
 }
 
+/// Packet-conservation ledger kept for the auditor: everything injected
+/// into the path must end up delivered, dropped (and counted), or still
+/// in transit.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathLedger {
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    /// Arrive events scheduled but not yet handled.
+    arrivals_pending: u64,
+}
+
 /// The whole simulated world.
 pub struct Network {
     q: EventQueue<Ev>,
@@ -155,6 +179,14 @@ pub struct Network {
     rng: SimRng,
     next_flow: u32,
     started: bool,
+    /// Fault injector, when a schedule was installed via `set_faults`.
+    faults: Option<FaultInjector>,
+    /// Packets held during a buffering link flap, per direction.
+    flap_held: [Vec<Packet>; 2],
+    /// Runtime invariant checker (debug default; `STOB_AUDIT=1` or
+    /// `set_audit` elsewhere).
+    auditor: Auditor,
+    ledger: PathLedger,
     pub path_stats: PathStats,
     /// Vantage point at the client access link (the paper's capture
     /// position). `Out` = client→server.
@@ -185,6 +217,10 @@ impl Network {
             rng: SimRng::new(seed),
             next_flow: 1,
             started: false,
+            faults: None,
+            flap_held: [Vec::new(), Vec::new()],
+            auditor: Auditor::new(),
+            ledger: PathLedger::default(),
             path_stats: PathStats::default(),
             client_capture: Capture::new(),
             server_capture: Capture::new(),
@@ -209,7 +245,8 @@ impl Network {
     /// Run until the event queue drains. Returns the final time.
     pub fn run_to_idle(&mut self) -> Nanos {
         self.start();
-        while let Some((_, ev)) = self.q.pop() {
+        while let Some((t, ev)) = self.q.pop() {
+            self.auditor.check_monotonic(t);
             self.handle(ev);
         }
         self.q.now()
@@ -222,9 +259,60 @@ impl Network {
             if t > deadline {
                 break;
             }
-            let (_, ev) = self.q.pop().expect("peeked event vanished");
+            let (t, ev) = self.q.pop().expect("peeked event vanished");
+            self.auditor.check_monotonic(t);
             self.handle(ev);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & auditing
+    // ------------------------------------------------------------------
+
+    /// Install a fault schedule. MTU-drop items become scheduled events;
+    /// the rest are consulted as packets traverse the path.
+    pub fn set_faults(&mut self, schedule: &FaultSchedule) {
+        let inj = FaultInjector::new(schedule);
+        for (at, new_mtu_ip) in inj.mtu_events() {
+            self.q
+                .schedule_at(at.max(self.q.now()), Ev::MtuChange { new_mtu_ip });
+        }
+        self.faults = Some(inj);
+    }
+
+    /// Counters of faults that actually fired (`None` without a schedule).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Force the invariant auditor on or off (debug builds default on;
+    /// release builds honour `STOB_AUDIT=1`).
+    pub fn set_audit(&mut self, on: bool) {
+        self.auditor.set_enabled(on);
+    }
+
+    /// Final invariant report: runs the conservation check over the path
+    /// ledger, then snapshots all recorded violations.
+    pub fn audit_report(&mut self) -> AuditReport {
+        let now = self.q.now();
+        let in_transit = self.in_transit_pkts();
+        self.auditor.check_conservation(
+            now,
+            self.ledger.injected,
+            self.ledger.delivered,
+            self.ledger.dropped,
+            in_transit,
+        );
+        self.auditor.report()
+    }
+
+    /// Packets currently somewhere on the path (bottleneck queues, the
+    /// transmitters, flap-hold buffers, or propagating toward a host).
+    fn in_transit_pkts(&self) -> u64 {
+        let queued: u64 = self.bn_queue.iter().map(|q| q.len() as u64).sum();
+        let inflight = self.bn_inflight.iter().flatten().count() as u64;
+        let held: u64 = self.flap_held.iter().map(|h| h.len() as u64).sum();
+        queued + inflight + held + self.ledger.arrivals_pending
     }
 
     // ------------------------------------------------------------------
@@ -305,12 +393,60 @@ impl Network {
             Ev::AppTimer { host, token } => {
                 self.with_app(host, |app, api| app.on_timer(api, token));
             }
+            Ev::FlapRelease { dir } => self.flap_release(dir),
+            Ev::MtuChange { new_mtu_ip } => self.mtu_change(new_mtu_ip),
+        }
+    }
+
+    /// Apply a scheduled path-MTU reduction to every live connection on
+    /// both hosts (the stand-in for ICMP "fragmentation needed" reaching
+    /// each endpoint). Segments already queued keep their old size;
+    /// everything packetized afterwards uses the smaller MTU.
+    fn mtu_change(&mut self, new_mtu_ip: u32) {
+        if let Some(f) = self.faults.as_mut() {
+            f.stats.mtu_changes += 1;
+        }
+        for h in self.hosts.iter_mut() {
+            for conn in h.conns.values_mut() {
+                conn.set_mtu(new_mtu_ip);
+            }
         }
     }
 
     /// Apply transport actions produced by conn `flow` on `host`.
     fn apply(&mut self, host: usize, flow: FlowId, acts: Vec<TcpAction>) {
         let now = self.q.now();
+        // §4.2 audit: the batch of fresh (non-retransmit) departures one
+        // output pass authorises must fit within the congestion
+        // controller's grant, and so must the flow's in-network estimate.
+        // `slop` is the one-burst overshoot the send loop structurally
+        // permits (the gate runs before each segment is built).
+        if self.auditor.enabled() {
+            let fresh: u64 = acts
+                .iter()
+                .filter_map(|a| match a {
+                    TcpAction::SendSeg(s) if !s.pkts.iter().any(|p| p.meta.retransmit) => {
+                        Some(s.payload_bytes())
+                    }
+                    _ => None,
+                })
+                .sum();
+            if fresh > 0 {
+                let (outstanding, grant) = match self.hosts[host].conns.get(&flow) {
+                    Some(Transport::Tcp(c)) => (c.pipe().max(fresh), c.cwnd()),
+                    Some(Transport::Quic(c)) => (c.inflight().max(fresh), c.cwnd()),
+                    None => (0, u64::MAX),
+                };
+                let s = &self.hosts[host].cfg.stack;
+                let slop = u64::from(s.tso_max_pkts.max(16)) * u64::from(s.mss());
+                self.auditor.check_safety(
+                    now,
+                    u64::from(flow.0),
+                    outstanding,
+                    grant.saturating_add(slop),
+                );
+            }
+        }
         for act in acts {
             match act {
                 TcpAction::SendSeg(seg) => {
@@ -387,6 +523,8 @@ impl Network {
         }
         match h.qdisc.dequeue(now) {
             Some(seg) => {
+                self.auditor
+                    .check_release(now, seg.eligible_at, u64::from(seg.flow.0));
                 let flow = seg.flow;
                 let wire = seg.wire_bytes;
                 let (done, pkts) = h.nic.transmit_segment(now, seg);
@@ -414,18 +552,81 @@ impl Network {
             CLIENT => self.client_capture.observe(now, Direction::Out, &pkt),
             _ => self.server_capture.observe(now, Direction::Out, &pkt),
         }
+        self.ledger.injected += 1;
         // Random loss (configured paths only).
         if self.path.loss > 0.0 && self.rng.chance(self.path.loss) {
             self.path_stats.random_drops += 1;
+            self.ledger.dropped += 1;
             return;
         }
         let dir = host; // direction index = source host
+                        // Fault injection at the path entry: burst loss, duplication,
+                        // then link flaps (a dropped packet cannot duplicate; a held one
+                        // waits out the outage).
+        let mut copies: u64 = 1;
+        if let Some(f) = self.faults.as_mut() {
+            match f.on_departure(dir, now) {
+                Departure::Deliver => {}
+                Departure::Drop => {
+                    self.ledger.dropped += 1;
+                    return;
+                }
+                Departure::Duplicate => {
+                    copies = 2;
+                    self.ledger.injected += 1;
+                }
+            }
+            if let Some(down) = f.link_down(dir, now) {
+                if down.drop {
+                    f.stats.flap_drops += copies;
+                    self.ledger.dropped += copies;
+                    return;
+                }
+                f.stats.flap_held += copies;
+                let first = self.flap_held[dir].is_empty();
+                if copies == 2 {
+                    self.flap_held[dir].push(pkt.clone());
+                }
+                self.flap_held[dir].push(pkt);
+                if first {
+                    self.q.schedule_at(down.until, Ev::FlapRelease { dir });
+                }
+                return;
+            }
+        }
+        if copies == 2 {
+            self.enter_bottleneck(dir, pkt.clone());
+        }
+        self.enter_bottleneck(dir, pkt);
+    }
+
+    /// Hand a packet to the bottleneck transmitter for direction `dir`.
+    fn enter_bottleneck(&mut self, dir: usize, pkt: Packet) {
+        let now = self.q.now();
         if self.bn_inflight[dir].is_none() {
             let tx = Nanos::for_bytes_at_rate(pkt.wire_len as u64, self.path.bottleneck_bps);
             self.bn_inflight[dir] = Some(pkt);
             self.q.schedule_at(now + tx, Ev::BnTxDone { dir });
         } else if !self.bn_queue[dir].enqueue(pkt) {
             self.path_stats.overflow_drops += 1;
+            self.ledger.dropped += 1;
+        }
+    }
+
+    /// A buffering flap's recovery time arrived: if the link is still
+    /// down (overlapping windows), re-arm; otherwise drain the held
+    /// packets in order.
+    fn flap_release(&mut self, dir: usize) {
+        let now = self.q.now();
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(down) = f.link_down(dir, now) {
+                self.q.schedule_at(down.until, Ev::FlapRelease { dir });
+                return;
+            }
+        }
+        let held = std::mem::take(&mut self.flap_held[dir]);
+        for pkt in held {
+            self.enter_bottleneck(dir, pkt);
         }
     }
 
@@ -434,8 +635,15 @@ impl Network {
         let pkt = self.bn_inflight[dir].take().expect("no packet in flight");
         let dst = 1 - dir;
         self.path_stats.delivered_pkts += 1;
+        // Reorder jitter and RTT spikes stretch propagation only:
+        // packets may overtake each other, never travel back in time.
+        let mut delay = self.path.one_way_delay;
+        if let Some(f) = self.faults.as_mut() {
+            delay += f.extra_arrival_delay(dir, now);
+        }
+        self.ledger.arrivals_pending += 1;
         self.q
-            .schedule_at(now + self.path.one_way_delay, Ev::Arrive { host: dst, pkt });
+            .schedule_at(now + delay, Ev::Arrive { host: dst, pkt });
         if let Some(next) = self.bn_queue[dir].dequeue() {
             let tx = Nanos::for_bytes_at_rate(next.wire_len as u64, self.path.bottleneck_bps);
             self.bn_inflight[dir] = Some(next);
@@ -445,6 +653,18 @@ impl Network {
 
     fn arrive(&mut self, host: usize, pkt: Packet) {
         let now = self.q.now();
+        self.ledger.arrivals_pending -= 1;
+        self.ledger.delivered += 1;
+        if self.auditor.enabled() {
+            let in_transit = self.in_transit_pkts();
+            self.auditor.check_conservation(
+                now,
+                self.ledger.injected,
+                self.ledger.delivered,
+                self.ledger.dropped,
+                in_transit,
+            );
+        }
         match host {
             CLIENT => self.client_capture.observe(now, Direction::In, &pkt),
             _ => self.server_capture.observe(now, Direction::In, &pkt),
@@ -1006,6 +1226,257 @@ mod tests {
         assert!(
             total_gbps > 0.05,
             "aggregate goodput {total_gbps:.3} Gb/s too low"
+        );
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        // A lossy (Bernoulli) bulk transfer with the auditor forced on:
+        // every invariant must hold and the ledger must balance.
+        let (hc, hs) = fast_hosts();
+        let mut path = PathConfig::internet(50, 20);
+        path.loss = 0.02;
+        let mut net = Network::new(
+            hc,
+            hs,
+            path,
+            Box::new(BulkSender::new(1_000_000)),
+            Box::new(Sink::default()),
+            40,
+        );
+        net.set_audit(true);
+        net.run_to_idle();
+        let rep = net.audit_report();
+        assert!(rep.clean(), "violations: {:?}", rep.violations);
+        assert!(rep.checks > 0);
+    }
+
+    #[test]
+    fn faulted_run_recovers_and_audits_clean() {
+        use netsim::FaultKind;
+        // GE burst loss + reordering + duplication at once: TCP must
+        // still deliver exactly, and no invariant may break.
+        let (hc, hs) = fast_hosts();
+        let total = 1_000_000;
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            41,
+        );
+        let sched = FaultSchedule::new(0xFA)
+            .push(FaultKind::GilbertElliott {
+                p_good_to_bad: 0.01,
+                p_bad_to_good: 0.3,
+                loss_good: 0.0,
+                loss_bad: 0.3,
+            })
+            .push(FaultKind::Reorder {
+                prob: 0.05,
+                max_extra: Nanos::from_millis(2),
+            })
+            .push(FaultKind::Duplicate { prob: 0.02 });
+        net.set_faults(&sched);
+        net.set_audit(true);
+        net.run_to_idle();
+        assert_eq!(
+            net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+            total,
+            "delivery must survive compound faults"
+        );
+        let stats = net.fault_stats().unwrap();
+        assert!(stats.ge_drops > 0, "{stats:?}");
+        assert!(stats.duplicates > 0, "{stats:?}");
+        let rep = net.audit_report();
+        assert!(rep.clean(), "violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn buffering_flap_stalls_then_completes() {
+        use netsim::FaultKind;
+        let (hc, hs) = fast_hosts();
+        let total = 2_000_000;
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            42,
+        );
+        let sched = FaultSchedule::new(7).push(FaultKind::LinkFlap {
+            down_at: Nanos::from_millis(100),
+            up_at: Nanos::from_millis(250),
+            drop: false,
+        });
+        net.set_faults(&sched);
+        net.set_audit(true);
+        net.run_to_idle();
+        assert_eq!(
+            net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+            total
+        );
+        assert!(net.fault_stats().unwrap().flap_held > 0);
+        let rep = net.audit_report();
+        assert!(rep.clean(), "violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn hard_outage_forces_recovery() {
+        use netsim::FaultKind;
+        let (hc, hs) = fast_hosts();
+        let total = 2_000_000;
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            43,
+        );
+        let sched = FaultSchedule::new(9).push(FaultKind::LinkFlap {
+            down_at: Nanos::from_millis(100),
+            up_at: Nanos::from_millis(220),
+            drop: true,
+        });
+        net.set_faults(&sched);
+        net.set_audit(true);
+        net.run_to_idle();
+        assert_eq!(
+            net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+            total,
+            "transfer must complete after the outage"
+        );
+        assert!(net.fault_stats().unwrap().flap_drops > 0);
+        let cs = net.conn_stats(CLIENT, FlowId(1)).unwrap();
+        assert!(
+            cs.fast_retransmits + cs.rtos > 0,
+            "an outage must trigger loss recovery"
+        );
+        assert!(net.audit_report().clean());
+    }
+
+    #[test]
+    fn mid_flow_mtu_drop_shrinks_packets() {
+        use netsim::FaultKind;
+        let (hc, hs) = fast_hosts();
+        let total = 3_000_000;
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            44,
+        );
+        let at = Nanos::from_millis(150);
+        let sched = FaultSchedule::new(1).push(FaultKind::MtuDrop {
+            at,
+            new_mtu_ip: 1200,
+        });
+        net.set_faults(&sched);
+        net.set_audit(true);
+        net.run_to_idle();
+        assert_eq!(
+            net.conn_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+            total
+        );
+        assert_eq!(net.fault_stats().unwrap().mtu_changes, 1);
+        // Segments queued before the change drain with the old size;
+        // everything packetized well after it obeys the reduced MTU
+        // (1200 IP + 14 Ethernet on the wire).
+        let slack = Nanos::from_millis(200);
+        let late: Vec<u32> = net
+            .client_capture
+            .records
+            .iter()
+            .filter(|r| {
+                r.kind == PacketKind::TcpData && r.dir == Direction::Out && r.ts > at + slack
+            })
+            .map(|r| r.wire_len)
+            .collect();
+        assert!(!late.is_empty(), "transfer ended before the MTU change");
+        assert!(
+            late.iter().all(|&w| w <= 1214),
+            "oversized post-change packet: {late:?}"
+        );
+        assert!(net.audit_report().clean());
+    }
+
+    #[test]
+    fn auditor_flags_a_segment_released_before_its_pacing_time() {
+        // Negative test: deliberately violate the pacing-release
+        // invariant through the real dequeue path by pushing a segment
+        // whose release time is in the future into the unpaced band.
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::default(),
+            Box::new(NullApp),
+            Box::new(NullApp),
+            45,
+        );
+        net.set_audit(true);
+        net.start();
+        let pkt = Packet::tcp_data(FlowId(9), 0, 0, 1000);
+        let seg = SegDesc::new(FlowId(9), vec![pkt], Nanos::from_millis(5));
+        net.hosts[CLIENT].qdisc.enqueue_prio(seg);
+        net.qdisc_check(CLIENT); // departs at t=0, 5 ms early
+        let rep = net.audit_report();
+        assert!(!rep.clean());
+        assert_eq!(
+            rep.violations[0].invariant,
+            netsim::Invariant::PacingRelease
+        );
+    }
+
+    #[test]
+    fn auditor_flags_departures_beyond_the_cc_grant() {
+        // Negative test for the §4.2 safety rule: fabricate an output
+        // batch far larger than the flow's congestion window and push it
+        // through `apply`. The real stack clamps its emissions (see
+        // `tcp::tests::shaper_cannot_grow_past_proposed`), so this
+        // models a buggy shaper integration bypassing those clamps.
+        struct Opener;
+        impl App for Opener {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect();
+            }
+        }
+        let (hc, hs) = fast_hosts();
+        let mut net = Network::new(
+            hc,
+            hs,
+            PathConfig::internet(50, 20),
+            Box::new(Opener),
+            Box::new(NullApp),
+            46,
+        );
+        net.set_audit(true);
+        net.run_to_idle(); // handshake completes, connection idle
+        let flow = FlowId(1);
+        let cwnd = match net.hosts[CLIENT].conns.get(&flow) {
+            Some(Transport::Tcp(c)) => c.cwnd(),
+            _ => panic!("tcp conn expected"),
+        };
+        let mss = 1448u64;
+        let total = cwnd + 200_000; // far beyond grant + burst slop
+        let npkts = total.div_ceil(mss);
+        let pkts: Vec<Packet> = (0..npkts)
+            .map(|i| Packet::tcp_data(flow, i * mss, 0, mss as u32))
+            .collect();
+        let seg = SegDesc::new(flow, pkts, net.now());
+        net.apply(CLIENT, flow, vec![TcpAction::SendSeg(seg)]);
+        let rep = net.audit_report();
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| v.invariant == netsim::Invariant::SafetyRule),
+            "safety breach not flagged: {:?}",
+            rep.violations
         );
     }
 

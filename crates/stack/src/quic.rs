@@ -142,6 +142,14 @@ impl QuicConn {
     pub fn set_shaper(&mut self, shaper: BoxShaper) {
         self.shaper = shaper;
     }
+
+    /// Mid-flow path-MTU reduction: shrink the datagram size used for
+    /// future packetization (downward-only PMTU re-discovery). A floor
+    /// keeps a pathological schedule from producing degenerate datagrams.
+    pub fn set_mtu(&mut self, mtu_ip: u32) {
+        let dgram = mtu_ip.saturating_sub(DGRAM_HDR).max(256);
+        self.max_datagram = self.max_datagram.min(dgram);
+    }
     pub fn established(&self) -> bool {
         self.state == QuicState::Established
     }

@@ -193,6 +193,14 @@ impl TcpConn {
         self.shaper = shaper;
     }
 
+    /// Mid-flow path-MTU reduction (the stand-in for an ICMP
+    /// "fragmentation needed"): future packetization uses the smaller
+    /// size. Only shrinks — never grows past the configured MTU — and
+    /// never goes below the RFC 879 minimum packet.
+    pub fn set_mtu(&mut self, mtu_ip: u32) {
+        self.cfg.mtu_ip = mtu_ip.clamp(MIN_IP_PACKET, self.cfg.mtu_ip);
+    }
+
     // ---------------------------------------------------------------
     // Introspection
     // ---------------------------------------------------------------
@@ -1201,6 +1209,123 @@ mod tests {
             .any(|x| matches!(x, TcpAction::SendCtl(p) if p.meta.retransmit && p.seq == 0)));
         assert_eq!(a.stats.rtos, 1);
         assert_eq!(a.cwnd(), MSS, "RTO collapses window");
+    }
+
+    #[test]
+    fn rto_backoff_doubles_then_caps() {
+        // Successive RTO firings without forward progress back off
+        // exponentially, but the multiplier is capped (shift 6 = 64x) so
+        // a long outage never overflows the deadline arithmetic.
+        let (mut a, mut b, mut ca, mut cb) = pair();
+        establish(&mut a, &mut b, &mut ca, &mut cb);
+        a.write(10_000);
+        let _ = a.output(Nanos::from_millis(1), &mut ca);
+        let mut intervals = Vec::new();
+        for _ in 0..9 {
+            let fired_at = a.rto_deadline;
+            let acts = a.on_timer(TimerKind::Rto, a.rto_gen, fired_at);
+            assert!(acts
+                .iter()
+                .any(|x| matches!(x, TcpAction::SendCtl(p) if p.meta.retransmit)));
+            intervals.push(a.rto_deadline - fired_at);
+        }
+        // First firing leaves backoff=1: the next wait is 2x the base RTO.
+        for i in 1..intervals.len() {
+            let expect = if i < 6 {
+                intervals[i - 1] * 2
+            } else {
+                intervals[5] // capped: constant from shift 6 onward
+            };
+            assert_eq!(intervals[i], expect, "interval {i}");
+        }
+        assert_eq!(intervals[8], intervals[0] * 32, "cap is 64x base RTO");
+        assert_eq!(a.stats.rtos, 9);
+    }
+
+    #[test]
+    fn sack_scoreboard_merges_overlapping_and_adjacent_ranges() {
+        let (mut a, _b, _ca, _cb) = pair();
+        // Two disjoint holes.
+        a.note_sack(1_000, 2_000);
+        a.note_sack(3_000, 4_000);
+        assert_eq!(a.sacked.len(), 2);
+        assert_eq!(a.sacked_bytes(), 2_000);
+        // A block exactly bridging them (adjacent on both sides) must
+        // collapse the scoreboard to a single range.
+        a.note_sack(2_000, 3_000);
+        assert_eq!(a.sacked.len(), 1);
+        assert_eq!(a.sacked.get(&1_000), Some(&4_000));
+        // Overlapping extensions on either side grow the same range.
+        a.note_sack(500, 1_500);
+        a.note_sack(3_500, 4_500);
+        assert_eq!(a.sacked.len(), 1);
+        assert_eq!(a.sacked.get(&500), Some(&4_500));
+        assert_eq!(a.sacked_bytes(), 4_000);
+        // A fully-contained block is absorbed without double counting.
+        a.note_sack(600, 700);
+        assert_eq!(a.sacked.len(), 1);
+        assert_eq!(a.sacked_bytes(), 4_000);
+        // Degenerate and stale blocks are ignored.
+        a.note_sack(5_000, 5_000);
+        a.snd_una = 10_000;
+        a.note_sack(6_000, 7_000);
+        assert_eq!(a.sacked.len(), 1);
+    }
+
+    #[test]
+    fn fast_retransmit_then_rto_recovers_from_a_loss_burst() {
+        // A burst loses the head segment AND its fast retransmission; the
+        // connection must fall back to RTO and still deliver every byte.
+        let (mut a, mut b, mut ca, mut cb) = pair();
+        establish(&mut a, &mut b, &mut ca, &mut cb);
+        let n = 100_000;
+        a.write(n);
+        let acts = a.output(Nanos::from_millis(1), &mut ca);
+        let pkts: Vec<Packet> = acts
+            .iter()
+            .flat_map(|x| match x {
+                TcpAction::SendSeg(s) => s.pkts.clone(),
+                _ => Vec::new(),
+            })
+            .collect();
+        assert!(pkts.len() >= 4, "need a window to lose the head of");
+        // Head packet lost: every later arrival provokes a dup ACK.
+        let mut dup_acks = Vec::new();
+        for p in &pkts[1..] {
+            for act in b.input(p, Nanos::from_millis(2), &mut cb) {
+                if let TcpAction::SendCtl(ack) = act {
+                    dup_acks.push(ack);
+                }
+            }
+        }
+        assert!(dup_acks.len() >= 3);
+        let mut retx = Vec::new();
+        for ack in &dup_acks {
+            for act in a.input(ack, Nanos::from_millis(3), &mut ca) {
+                if let TcpAction::SendCtl(p) = act {
+                    if p.meta.retransmit {
+                        retx.push(p);
+                    }
+                }
+            }
+        }
+        assert_eq!(retx.len(), 1, "exactly one fast retransmit");
+        assert_eq!(retx[0].seq, 0);
+        assert_eq!(a.stats.fast_retransmits, 1);
+        // The retransmission is lost too: the RTO fires next.
+        let fired_at = a.rto_deadline;
+        let acts = a.on_timer(TimerKind::Rto, a.rto_gen, fired_at);
+        assert_eq!(a.stats.rtos, 1);
+        assert_eq!(a.rto_backoff, 1);
+        assert!(a.sacked.is_empty(), "RTO flushes the SACK scoreboard");
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, TcpAction::SendCtl(p) if p.meta.retransmit && p.seq == 0)));
+        // Let the (delivered) RTO retransmission drive full recovery.
+        let (_, to_b) = shuttle(&mut a, &mut b, &mut ca, &mut cb, fired_at, acts, true);
+        assert_eq!(to_b, n, "every byte delivered despite the double loss");
+        assert!(a.send_complete());
+        assert_eq!(b.rcv_nxt, n);
     }
 
     #[test]

@@ -4,6 +4,23 @@ use crate::model::Trace;
 use netsim::json::{Json, JsonError};
 use netsim::SimRng;
 
+/// What a lenient load kept and what it had to drop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Trace records parsed and kept.
+    pub kept: usize,
+    /// Records skipped because they failed to parse.
+    pub bad_records: usize,
+    /// Records skipped because their label is outside the class list.
+    pub bad_labels: usize,
+}
+
+impl LoadStats {
+    pub fn skipped(&self) -> usize {
+        self.bad_records + self.bad_labels
+    }
+}
+
 /// A closed-world dataset: traces with labels in `0..n_classes`.
 #[derive(Debug, Clone)]
 pub struct Dataset {
@@ -78,6 +95,38 @@ impl Dataset {
             .map(Trace::from_json)
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Dataset::new(traces, class_names))
+    }
+
+    /// Like [`Dataset::from_json`], but malformed trace records are
+    /// skipped and counted instead of failing the whole load — a corpus
+    /// with one truncated line is still ninety-nine good traces. Only a
+    /// missing/unreadable `class_names` or `traces` field (nothing is
+    /// interpretable without them) fails the parse.
+    pub fn from_json_lenient(v: &Json) -> Result<(Dataset, LoadStats), JsonError> {
+        let class_names: Vec<String> = v
+            .req_arr("class_names")?
+            .iter()
+            .filter_map(|n| n.as_str().map(str::to_string))
+            .collect();
+        let mut stats = LoadStats::default();
+        let mut traces = Vec::new();
+        for item in v.req_arr("traces")? {
+            match Trace::from_json(item) {
+                Ok(t) if t.label < class_names.len() => {
+                    traces.push(t);
+                    stats.kept += 1;
+                }
+                Ok(_) => stats.bad_labels += 1,
+                Err(_) => stats.bad_records += 1,
+            }
+        }
+        Ok((
+            Dataset {
+                traces,
+                class_names,
+            },
+            stats,
+        ))
     }
 
     /// Apply a per-trace transformation (e.g. a defense) to every trace.
@@ -208,6 +257,35 @@ mod tests {
         assert!(d.traces.iter().all(|t| t.len() <= 15));
         let full = dataset().truncated(0);
         assert!(full.traces.iter().any(|t| t.len() > 15));
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_counts_bad_records() {
+        let d = dataset();
+        let json = d.to_json();
+        // Corrupt the persisted form: one record becomes a bare number,
+        // one gets an out-of-range label, one loses its packets field.
+        let mut traces = json.req_arr("traces").expect("traces").to_vec();
+        traces[0] = Json::from(42u64);
+        traces[1] = Json::obj().set("label", 999u64).set("visit", 0u64);
+        let broken = Json::obj()
+            .set(
+                "class_names",
+                json.field("class_names").expect("names").clone(),
+            )
+            .set("traces", Json::Arr(traces));
+        // Strict parsing refuses the whole corpus...
+        assert!(Dataset::from_json(&broken).is_err());
+        // ...lenient parsing keeps the 28 good traces and counts the rest.
+        let (lenient, stats) = Dataset::from_json_lenient(&broken).expect("lenient");
+        assert_eq!(lenient.len(), d.len() - 2);
+        assert_eq!(stats.kept, d.len() - 2);
+        assert_eq!(stats.skipped(), 2);
+        assert!(stats.bad_records >= 1, "{stats:?}");
+        // An intact corpus loads without skips.
+        let (full, stats) = Dataset::from_json_lenient(&json).expect("intact");
+        assert_eq!(full.len(), d.len());
+        assert_eq!(stats.skipped(), 0);
     }
 
     #[test]

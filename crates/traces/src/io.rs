@@ -2,7 +2,7 @@
 //! (e.g. a slow full-stack collection) can be reused by another (attack
 //! sweeps, defense matrices) without re-simulation.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, LoadStats};
 use netsim::json::Json;
 use std::fs;
 use std::io;
@@ -18,6 +18,15 @@ pub fn load_dataset(path: &Path) -> io::Result<Dataset> {
     let json = fs::read_to_string(path)?;
     let value = Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Dataset::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Load a dataset, skipping (and counting) malformed trace records
+/// instead of failing the whole file. Use for field-collected corpora
+/// where one truncated write should not discard the rest.
+pub fn load_dataset_lenient(path: &Path) -> io::Result<(Dataset, LoadStats)> {
+    let json = fs::read_to_string(path)?;
+    let value = Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Dataset::from_json_lenient(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -38,6 +47,32 @@ mod tests {
         let back = load_dataset(&path).expect("load");
         assert_eq!(back.class_names, d.class_names);
         assert_eq!(back.traces, d.traces);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_load_survives_a_corrupt_record() {
+        let sites: Vec<_> = paper_sites().into_iter().take(2).collect();
+        let names: Vec<String> = sites.iter().map(|s| s.name.to_string()).collect();
+        let d = Dataset::new(generate_corpus(&sites, 3, 1), names);
+        let dir = std::env::temp_dir().join("stob-io-test");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("corrupt.json");
+        // Break one record in the serialized form.
+        let json = d.to_json();
+        let mut traces = json.req_arr("traces").expect("traces").to_vec();
+        traces[2] = Json::from("truncated write");
+        let json = Json::obj()
+            .set(
+                "class_names",
+                json.field("class_names").expect("names").clone(),
+            )
+            .set("traces", Json::Arr(traces));
+        fs::write(&path, json.to_string_compact()).expect("write");
+        assert!(load_dataset(&path).is_err(), "strict load must refuse");
+        let (back, stats) = load_dataset_lenient(&path).expect("lenient load");
+        assert_eq!(back.len(), d.len() - 1);
+        assert_eq!(stats.skipped(), 1);
         fs::remove_file(&path).ok();
     }
 

@@ -13,6 +13,18 @@ run() {
 run cargo build --workspace --release --locked
 run cargo test --workspace -q --locked
 run env STOB_THREADS=4 cargo test --workspace -q --locked --test determinism
+
+# Fault suite: every fault scenario x defense with the invariant auditor
+# on (exit 1 on any violation), then byte-compare the JSON reports from a
+# 1-thread and a 4-thread run to prove determinism under faults.
+fault_t1="$(mktemp)" fault_t4="$(mktemp)"
+trap 'rm -f "$fault_t1" "$fault_t4"' EXIT
+run env STOB_THREADS=1 STOB_JSON_OUT="$fault_t1" \
+    cargo run --release --locked -p stob-bench --bin fault_matrix
+run env STOB_THREADS=4 STOB_JSON_OUT="$fault_t4" \
+    cargo run --release --locked -p stob-bench --bin fault_matrix
+run cmp "$fault_t1" "$fault_t4"
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --locked -- -D warnings
 
