@@ -12,10 +12,12 @@
 //! (scenario index, defense index, trace index), so the report is
 //! bit-identical at any `STOB_THREADS` setting.
 //!
-//! Usage: `fault_matrix [visits] [seed]`
+//! Usage: `fault_matrix [--telemetry] [visits] [seed]`
 //! Set `STOB_JSON_OUT=<path>` to also write the report as JSON. The JSON
 //! deliberately contains no wall-clock timings, so two runs at different
 //! thread counts can be byte-compared; timings go to stderr only.
+//! `--telemetry` (or `STOB_TELEMETRY=1`) appends the global metrics
+//! summary — deterministic like the JSON (wall-clock spans go to stderr).
 
 use defenses::buflo::{buflo, BufloConfig};
 use defenses::front::{front, FrontConfig};
@@ -91,7 +93,17 @@ fn add_stats(a: &mut FaultStats, b: &FaultStats) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut want_telemetry = netsim::telemetry::summary_enabled();
+    let args: Vec<String> = std::env::args()
+        .filter(|a| {
+            if a == "--telemetry" {
+                want_telemetry = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let visits: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0xFA17);
 
@@ -277,6 +289,10 @@ fn main() {
             "[fault_matrix] note: {incomplete} load(s) hit the deadline under faults \
              (expected for hard outages; not a failure)"
         );
+    }
+    if want_telemetry {
+        println!("\n{}", netsim::telemetry::metrics_summary());
+        eprintln!("{}", netsim::telemetry::wall_profile_summary());
     }
     eprintln!("[fault_matrix] OK: all invariants held across every scenario");
 }

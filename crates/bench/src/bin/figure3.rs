@@ -3,15 +3,28 @@
 //! 1500 by α (10 steps, then reset) and TSO size down from 44 packets by
 //! α/4 (8 steps, clamped at 1, then reset).
 //!
-//! Usage: `figure3 [alpha_max] [alpha_step] [measure_ms] [seed]`
+//! Usage: `figure3 [--telemetry] [alpha_max] [alpha_step] [measure_ms] [seed]`
 //! (defaults: 0..=40 step 4, 50 ms measurement window after a 30 ms
-//! warm-up).
+//! warm-up). `--telemetry` (or `STOB_TELEMETRY=1`) appends the global
+//! metrics summary; `STOB_TRACE_OUT=<path>` dumps the per-flow
+//! shaping-decision trace as JSONL.
 
+use netsim::telemetry;
 use netsim::Nanos;
-use stob_bench::run_figure3;
+use stob_bench::{run_figure3, run_figure3_traced};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut want_telemetry = telemetry::summary_enabled();
+    let args: Vec<String> = std::env::args()
+        .filter(|a| {
+            if a == "--telemetry" {
+                want_telemetry = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let alpha_max: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     let step: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let measure_ms: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
@@ -20,7 +33,27 @@ fn main() {
     let alphas: Vec<u32> = (0..=alpha_max).step_by(step.max(1) as usize).collect();
     eprintln!("[figure3] sweeping alpha over {alphas:?} ({measure_ms} ms window, seed {seed})...");
     let t0 = std::time::Instant::now();
-    let pts = run_figure3(&alphas, Nanos::from_millis(measure_ms), seed);
+    let trace_path = telemetry::trace_out();
+    let pts = if let Some(path) = &trace_path {
+        let (pts, events) = run_figure3_traced(
+            &alphas,
+            Nanos::from_millis(measure_ms),
+            seed,
+            telemetry::DEFAULT_TRACE_CAP,
+        );
+        let mut out = String::new();
+        for ev in &events {
+            out.push_str(&ev.to_json().to_string_compact());
+            out.push('\n');
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("[figure3] wrote {} flow events to {path}", events.len()),
+            Err(e) => eprintln!("[figure3] could not write {path}: {e}"),
+        }
+        pts
+    } else {
+        run_figure3(&alphas, Nanos::from_millis(measure_ms), seed)
+    };
     eprintln!("[figure3] sweep done in {:.1}s", t0.elapsed().as_secs_f64());
 
     println!("\nFigure 3: packet and TSO size adjustment vs. throughput");
@@ -46,6 +79,11 @@ fn main() {
         "\nminimum goodput across the sweep: {min:.1} Gb/s \
          (paper: \"preserves 19.7 Gb/s or higher\")"
     );
+
+    if want_telemetry {
+        println!("\n{}", telemetry::metrics_summary());
+        eprintln!("{}", telemetry::wall_profile_summary());
+    }
 }
 
 fn bar(gbps: f64) -> String {

@@ -2,17 +2,29 @@
 //! closed world, for each §3 countermeasure applied to (and evaluated
 //! on) the first N ∈ {15, 30, 45, All} packets.
 //!
-//! Usage: `table2 [visits] [trees] [repeats] [seed]`
+//! Usage: `table2 [--telemetry] [visits] [trees] [repeats] [seed]`
 //! (defaults: 100 visits/site — the paper's collection size — 100 trees,
 //! 5 repeats). Set `STOB_JSON_OUT=<path>` to also write the cells plus
 //! per-stage wall-clock timings as JSON; `STOB_THREADS` caps the
-//! parallel driver.
+//! parallel driver. `--telemetry` (or `STOB_TELEMETRY=1`) appends the
+//! global metrics summary.
 
+use netsim::telemetry;
 use netsim::Json;
 use stob_bench::{collect_dataset, format_table2, run_table2_timed, Table2Config};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut want_telemetry = telemetry::summary_enabled();
+    let args: Vec<String> = std::env::args()
+        .filter(|a| {
+            if a == "--telemetry" {
+                want_telemetry = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let visits: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
     let trees: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
     let repeats: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -77,4 +89,9 @@ fn main() {
     println!("| 30  | 0.884 ± 0.007 | 0.860 ± 0.013 | 0.855 ± 0.030 | 0.850 ± 0.062 |");
     println!("| 45  | 0.938 ± 0.016 | 0.897 ± 0.030 | 0.913 ± 0.021 | 0.904 ± 0.004 |");
     println!("| All | 0.963 ± 0.002 | 0.980 ± 0.008 | 0.980 ± 0.014 | 0.992 ± 0.009 |");
+
+    if want_telemetry {
+        println!("\n{}", telemetry::metrics_summary());
+        eprintln!("{}", telemetry::wall_profile_summary());
+    }
 }

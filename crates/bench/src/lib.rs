@@ -189,6 +189,29 @@ pub struct Figure3Point {
 /// Measure single-flow goodput with `IncrementalReduce(alpha)` shaping
 /// the sender over the 100 Gb/s lab path.
 pub fn figure3_point(alpha: u32, measure: Nanos, seed: u64) -> Figure3Point {
+    figure3_run(alpha, measure, seed, None)
+}
+
+/// [`figure3_point`] with a flow-trace attached: returns the point plus
+/// every shaping decision (TSO resegmentation, packet resize, pacing
+/// delay, qdisc release, NIC burst) the stack made during the run.
+pub fn figure3_point_traced(
+    alpha: u32,
+    measure: Nanos,
+    seed: u64,
+    trace_cap: usize,
+) -> (Figure3Point, Vec<netsim::telemetry::FlowEvent>) {
+    let tracer = netsim::telemetry::Tracer::new(trace_cap);
+    let p = figure3_run(alpha, measure, seed, Some(tracer.clone()));
+    (p, tracer.take().into_events())
+}
+
+fn figure3_run(
+    alpha: u32,
+    measure: Nanos,
+    seed: u64,
+    tracer: Option<netsim::telemetry::Tracer>,
+) -> Figure3Point {
     let host = HostConfig::default(); // calibrated CPU model, 100 GbE NIC
     let stack_cfg = StackConfig::default();
     let shaper = SafetyCap::new(IncrementalReduce::with_alpha(alpha));
@@ -225,6 +248,9 @@ pub fn figure3_point(alpha: u32, measure: Nanos, seed: u64) -> Figure3Point {
         Box::new(Sink::default()),
         seed,
     );
+    if let Some(tr) = tracer {
+        net.set_tracer(tr);
+    }
     // Warm up past slow start, then measure a steady-state window.
     let warmup = Nanos::from_millis(30);
     net.run_until(warmup);
@@ -249,6 +275,28 @@ pub fn figure3_point(alpha: u32, measure: Nanos, seed: u64) -> Figure3Point {
 /// threads without affecting results.
 pub fn run_figure3(alphas: &[u32], measure: Nanos, seed: u64) -> Vec<Figure3Point> {
     par::par_map(alphas, |_, &a| figure3_point(a, measure, seed))
+}
+
+/// [`run_figure3`] with a bounded flow trace per point. Events are
+/// concatenated in alpha order, so the combined trace is bit-identical
+/// at any thread count (each point's simulation is independent and its
+/// tracer is private to that point).
+pub fn run_figure3_traced(
+    alphas: &[u32],
+    measure: Nanos,
+    seed: u64,
+    trace_cap: usize,
+) -> (Vec<Figure3Point>, Vec<netsim::telemetry::FlowEvent>) {
+    let results = par::par_map(alphas, |_, &a| {
+        figure3_point_traced(a, measure, seed, trace_cap)
+    });
+    let mut points = Vec::with_capacity(results.len());
+    let mut events = Vec::new();
+    for (p, evs) in results {
+        points.push(p);
+        events.extend(evs);
+    }
+    (points, events)
 }
 
 // ---------------------------------------------------------------------

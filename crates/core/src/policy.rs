@@ -8,6 +8,16 @@
 //! cases (e.g., same destination)". A policy therefore carries a
 //! [`SizeSpec`] and a [`DelaySpec`], each either a simple parametric rule
 //! or an empirical histogram.
+//!
+//! Policies validate and round-trip through the workspace's own JSON:
+//!
+//! ```
+//! use stob::policy::ObfuscationPolicy;
+//! let p = ObfuscationPolicy::incremental("fig3", 20);
+//! assert!(p.validate().is_ok());
+//! let back = ObfuscationPolicy::from_json(&p.to_json()).unwrap();
+//! assert_eq!(back.name, p.name);
+//! ```
 
 use netsim::json::{Json, JsonError};
 use netsim::{Histogram, Nanos, SimRng};

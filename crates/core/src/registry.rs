@@ -94,6 +94,7 @@ impl PolicyRegistry {
 
     /// Publish (or replace) a policy under `key`.
     pub fn publish(&self, key: PolicyKey, policy: ObfuscationPolicy) {
+        netsim::tm_counter!("stob.registry.publishes").inc();
         let mut g = self.write();
         g.table.insert(key, Arc::new(policy));
         g.version += 1;
@@ -101,6 +102,7 @@ impl PolicyRegistry {
 
     /// Remove a policy. Returns true if something was removed.
     pub fn withdraw(&self, key: PolicyKey) -> bool {
+        netsim::tm_counter!("stob.registry.withdrawals").inc();
         let mut g = self.write();
         let removed = g.table.remove(&key).is_some();
         if removed {
@@ -112,6 +114,7 @@ impl PolicyRegistry {
     /// Resolve the policy for a flow: exact flow match, then its
     /// destination, then the default.
     pub fn resolve(&self, flow: u32, destination: u32) -> Option<Arc<ObfuscationPolicy>> {
+        netsim::tm_counter!("stob.registry.resolutions").inc();
         let g = self.read();
         g.table
             .get(&PolicyKey::Flow(flow))
@@ -127,6 +130,7 @@ impl PolicyRegistry {
 
     /// Record one pass-through fallback caused by an invalid policy.
     pub fn note_degraded(&self) {
+        netsim::tm_counter!("stob.registry.degraded").inc();
         self.degraded.fetch_add(1, Ordering::Relaxed);
     }
 

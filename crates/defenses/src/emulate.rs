@@ -94,6 +94,7 @@ pub fn split(trace: &Trace, cfg: &EmulateConfig) -> Trace {
     let mut out = Vec::with_capacity(trace.len());
     for (i, p) in trace.packets.iter().enumerate() {
         if cfg.affects(i, p.dir) && p.size > cfg.split_threshold {
+            netsim::tm_counter!("defenses.emulate.split_pkts").inc();
             let a = p.size / 2 + p.size % 2;
             let b = p.size / 2;
             out.push(TracePacket::new(p.ts, p.dir, a));
@@ -124,6 +125,7 @@ pub fn delay(trace: &Trace, cfg: &EmulateConfig, rng: &mut SimRng) -> Trace {
     for (i, p) in trace.packets.iter().enumerate() {
         let iat = p.ts.saturating_sub(prev_orig);
         if i > 0 && cfg.affects(i, p.dir) {
+            netsim::tm_counter!("defenses.emulate.delayed_pkts").inc();
             let f = rng.range_f64(cfg.delay_lo, cfg.delay_hi);
             shift += iat.mul_f64(f);
         }
@@ -163,6 +165,8 @@ pub fn apply_all(
     cfg: &EmulateConfig,
     root: &SimRng,
 ) -> Vec<Defended> {
+    let _sp = netsim::telemetry::span("defenses.emulate.apply_all");
+    netsim::tm_counter!("defenses.emulate.traces").add(traces.len() as u64);
     par::par_map(traces, |i, t| {
         let mut rng = root.fork(i as u64 + 1);
         apply(cm, t, cfg, &mut rng)

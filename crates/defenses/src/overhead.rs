@@ -38,6 +38,7 @@ impl Defended {
 pub fn bandwidth_overhead(original: &Trace, defended: &Defended) -> f64 {
     let orig: u64 = original.packets.iter().map(|p| p.size as u64).sum();
     let def: u64 = defended.trace.packets.iter().map(|p| p.size as u64).sum();
+    netsim::tm_counter!("defenses.overhead.pad_bytes").add(def.saturating_sub(orig));
     if orig == 0 {
         return 0.0;
     }

@@ -23,6 +23,17 @@
 //! with the `STOB_AUDIT=1` environment variable or
 //! [`Auditor::set_enabled`]. When disabled every check is a cheap
 //! early-return.
+//!
+//! ```
+//! use netsim::{Auditor, Nanos};
+//! let mut a = Auditor::new();
+//! a.set_enabled(true);
+//! a.check_monotonic(Nanos(5));
+//! a.check_monotonic(Nanos(3)); // clock ran backwards
+//! let report = a.report();
+//! assert_eq!(report.checks, 2);
+//! assert_eq!(report.violations.len(), 1);
+//! ```
 
 use crate::time::Nanos;
 use crate::Json;
@@ -152,6 +163,7 @@ impl Auditor {
     }
 
     fn record(&mut self, invariant: Invariant, at: Nanos, detail: String) {
+        crate::tm_counter!("netsim.audit.violations").inc();
         if self.violations.len() < self.max_recorded {
             self.violations.push(Violation {
                 invariant,
@@ -169,6 +181,7 @@ impl Auditor {
             return;
         }
         self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
         if now < self.last_pop {
             let last = self.last_pop;
             self.record(
@@ -186,6 +199,7 @@ impl Auditor {
             return;
         }
         self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
         if eligible_at > now {
             self.record(
                 Invariant::PacingRelease,
@@ -204,6 +218,7 @@ impl Auditor {
             return;
         }
         self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
         if outstanding > allowed {
             self.record(
                 Invariant::SafetyRule,
@@ -231,6 +246,7 @@ impl Auditor {
             return;
         }
         self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
         if injected != delivered + dropped + in_transit {
             self.record(
                 Invariant::Conservation,

@@ -16,6 +16,15 @@
 //! single-threaded shards, so the injector itself needs no locking; the
 //! fork scheme is what keeps a *sweep* of faulted simulations
 //! bit-identical at any thread count.
+//!
+//! ```
+//! use netsim::{FaultSchedule, Nanos};
+//! // Every named scenario resolves to a concrete, seeded schedule.
+//! let sched = FaultSchedule::scenario("ge-burst", 1, Nanos::from_secs(3))
+//!     .expect("known scenario");
+//! assert!(!sched.items.is_empty());
+//! assert!(FaultSchedule::scenario("no-such-fault", 1, Nanos::from_secs(3)).is_none());
+//! ```
 
 use crate::rng::SimRng;
 use crate::time::Nanos;

@@ -13,6 +13,11 @@
 //! out across threads without giving that property up: every item derives
 //! its randomness from the root seed and its stable index, so thread
 //! count never changes results.
+//!
+//! The [`telemetry`] module is the observability layer over all of it:
+//! a global registry of deterministic counters/gauges/histograms, RAII
+//! profiling spans, and bounded per-flow shaping-decision traces
+//! (dumpable as JSONL via `STOB_TRACE_OUT`). See `OBSERVABILITY.md`.
 
 pub mod audit;
 pub mod capture;
@@ -25,6 +30,7 @@ pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use audit::{AuditReport, Auditor, Invariant, Violation};
@@ -38,4 +44,5 @@ pub use par::{par_map, par_map_n, par_run, Timings};
 pub use queue::{DropTailQueue, QueueStats};
 pub use rng::SimRng;
 pub use stats::{percentile, Histogram, RunningStats};
+pub use telemetry::{FlowEvent, FlowTrace, Tracer};
 pub use time::Nanos;

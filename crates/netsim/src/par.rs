@@ -20,6 +20,20 @@
 //! 1. [`set_threads`] override (used by tests),
 //! 2. the `STOB_THREADS` environment variable,
 //! 3. `std::thread::available_parallelism()`.
+//!
+//! ```
+//! use netsim::{par, SimRng};
+//! let root = SimRng::new(7);
+//! // Fork per item index: bit-identical at any thread count.
+//! let out = par::par_map(&[10u64, 20, 30], |i, &x| {
+//!     let mut rng = root.fork(i as u64 + 1);
+//!     x + rng.next_below(5)
+//! });
+//! assert_eq!(out, par::par_map_n(3, &[10u64, 20, 30], |i, &x| {
+//!     let mut rng = root.fork(i as u64 + 1);
+//!     x + rng.next_below(5)
+//! }));
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;

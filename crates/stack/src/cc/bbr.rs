@@ -177,10 +177,12 @@ impl CongestionControl for Bbr {
 
     fn on_loss(&mut self, _now: Nanos, _inflight: u64) {
         // BBRv1 famously ignores isolated loss; the model absorbs it.
+        netsim::tm_counter!("stack.cc.loss_events").inc();
     }
 
     fn on_rto(&mut self, _now: Nanos) {
         // Severe signal: restart the model conservatively.
+        netsim::tm_counter!("stack.cc.rto_events").inc();
         self.bw_samples.clear();
         self.full_bw = 0.0;
         self.full_bw_count = 0;

@@ -148,10 +148,12 @@ impl CongestionControl for Cubic {
         if self.in_recovery_until.is_some_and(|t| now < t) {
             return;
         }
+        netsim::tm_counter!("stack.cc.loss_events").inc();
         self.reduce(now);
     }
 
     fn on_rto(&mut self, now: Nanos) {
+        netsim::tm_counter!("stack.cc.rto_events").inc();
         self.w_max = self.cwnd as f64;
         self.ssthresh = ((self.cwnd as f64 * BETA) as u64).max(2 * self.mss);
         self.cwnd = self.mss;

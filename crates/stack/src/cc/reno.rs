@@ -57,6 +57,7 @@ impl CongestionControl for Reno {
         if self.in_recovery_until.is_some_and(|t| now < t) {
             return;
         }
+        netsim::tm_counter!("stack.cc.loss_events").inc();
         let base = inflight.max(self.cwnd / 2).max(2 * self.mss);
         self.ssthresh = (base / 2).max(2 * self.mss);
         self.cwnd = self.ssthresh;
@@ -67,6 +68,7 @@ impl CongestionControl for Reno {
     }
 
     fn on_rto(&mut self, _now: Nanos) {
+        netsim::tm_counter!("stack.cc.rto_events").inc();
         self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
         self.cwnd = self.mss;
         self.ca_acc = 0;

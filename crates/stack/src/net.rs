@@ -14,6 +14,7 @@ use crate::quic::{QuicConn, QuicStats};
 use crate::shaper::BoxShaper;
 use crate::tcp::{ConnStats, TcpAction, TcpConn, TimerKind};
 use netsim::fault::Departure;
+use netsim::telemetry::Tracer;
 use netsim::{
     AuditReport, Auditor, Capture, Direction, DropTailQueue, EventQueue, FaultInjector,
     FaultSchedule, FaultStats, FlowId, Nanos, Packet, PacketKind, SimRng,
@@ -123,6 +124,12 @@ impl Transport {
             Transport::Quic(c) => c.set_mtu(mtu_ip),
         }
     }
+    fn set_tracer(&mut self, tracer: Tracer) {
+        match self {
+            Transport::Tcp(c) => c.set_tracer(tracer),
+            Transport::Quic(c) => c.set_tracer(tracer),
+        }
+    }
 }
 
 struct Host {
@@ -186,6 +193,9 @@ pub struct Network {
     /// Runtime invariant checker (debug default; `STOB_AUDIT=1` or
     /// `set_audit` elsewhere).
     auditor: Auditor,
+    /// Shared flow-trace ring: every shaping decision on either host is
+    /// recorded here when installed (`set_tracer`).
+    tracer: Option<Tracer>,
     ledger: PathLedger,
     pub path_stats: PathStats,
     /// Vantage point at the client access link (the paper's capture
@@ -220,6 +230,7 @@ impl Network {
             faults: None,
             flap_held: [Vec::new(), Vec::new()],
             auditor: Auditor::new(),
+            tracer: None,
             ledger: PathLedger::default(),
             path_stats: PathStats::default(),
             client_capture: Capture::new(),
@@ -245,16 +256,21 @@ impl Network {
     /// Run until the event queue drains. Returns the final time.
     pub fn run_to_idle(&mut self) -> Nanos {
         self.start();
+        let mut sp = netsim::telemetry::span("stack.net.event_loop");
+        let t0 = self.q.now();
         while let Some((t, ev)) = self.q.pop() {
             self.auditor.check_monotonic(t);
             self.handle(ev);
         }
+        sp.sim_window(t0, self.q.now());
         self.q.now()
     }
 
     /// Run until simulated `deadline`; later events stay queued.
     pub fn run_until(&mut self, deadline: Nanos) {
         self.start();
+        let mut sp = netsim::telemetry::span("stack.net.event_loop");
+        let t0 = self.q.now();
         while let Some(t) = self.q.peek_time() {
             if t > deadline {
                 break;
@@ -263,6 +279,7 @@ impl Network {
             self.auditor.check_monotonic(t);
             self.handle(ev);
         }
+        sp.sim_window(t0, self.q.now());
     }
 
     // ------------------------------------------------------------------
@@ -289,6 +306,24 @@ impl Network {
     /// release builds honour `STOB_AUDIT=1`).
     pub fn set_audit(&mut self, on: bool) {
         self.auditor.set_enabled(on);
+    }
+
+    /// Install a flow tracer: from now on every shaping decision on
+    /// either host (transport sizing/pacing, qdisc release, NIC bursts,
+    /// fault hits) is recorded into the shared bounded ring. Existing
+    /// connections pick it up immediately.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for h in self.hosts.iter_mut() {
+            for conn in h.conns.values_mut() {
+                conn.set_tracer(tracer.clone());
+            }
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed flow tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Final invariant report: runs the conservation check over the path
@@ -349,6 +384,7 @@ impl Network {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Ev) {
+        netsim::tm_counter!("stack.net.events").inc();
         match ev {
             Ev::QdiscCheck { host } => {
                 self.hosts[host].next_check = None;
@@ -405,6 +441,18 @@ impl Network {
     fn mtu_change(&mut self, new_mtu_ip: u32) {
         if let Some(f) = self.faults.as_mut() {
             f.stats.mtu_changes += 1;
+        }
+        netsim::tm_counter!("netsim.fault.mtu_changes").inc();
+        if let Some(tr) = &self.tracer {
+            tr.rec(
+                self.q.now(),
+                0,
+                "net",
+                "mtu-change",
+                0,
+                u64::from(new_mtu_ip),
+                "fault-schedule",
+            );
         }
         for h in self.hosts.iter_mut() {
             for conn in h.conns.values_mut() {
@@ -525,8 +573,34 @@ impl Network {
             Some(seg) => {
                 self.auditor
                     .check_release(now, seg.eligible_at, u64::from(seg.flow.0));
+                // Pacer release delay: how long past its eligible time a
+                // segment actually reached the NIC (0 = on time).
+                netsim::tm_histo!("stack.qdisc.release_delay_ns")
+                    .record(now.saturating_sub(seg.eligible_at).as_nanos());
                 let flow = seg.flow;
                 let wire = seg.wire_bytes;
+                let npkts = seg.pkts.len() as u64;
+                netsim::tm_histo!("stack.nic.pkts_per_seg").record(npkts);
+                if let Some(tr) = &self.tracer {
+                    tr.rec(
+                        now,
+                        u64::from(flow.0),
+                        "qdisc",
+                        "release",
+                        seg.eligible_at.as_nanos(),
+                        now.as_nanos(),
+                        "earliest-eligible-first",
+                    );
+                    tr.rec(
+                        now,
+                        u64::from(flow.0),
+                        "nic",
+                        "tx-seg",
+                        npkts,
+                        wire,
+                        "tso-burst",
+                    );
+                }
                 let (done, pkts) = h.nic.transmit_segment(now, seg);
                 for (t, pkt) in pkts {
                     self.q.schedule_at(t, Ev::PktLeaveNic { host, pkt });
@@ -557,6 +631,7 @@ impl Network {
         if self.path.loss > 0.0 && self.rng.chance(self.path.loss) {
             self.path_stats.random_drops += 1;
             self.ledger.dropped += 1;
+            netsim::tm_counter!("stack.net.random_drops").inc();
             return;
         }
         let dir = host; // direction index = source host
@@ -569,20 +644,35 @@ impl Network {
                 Departure::Deliver => {}
                 Departure::Drop => {
                     self.ledger.dropped += 1;
+                    netsim::tm_counter!("netsim.fault.drops").inc();
+                    if let Some(tr) = &self.tracer {
+                        tr.rec(
+                            now,
+                            u64::from(pkt.flow.0),
+                            "net",
+                            "fault-drop",
+                            u64::from(pkt.wire_len),
+                            0,
+                            "fault-schedule",
+                        );
+                    }
                     return;
                 }
                 Departure::Duplicate => {
                     copies = 2;
                     self.ledger.injected += 1;
+                    netsim::tm_counter!("netsim.fault.duplicates").inc();
                 }
             }
             if let Some(down) = f.link_down(dir, now) {
                 if down.drop {
                     f.stats.flap_drops += copies;
                     self.ledger.dropped += copies;
+                    netsim::tm_counter!("netsim.fault.flap_drops").add(copies);
                     return;
                 }
                 f.stats.flap_held += copies;
+                netsim::tm_counter!("netsim.fault.flap_held").add(copies);
                 let first = self.flap_held[dir].is_empty();
                 if copies == 2 {
                     self.flap_held[dir].push(pkt.clone());
@@ -673,19 +763,19 @@ impl Network {
         // Passive open: a SYN (TCP) or Initial (QUIC) for an unknown
         // flow creates the server connection.
         if !self.hosts[host].conns.contains_key(&flow) {
-            if pkt.kind == PacketKind::TcpSyn && host == SERVER {
+            let mut conn = if pkt.kind == PacketKind::TcpSyn && host == SERVER {
                 let cfg = self.hosts[host].cfg.stack.clone();
-                self.hosts[host]
-                    .conns
-                    .insert(flow, Transport::Tcp(TcpConn::new(flow, cfg, false)));
+                Transport::Tcp(TcpConn::new(flow, cfg, false))
             } else if pkt.kind == PacketKind::QuicInit && host == SERVER {
                 let cfg = self.hosts[host].cfg.stack.clone();
-                self.hosts[host]
-                    .conns
-                    .insert(flow, Transport::Quic(QuicConn::new(flow, cfg, false)));
+                Transport::Quic(QuicConn::new(flow, cfg, false))
             } else {
                 return; // stray packet for a dead/unknown flow
+            };
+            if let Some(tr) = &self.tracer {
+                conn.set_tracer(tr.clone());
             }
+            self.hosts[host].conns.insert(flow, conn);
         }
         let acts = {
             let h = &mut self.hosts[host];
@@ -746,6 +836,9 @@ impl<'a> Api<'a> {
         if let Some(s) = shaper {
             conn.set_shaper(s);
         }
+        if let Some(tr) = &self.net.tracer {
+            conn.set_tracer(tr.clone());
+        }
         let now = self.net.q.now();
         let acts = conn.connect(now);
         self.net.hosts[self.host]
@@ -763,6 +856,9 @@ impl<'a> Api<'a> {
         let mut conn = QuicConn::new(flow, cfg, true);
         if let Some(s) = shaper {
             conn.set_shaper(s);
+        }
+        if let Some(tr) = &self.net.tracer {
+            conn.set_tracer(tr.clone());
         }
         let now = self.net.q.now();
         let acts = conn.connect(now);

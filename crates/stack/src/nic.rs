@@ -57,6 +57,8 @@ impl Nic {
             out.push((tx_done, pkt));
         }
         self.segments_tx += 1;
+        netsim::tm_counter!("stack.nic.segments_tx").inc();
+        netsim::tm_counter!("stack.nic.packets_tx").add(out.len() as u64);
         (done, out)
     }
 }

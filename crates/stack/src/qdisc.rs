@@ -59,13 +59,19 @@ impl FqQdisc {
 
     /// Enqueue a paced data segment.
     pub fn enqueue(&mut self, seg: SegDesc) {
-        *self.backlog.entry(seg.flow).or_insert(0) += seg.wire_bytes;
+        netsim::tm_counter!("stack.qdisc.enqueued").inc();
+        let b = self.backlog.entry(seg.flow).or_insert(0);
+        *b += seg.wire_bytes;
+        // fetch_max is order-independent, so the high-water mark stays
+        // deterministic even when independent sims share the registry.
+        netsim::tm_gauge!("stack.qdisc.backlog_hwm_bytes").set_max(*b);
         self.total_segments += 1;
         self.flows.entry(seg.flow).or_default().push_back(seg);
     }
 
     /// Enqueue into the unpaced priority band.
     pub fn enqueue_prio(&mut self, seg: SegDesc) {
+        netsim::tm_counter!("stack.qdisc.enqueued_prio").inc();
         self.total_segments += 1;
         self.prio.push_back(seg);
     }

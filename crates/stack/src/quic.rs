@@ -104,6 +104,10 @@ pub struct QuicConn {
     stream_delivered: u64,
     ack_counter: u32,
 
+    /// Optional per-flow shaping-decision trace sink (see
+    /// `netsim::telemetry`). Installed by `Network::set_tracer`.
+    tracer: Option<netsim::telemetry::Tracer>,
+
     pub stats: QuicStats,
 }
 
@@ -134,6 +138,7 @@ impl QuicConn {
             stream_recv: BTreeMap::new(),
             stream_delivered: 0,
             ack_counter: 0,
+            tracer: None,
             stats: QuicStats::default(),
             cfg,
         }
@@ -141,6 +146,13 @@ impl QuicConn {
 
     pub fn set_shaper(&mut self, shaper: BoxShaper) {
         self.shaper = shaper;
+    }
+
+    /// Install a flow-trace sink: every subsequent packet-size, GSO and
+    /// pacing decision this endpoint makes is recorded as a
+    /// [`netsim::telemetry::FlowEvent`].
+    pub fn set_tracer(&mut self, tracer: netsim::telemetry::Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Mid-flow path-MTU reduction: shrink the datagram size used for
@@ -231,6 +243,20 @@ impl QuicConn {
                 .shaper
                 .tso_segment_pkts(&ctx, GSO_BATCH)
                 .clamp(1, GSO_BATCH);
+            if batch_max != GSO_BATCH {
+                netsim::tm_counter!("stack.quic.gso_resegmented").inc();
+                if let Some(tr) = &self.tracer {
+                    tr.rec(
+                        now,
+                        u64::from(self.flow.0),
+                        "quic",
+                        "gso-pkts",
+                        GSO_BATCH as u64,
+                        batch_max as u64,
+                        "shaper-resegment",
+                    );
+                }
+            }
             let mut pkts = Vec::new();
             let mut batch_payload = 0u64;
             for i in 0..batch_max {
@@ -256,6 +282,20 @@ impl QuicConn {
                     .shaper
                     .packet_ip_size(&ctx, i, proposed_ip)
                     .clamp(DGRAM_HDR + 1, proposed_ip);
+                if shaped_ip != proposed_ip {
+                    netsim::tm_counter!("stack.quic.pkts_resized").inc();
+                    if let Some(tr) = &self.tracer {
+                        tr.rec(
+                            now,
+                            u64::from(self.flow.0),
+                            "quic",
+                            "pkt-size",
+                            proposed_ip as u64,
+                            shaped_ip as u64,
+                            "shaper-resize",
+                        );
+                    }
+                }
                 let len = shaped_ip - DGRAM_HDR;
                 if is_retx {
                     if len < want {
@@ -308,6 +348,20 @@ impl QuicConn {
             let base = self.pacing_next.max(now).max(cpu_done);
             let extra = self.shaper.extra_delay(&ctx);
             let eligible = base + extra;
+            if !extra.is_zero() {
+                netsim::tm_histo!("stack.quic.shaper_extra_delay_ns").record(extra.as_nanos());
+                if let Some(tr) = &self.tracer {
+                    tr.rec(
+                        now,
+                        u64::from(self.flow.0),
+                        "quic",
+                        "pacing",
+                        base.as_nanos(),
+                        eligible.as_nanos(),
+                        "shaper-delay",
+                    );
+                }
+            }
             // As in TCP: the extra delay advances the pacing clock, so
             // gaps stretch instead of the schedule shifting once.
             if let Some(rate) = ctx.pacing_rate_bps {
@@ -477,6 +531,7 @@ impl QuicConn {
                 now,
                 inflight: self.inflight_bytes,
             });
+            netsim::tm_histo!("stack.cc.cwnd_bytes").record(self.cc.cwnd());
             let ctx = self.shape_ctx(now);
             self.shaper.on_ack(&ctx);
             if self.unacked.is_empty() {

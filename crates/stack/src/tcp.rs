@@ -142,6 +142,10 @@ pub struct TcpConn {
     data_pkts_sent: u64,
     data_segs_sent: u64,
 
+    /// Optional per-flow shaping-decision trace sink (see
+    /// `netsim::telemetry`). Installed by `Network::set_tracer`.
+    tracer: Option<netsim::telemetry::Tracer>,
+
     pub stats: ConnStats,
 }
 
@@ -184,6 +188,7 @@ impl TcpConn {
             data_bytes_sent: 0,
             data_pkts_sent: 0,
             data_segs_sent: 0,
+            tracer: None,
             stats: ConnStats::default(),
             cfg,
         }
@@ -191,6 +196,13 @@ impl TcpConn {
 
     pub fn set_shaper(&mut self, shaper: BoxShaper) {
         self.shaper = shaper;
+    }
+
+    /// Install a flow-trace sink: every subsequent packet-size, TSO and
+    /// pacing decision this endpoint makes is recorded as a
+    /// [`netsim::telemetry::FlowEvent`].
+    pub fn set_tracer(&mut self, tracer: netsim::telemetry::Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Mid-flow path-MTU reduction (the stand-in for an ICMP
@@ -395,6 +407,20 @@ impl TcpConn {
                 .shaper
                 .tso_segment_pkts(&ctx, proposed_pkts)
                 .clamp(1, proposed_pkts);
+            if shaped_pkts != proposed_pkts {
+                netsim::tm_counter!("stack.tcp.tso_resegmented").inc();
+                if let Some(tr) = &self.tracer {
+                    tr.rec(
+                        now,
+                        u64::from(self.flow.0),
+                        "tcp",
+                        "tso-pkts",
+                        proposed_pkts as u64,
+                        shaped_pkts as u64,
+                        "shaper-resegment",
+                    );
+                }
+            }
 
             // Build the segment's packets, consulting the per-packet
             // sizing hook (flexible TSO, §5.5).
@@ -413,6 +439,18 @@ impl TcpConn {
                     .min(proposed_ip);
                 if ip != proposed_ip {
                     shaped = true;
+                    netsim::tm_counter!("stack.tcp.pkts_resized").inc();
+                    if let Some(tr) = &self.tracer {
+                        tr.rec(
+                            now,
+                            u64::from(self.flow.0),
+                            "tcp",
+                            "pkt-size",
+                            proposed_ip as u64,
+                            ip as u64,
+                            "shaper-resize",
+                        );
+                    }
                 }
                 let payload = ip - IP_TCP_OVERHEAD;
                 let mut pkt = Packet::tcp_data(
@@ -445,6 +483,20 @@ impl TcpConn {
                 shaped = true;
             }
             let eligible = base + extra;
+            if !extra.is_zero() {
+                netsim::tm_histo!("stack.tcp.shaper_extra_delay_ns").record(extra.as_nanos());
+                if let Some(tr) = &self.tracer {
+                    tr.rec(
+                        now,
+                        u64::from(self.flow.0),
+                        "tcp",
+                        "pacing",
+                        base.as_nanos(),
+                        eligible.as_nanos(),
+                        "shaper-delay",
+                    );
+                }
+            }
             // The extra delay advances the pacing clock too: consecutive
             // inter-departure gaps *stretch* (the §3 "delaying"
             // semantics), rather than the whole schedule shifting once.
@@ -587,6 +639,7 @@ impl TcpConn {
                 inflight: self.pipe(),
             };
             self.cc.on_ack(&info);
+            netsim::tm_histo!("stack.cc.cwnd_bytes").record(self.cc.cwnd());
             let ctx = self.shape_ctx(now);
             self.shaper.on_ack(&ctx);
             if partial_retx && self.inflight() > 0 {
@@ -764,6 +817,18 @@ impl TcpConn {
             .clamp(MIN_IP_PACKET.min(proposed_ip), self.cfg.mtu_ip)
             .min(proposed_ip);
         let len = ip - IP_TCP_OVERHEAD;
+        netsim::tm_counter!("stack.tcp.retransmits").inc();
+        if let Some(tr) = &self.tracer {
+            tr.rec(
+                now,
+                u64::from(self.flow.0),
+                "tcp",
+                "retransmit",
+                proposed_ip as u64,
+                ip as u64,
+                "loss-repair",
+            );
+        }
         let mut pkt = Packet::tcp_data(self.flow, self.snd_una, self.rcv_nxt, len);
         pkt.rwnd = self.cfg.recv_wnd;
         pkt.meta.retransmit = true;

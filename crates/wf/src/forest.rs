@@ -41,6 +41,7 @@ impl Forest {
     ) -> Forest {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty());
+        let _sp = netsim::telemetry::span("wf.forest.fit");
         let n = x.len();
         let boot = ((n as f64) * cfg.bootstrap_frac).round().max(1.0) as usize;
         // Each tree's rng is forked from the parent by tree index, so the
@@ -94,6 +95,7 @@ impl Forest {
     }
 
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        let _sp = netsim::telemetry::span("wf.forest.predict_batch");
         par::par_map(xs, |_, s| self.predict(s))
     }
 

@@ -27,6 +27,7 @@ run cmp "$fault_t1" "$fault_t4"
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --locked -- -D warnings
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
 
 echo
 echo "ci-local: all checks passed"

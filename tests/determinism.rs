@@ -29,16 +29,23 @@ fn thread_count_never_changes_results() {
     let em = EmulateConfig::default();
     let root = SimRng::new(0xDE7);
 
-    // Reference: everything single-threaded.
+    // Reference: everything single-threaded. Telemetry metrics are part
+    // of the contract too: counters/gauges/histograms aggregate
+    // sim-domain integers order-independently, so the rendered snapshot
+    // must be byte-identical at every thread count.
     par::set_threads(1);
+    netsim::telemetry::reset();
     let forest_1 = Forest::fit(&x, &y, 4, &fcfg, &mut SimRng::new(11));
     let preds_1 = forest_1.predict_batch(&x);
     let leaves_1: Vec<Vec<u32>> = x.iter().map(|s| forest_1.leaf_vector(s)).collect();
     let defended_1 = apply_all(CounterMeasure::Combined, &corpus, &em, &root);
     let fig3_1 = stob_bench::run_figure3(&[0, 20, 40], Nanos::from_millis(2), 1);
+    let (_, events_1) = stob_bench::run_figure3_traced(&[0, 20], Nanos::from_millis(2), 1, 4096);
+    let metrics_1 = netsim::telemetry::metrics_json().to_string_pretty();
 
     for threads in [2usize, 4, 8] {
         par::set_threads(threads);
+        netsim::telemetry::reset();
         let forest_n = Forest::fit(&x, &y, 4, &fcfg, &mut SimRng::new(11));
         let preds_n = forest_n.predict_batch(&x);
         assert_eq!(preds_1, preds_n, "forest predictions at {threads} threads");
@@ -67,6 +74,15 @@ fn thread_count_never_changes_results() {
                 "figure3 goodput at {threads} threads"
             );
         }
+        let (_, events_n) =
+            stob_bench::run_figure3_traced(&[0, 20], Nanos::from_millis(2), 1, 4096);
+        assert_eq!(events_1, events_n, "flow-trace events at {threads} threads");
+        let metrics_n = netsim::telemetry::metrics_json().to_string_pretty();
+        assert_eq!(
+            metrics_1, metrics_n,
+            "metrics snapshot at {threads} threads"
+        );
     }
     par::set_threads(0); // restore automatic resolution for other tests
+    netsim::telemetry::reset(); // leave a clean slate for other binaries
 }
