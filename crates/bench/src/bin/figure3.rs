@@ -7,10 +7,12 @@
 //! (defaults: 0..=40 step 4, 50 ms measurement window after a 30 ms
 //! warm-up). `--telemetry` (or `STOB_TELEMETRY=1`) appends the global
 //! metrics summary; `STOB_TRACE_OUT=<path>` dumps the per-flow
-//! shaping-decision trace as JSONL.
+//! shaping-decision trace as JSONL; `STOB_JSON_OUT=<path>` writes the
+//! sweep points as JSON (deterministic: no wall-clock timings, so runs
+//! at different `STOB_THREADS` byte-compare equal).
 
 use netsim::telemetry;
-use netsim::Nanos;
+use netsim::{Json, Nanos};
 use stob_bench::{run_figure3, run_figure3_traced};
 
 fn main() {
@@ -55,6 +57,25 @@ fn main() {
         run_figure3(&alphas, Nanos::from_millis(measure_ms), seed)
     };
     eprintln!("[figure3] sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Ok(path) = std::env::var("STOB_JSON_OUT") {
+        let json = Json::obj().set("seed", seed).set(
+            "points",
+            Json::Arr(
+                pts.iter()
+                    .map(|p| {
+                        Json::obj()
+                            .set("alpha", u64::from(p.alpha))
+                            .set("goodput_gbps", p.goodput_gbps)
+                    })
+                    .collect(),
+            ),
+        );
+        match std::fs::write(&path, json.to_string_pretty()) {
+            Ok(()) => eprintln!("[figure3] wrote {path}"),
+            Err(e) => eprintln!("[figure3] could not write {path}: {e}"),
+        }
+    }
 
     println!("\nFigure 3: packet and TSO size adjustment vs. throughput");
     println!("(single CUBIC flow, 100 Gb/s path, calibrated 1-core CPU model)\n");

@@ -5,9 +5,11 @@
 //! Usage: `table2 [--telemetry] [visits] [trees] [repeats] [seed]`
 //! (defaults: 100 visits/site — the paper's collection size — 100 trees,
 //! 5 repeats). Set `STOB_JSON_OUT=<path>` to also write the cells plus
-//! per-stage wall-clock timings as JSON; `STOB_THREADS` caps the
-//! parallel driver. `--telemetry` (or `STOB_TELEMETRY=1`) appends the
-//! global metrics summary.
+//! per-stage wall-clock timings as JSON; `STOB_JSON_NO_TIMINGS=1` omits
+//! the timings so the file is byte-stable run-to-run (the CI golden
+//! compare uses this); `STOB_THREADS` caps the parallel driver.
+//! `--telemetry` (or `STOB_TELEMETRY=1`) appends the global metrics
+//! summary.
 
 use netsim::telemetry;
 use netsim::Json;
@@ -53,23 +55,26 @@ fn main() {
     eprintln!("[table2] {timings}");
 
     if let Ok(path) = std::env::var("STOB_JSON_OUT") {
-        let json = Json::obj()
-            .set(
-                "cells",
-                Json::Arr(
-                    cells
-                        .iter()
-                        .map(|c| {
-                            Json::obj()
-                                .set("countermeasure", c.countermeasure.name())
-                                .set("n", c.n as u64)
-                                .set("mean", c.mean)
-                                .set("std", c.std)
-                        })
-                        .collect(),
-                ),
-            )
-            .set("timings", timings.to_json());
+        let mut json = Json::obj().set(
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .set("countermeasure", c.countermeasure.name())
+                            .set("n", c.n as u64)
+                            .set("mean", c.mean)
+                            .set("std", c.std)
+                    })
+                    .collect(),
+            ),
+        );
+        // The golden byte-compare in CI needs a run-to-run stable file, so
+        // wall-clock timings are opt-out via STOB_JSON_NO_TIMINGS=1.
+        if std::env::var("STOB_JSON_NO_TIMINGS").map_or(true, |v| v != "1") {
+            json = json.set("timings", timings.to_json());
+        }
         if let Err(e) = std::fs::write(&path, json.to_string_pretty()) {
             eprintln!("[table2] could not write {path}: {e}");
         } else {

@@ -255,12 +255,12 @@ fn figure3_run(
     let warmup = Nanos::from_millis(30);
     net.run_until(warmup);
     let base = net
-        .conn_stats(SERVER, FlowId(1))
+        .flow_stats(SERVER, FlowId(1))
         .map(|s| s.bytes_delivered)
         .unwrap_or(0);
     net.run_until(warmup + measure);
     let bytes = net
-        .conn_stats(SERVER, FlowId(1))
+        .flow_stats(SERVER, FlowId(1))
         .map(|s| s.bytes_delivered)
         .unwrap_or(0)
         - base;

@@ -123,7 +123,7 @@ mod tests {
             11,
         );
         net.run_to_idle();
-        let s = net.conn_stats(crate::net::SERVER, FlowId(1)).unwrap();
+        let s = net.flow_stats(crate::net::SERVER, FlowId(1)).unwrap();
         assert_eq!(s.bytes_delivered, 300_000);
         // FIN seen at the server vantage.
         assert!(net
@@ -148,7 +148,7 @@ mod tests {
             12,
         );
         net.run_until(Nanos::from_millis(200));
-        let s = net.conn_stats(crate::net::SERVER, FlowId(1)).unwrap();
+        let s = net.flow_stats(crate::net::SERVER, FlowId(1)).unwrap();
         assert!(s.bytes_delivered > 500_000, "only {}", s.bytes_delivered);
     }
 }

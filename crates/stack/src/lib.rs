@@ -26,6 +26,7 @@ pub mod apps;
 pub mod cc;
 pub mod config;
 pub mod cpu;
+pub mod egress;
 pub mod net;
 pub mod nic;
 pub mod qdisc;
@@ -36,5 +37,6 @@ pub mod tls;
 
 pub use config::{HostConfig, PathConfig, StackConfig};
 pub use cpu::{Cpu, CpuModel};
+pub use egress::{EgressLabels, EgressPipeline, FlowStats, TransportCore};
 pub use net::{Api, App, AppEvent, Network, CLIENT, SERVER};
 pub use shaper::{NoopShaper, ShapeCtx, Shaper};

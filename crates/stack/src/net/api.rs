@@ -1,0 +1,272 @@
+//! The application-facing control surface: [`Api`] is the handle passed
+//! into every [`App`](super::App) callback, providing connection setup
+//! (TCP, QUIC, or any custom [`TransportCore`]), socket-style writes,
+//! shaper installation, timers, and per-flow stats.
+
+use super::host::Transport;
+use super::{Ev, Network, CLIENT};
+use crate::config::StackConfig;
+use crate::egress::{FlowStats, TransportCore};
+use crate::quic::QuicConn;
+use crate::shaper::BoxShaper;
+use crate::tcp::{ConnStats, TcpConn};
+use netsim::{FlowId, Nanos, SimRng};
+
+/// Application-facing handle, passed into every [`App`](super::App)
+/// callback.
+pub struct Api<'a> {
+    pub(super) net: &'a mut Network,
+    pub(super) host: usize,
+}
+
+/// Kinds of application-visible events (used by recording apps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppEvent {
+    Connected,
+    Data(u64),
+    Sendable,
+    PeerClosed,
+    Timer(u64),
+}
+
+impl<'a> Api<'a> {
+    pub fn now(&self) -> Nanos {
+        self.net.q.now()
+    }
+
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// Open a TCP connection to the other host (client side only) using
+    /// the host's default stack config.
+    pub fn connect(&mut self) -> FlowId {
+        let cfg = self.net.hosts[self.host].cfg.stack.clone();
+        self.connect_with(cfg, None)
+    }
+
+    /// Open a connection with an explicit stack config and optional
+    /// shaper (the `setsockopt`-style control surface §5.3 points at).
+    pub fn connect_with(&mut self, cfg: StackConfig, shaper: Option<BoxShaper>) -> FlowId {
+        assert_eq!(self.host, CLIENT, "only the client opens connections");
+        let flow = FlowId(self.net.next_flow);
+        self.net.next_flow += 1;
+        let mut conn = TcpConn::new(flow, cfg, true);
+        if let Some(s) = shaper {
+            conn.set_shaper(s);
+        }
+        if let Some(tr) = &self.net.tracer {
+            conn.set_tracer(tr.clone());
+        }
+        let now = self.net.q.now();
+        let acts = conn.connect(now);
+        self.net.hosts[self.host]
+            .conns
+            .insert(flow, Transport::Tcp(conn));
+        self.net.apply(self.host, flow, acts);
+        flow
+    }
+
+    /// Open a QUIC connection to the other host (client side only).
+    pub fn connect_quic(&mut self, cfg: StackConfig, shaper: Option<BoxShaper>) -> FlowId {
+        assert_eq!(self.host, CLIENT, "only the client opens connections");
+        let flow = FlowId(self.net.next_flow);
+        self.net.next_flow += 1;
+        let mut conn = QuicConn::new(flow, cfg, true);
+        if let Some(s) = shaper {
+            conn.set_shaper(s);
+        }
+        if let Some(tr) = &self.net.tracer {
+            conn.set_tracer(tr.clone());
+        }
+        let now = self.net.q.now();
+        let acts = conn.connect(now);
+        self.net.hosts[self.host]
+            .conns
+            .insert(flow, Transport::Quic(conn));
+        self.net.apply(self.host, flow, acts);
+        flow
+    }
+
+    /// Install a custom transport (client side only). The constructor
+    /// receives the allocated flow id; the returned [`TransportCore`] is
+    /// driven through the same qdisc/NIC datapath as TCP and QUIC.
+    ///
+    /// Custom transports perform no handshake in this model: the flow is
+    /// usable immediately, and data pushed via [`Api::send`] flows as
+    /// soon as the transport's `output` emits segments. See the
+    /// crate-level example in [`crate::egress`] for a full walk-through.
+    pub fn connect_custom(
+        &mut self,
+        make: impl FnOnce(FlowId) -> Box<dyn TransportCore>,
+    ) -> FlowId {
+        assert_eq!(self.host, CLIENT, "only the client opens connections");
+        let flow = FlowId(self.net.next_flow);
+        self.net.next_flow += 1;
+        let mut core = make(flow);
+        if let Some(tr) = &self.net.tracer {
+            core.set_tracer(tr.clone());
+        }
+        self.net.hosts[self.host]
+            .conns
+            .insert(flow, Transport::Custom(core));
+        flow
+    }
+
+    /// Install a shaper on an existing connection (either host). This is
+    /// how a server-side deployment (§5.4) attaches Stob policies to
+    /// accepted connections.
+    pub fn set_shaper(&mut self, flow: FlowId, shaper: BoxShaper) {
+        if let Some(conn) = self.net.hosts[self.host].conns.get_mut(&flow) {
+            conn.core_mut().set_shaper(shaper);
+        }
+    }
+
+    /// Write up to `bytes` into the socket buffer; returns bytes accepted.
+    pub fn send(&mut self, flow: FlowId, bytes: u64) -> u64 {
+        let now = self.net.q.now();
+        let (accepted, acts) = {
+            let h = &mut self.net.hosts[self.host];
+            let Some(conn) = h.conns.get_mut(&flow) else {
+                return 0;
+            };
+            let core = conn.core_mut();
+            let accepted = core.write(bytes);
+            let acts = core.output(now, &mut h.cpu);
+            (accepted, acts)
+        };
+        self.net.apply(self.host, flow, acts);
+        accepted
+    }
+
+    /// Close our direction of the connection (FIN after queued data).
+    pub fn close(&mut self, flow: FlowId) {
+        let now = self.net.q.now();
+        let acts = {
+            let h = &mut self.net.hosts[self.host];
+            // QUIC-lite models no CONNECTION_CLOSE frame; closing is a
+            // TCP-only operation here.
+            match h.conns.get_mut(&flow).and_then(Transport::as_tcp_mut) {
+                Some(conn) => {
+                    conn.close();
+                    conn.output(now, &mut h.cpu)
+                }
+                None => return,
+            }
+        };
+        self.net.apply(self.host, flow, acts);
+    }
+
+    /// Arm an application timer delivering `token` after `delay`.
+    pub fn set_timer(&mut self, delay: Nanos, token: u64) {
+        let host = self.host;
+        self.net.q.schedule_in(delay, Ev::AppTimer { host, token });
+    }
+
+    /// Transport-agnostic stats of one of this host's connections.
+    pub fn flow_stats(&self, flow: FlowId) -> Option<FlowStats> {
+        self.net.flow_stats(self.host, flow)
+    }
+
+    /// TCP-specific stats of one of this host's connections.
+    #[deprecated(note = "use `flow_stats` for transport-agnostic counters")]
+    pub fn conn_stats(&self, flow: FlowId) -> Option<ConnStats> {
+        #[allow(deprecated)]
+        self.net.conn_stats(self.host, flow)
+    }
+
+    /// Smoothed RTT of a connection, if measured.
+    pub fn srtt(&self, flow: FlowId) -> Option<Nanos> {
+        self.net.hosts[self.host]
+            .conns
+            .get(&flow)
+            .and_then(|t| t.core().srtt())
+    }
+
+    /// Deterministic per-app randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.net.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Network, SERVER};
+    use crate::apps::{BulkSender, Sink};
+    use crate::config::{HostConfig, PathConfig, StackConfig};
+    use crate::cpu::CpuModel;
+    use crate::net::{Api, App, CLIENT};
+    use netsim::{FlowId, Nanos};
+
+    fn fast_host() -> HostConfig {
+        HostConfig {
+            cpu: CpuModel::infinitely_fast(),
+            ..HostConfig::default()
+        }
+    }
+
+    /// The deprecated TCP getters must keep working and agree with the
+    /// unified accessor.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_conn_stats_wrapper_matches_flow_stats() {
+        let total = 300_000;
+        let mut net = Network::new(
+            fast_host(),
+            fast_host(),
+            PathConfig::internet(50, 20),
+            Box::new(BulkSender::new(total)),
+            Box::new(Sink::default()),
+            61,
+        );
+        net.run_to_idle();
+        let legacy = net.conn_stats(SERVER, FlowId(1)).expect("tcp stats");
+        let unified = net.flow_stats(SERVER, FlowId(1)).expect("flow stats");
+        assert_eq!(legacy.bytes_delivered, total);
+        assert_eq!(unified.bytes_delivered, legacy.bytes_delivered);
+        let c_legacy = net.conn_stats(CLIENT, FlowId(1)).unwrap();
+        let c_unified = net.flow_stats(CLIENT, FlowId(1)).unwrap();
+        assert_eq!(c_unified.segs_sent, c_legacy.segs_sent);
+        assert_eq!(c_unified.pkts_sent, c_legacy.pkts_sent);
+        assert_eq!(c_unified.acks_sent, c_legacy.acks_sent);
+        assert_eq!(c_unified.retransmits, c_legacy.fast_retransmits);
+        assert_eq!(c_unified.timeouts, c_legacy.rtos);
+        // And the TCP-only getter stays TCP-only.
+        assert!(net.quic_stats(SERVER, FlowId(1)).is_none());
+    }
+
+    /// Same contract for the deprecated QUIC getter.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_quic_stats_wrapper_matches_flow_stats() {
+        struct QuicOnce;
+        impl App for QuicOnce {
+            fn on_start(&mut self, api: &mut Api) {
+                api.connect_quic(StackConfig::default(), None);
+            }
+            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+                api.send(flow, 200_000);
+            }
+        }
+        let mut net = Network::new(
+            fast_host(),
+            fast_host(),
+            PathConfig::internet(100, 20),
+            Box::new(QuicOnce),
+            Box::new(Sink::default()),
+            62,
+        );
+        net.run_until(Nanos::from_secs(10));
+        let legacy = net.quic_stats(SERVER, FlowId(1)).expect("quic stats");
+        let unified = net.flow_stats(SERVER, FlowId(1)).expect("flow stats");
+        assert_eq!(legacy.bytes_delivered, 200_000);
+        assert_eq!(unified.bytes_delivered, legacy.bytes_delivered);
+        let c_legacy = net.quic_stats(CLIENT, FlowId(1)).unwrap();
+        let c_unified = net.flow_stats(CLIENT, FlowId(1)).unwrap();
+        assert_eq!(c_unified.segs_sent, c_legacy.batches_sent);
+        assert_eq!(c_unified.pkts_sent, c_legacy.pkts_sent);
+        assert_eq!(c_unified.retransmits, c_legacy.retransmissions);
+        assert_eq!(c_unified.timeouts, c_legacy.ptos);
+        assert!(net.conn_stats(SERVER, FlowId(1)).is_none());
+    }
+}

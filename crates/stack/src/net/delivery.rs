@@ -1,0 +1,430 @@
+//! The datapath: event dispatch, qdisc→NIC feeding, the bottleneck
+//! queues, fault injection at path entry, and packet arrival (including
+//! passive open of server-side connections).
+//!
+//! Every connection is driven exclusively through
+//! [`TransportCore`](crate::egress::TransportCore) — this file contains
+//! no transport-specific code beyond the passive-open constructor choice.
+
+use super::host::Transport;
+use super::{Api, Ev, Network, CLIENT, SERVER};
+use crate::qdisc::SegDesc;
+use crate::quic::QuicConn;
+use crate::tcp::{TcpAction, TcpConn};
+use netsim::fault::Departure;
+use netsim::{Direction, FlowId, Nanos, Packet, PacketKind};
+
+impl Network {
+    pub(super) fn handle(&mut self, ev: Ev) {
+        netsim::tm_counter!("stack.net.events").inc();
+        match ev {
+            Ev::QdiscCheck { host } => {
+                self.hosts[host].next_check = None;
+                self.qdisc_check(host);
+            }
+            Ev::PktLeaveNic { host, pkt } => self.pkt_leave_nic(host, pkt),
+            Ev::SegTxDone { host, flow, wire } => {
+                let now = self.q.now();
+                let acts = {
+                    let h = &mut self.hosts[host];
+                    let Some(conn) = h.conns.get_mut(&flow) else {
+                        return;
+                    };
+                    let core = conn.core_mut();
+                    core.on_nic_release(wire);
+                    core.output(now, &mut h.cpu)
+                };
+                self.apply(host, flow, acts);
+            }
+            Ev::BnTxDone { dir } => self.bn_tx_done(dir),
+            Ev::Arrive { host, pkt } => self.arrive(host, pkt),
+            Ev::ConnTimer {
+                host,
+                flow,
+                kind,
+                gen,
+            } => {
+                let now = self.q.now();
+                let acts = match self.hosts[host].conns.get_mut(&flow) {
+                    Some(conn) => conn.core_mut().on_timer(kind, gen, now),
+                    None => return,
+                };
+                self.apply(host, flow, acts);
+                let more = {
+                    let h = &mut self.hosts[host];
+                    match h.conns.get_mut(&flow) {
+                        Some(conn) => conn.core_mut().output(now, &mut h.cpu),
+                        None => return,
+                    }
+                };
+                self.apply(host, flow, more);
+            }
+            Ev::AppTimer { host, token } => {
+                self.with_app(host, |app, api| app.on_timer(api, token));
+            }
+            Ev::FlapRelease { dir } => self.flap_release(dir),
+            Ev::MtuChange { new_mtu_ip } => self.mtu_change(new_mtu_ip),
+        }
+    }
+
+    /// Apply a scheduled path-MTU reduction to every live connection on
+    /// both hosts (the stand-in for ICMP "fragmentation needed" reaching
+    /// each endpoint). Segments already queued keep their old size;
+    /// everything packetized afterwards uses the smaller MTU.
+    fn mtu_change(&mut self, new_mtu_ip: u32) {
+        if let Some(f) = self.faults.as_mut() {
+            f.stats.mtu_changes += 1;
+        }
+        netsim::tm_counter!("netsim.fault.mtu_changes").inc();
+        if let Some(tr) = &self.tracer {
+            tr.rec(
+                self.q.now(),
+                0,
+                "net",
+                "mtu-change",
+                0,
+                u64::from(new_mtu_ip),
+                "fault-schedule",
+            );
+        }
+        for h in self.hosts.iter_mut() {
+            for conn in h.conns.values_mut() {
+                conn.core_mut().set_mtu(new_mtu_ip);
+            }
+        }
+    }
+
+    /// Apply transport actions produced by conn `flow` on `host`.
+    pub(super) fn apply(&mut self, host: usize, flow: FlowId, acts: Vec<TcpAction>) {
+        let now = self.q.now();
+        // §4.2 audit: the batch of fresh (non-retransmit) departures one
+        // output pass authorises must fit within the congestion
+        // controller's grant, and so must the flow's in-network estimate.
+        // `slop` is the one-burst overshoot the send loop structurally
+        // permits (the gate runs before each segment is built).
+        if self.auditor.enabled() {
+            let fresh: u64 = acts
+                .iter()
+                .filter_map(|a| match a {
+                    TcpAction::SendSeg(s) if !s.pkts.iter().any(|p| p.meta.retransmit) => {
+                        Some(s.payload_bytes())
+                    }
+                    _ => None,
+                })
+                .sum();
+            if fresh > 0 {
+                let (outstanding, grant) = match self.hosts[host].conns.get(&flow) {
+                    Some(t) => {
+                        let c = t.core();
+                        (c.outstanding().max(fresh), c.cwnd())
+                    }
+                    None => (0, u64::MAX),
+                };
+                let s = &self.hosts[host].cfg.stack;
+                let slop = u64::from(s.tso_max_pkts.max(16)) * u64::from(s.mss());
+                self.auditor.check_safety(
+                    now,
+                    u64::from(flow.0),
+                    outstanding,
+                    grant.saturating_add(slop),
+                );
+            }
+        }
+        for act in acts {
+            match act {
+                TcpAction::SendSeg(seg) => {
+                    let at = seg.eligible_at;
+                    self.hosts[host].qdisc.enqueue(seg);
+                    self.schedule_check(host, at.max(now));
+                }
+                TcpAction::SendCtl(pkt) => {
+                    let seg = SegDesc::new(flow, vec![pkt], now);
+                    self.hosts[host].qdisc.enqueue_prio(seg);
+                    self.schedule_check(host, now);
+                }
+                TcpAction::ArmTimer { kind, at, gen } => {
+                    self.q.schedule_at(
+                        at.max(now),
+                        Ev::ConnTimer {
+                            host,
+                            flow,
+                            kind,
+                            gen,
+                        },
+                    );
+                }
+                TcpAction::Deliver(n) => {
+                    self.with_app(host, |app, api| app.on_data(api, flow, n));
+                }
+                TcpAction::Sendable => {
+                    self.with_app(host, |app, api| app.on_sendable(api, flow));
+                }
+                TcpAction::Connected => {
+                    if host == CLIENT {
+                        self.with_app(host, |app, api| app.on_connected(api, flow));
+                    } else {
+                        self.with_app(host, |app, api| app.on_accept(api, flow));
+                    }
+                }
+                TcpAction::PeerClosed => {
+                    self.with_app(host, |app, api| app.on_peer_closed(api, flow));
+                }
+            }
+        }
+    }
+
+    pub(super) fn with_app(&mut self, host: usize, f: impl FnOnce(&mut dyn super::App, &mut Api)) {
+        if let Some(mut app) = self.apps[host].take() {
+            {
+                let mut api = Api { net: self, host };
+                f(app.as_mut(), &mut api);
+            }
+            debug_assert!(self.apps[host].is_none(), "reentrant app callback");
+            self.apps[host] = Some(app);
+        }
+    }
+
+    fn schedule_check(&mut self, host: usize, at: Nanos) {
+        let at = at.max(self.q.now());
+        match self.hosts[host].next_check {
+            Some(t) if t <= at => {}
+            _ => {
+                self.hosts[host].next_check = Some(at);
+                self.q.schedule_at(at, Ev::QdiscCheck { host });
+            }
+        }
+    }
+
+    /// Try to feed the NIC from the qdisc.
+    pub(super) fn qdisc_check(&mut self, host: usize) {
+        let now = self.q.now();
+        let h = &mut self.hosts[host];
+        if !h.nic.idle_at(now) {
+            let free = h.nic.free_at();
+            self.schedule_check(host, free);
+            return;
+        }
+        match h.qdisc.dequeue(now) {
+            Some(seg) => {
+                self.auditor
+                    .check_release(now, seg.eligible_at, u64::from(seg.flow.0));
+                // Pacer release delay: how long past its eligible time a
+                // segment actually reached the NIC (0 = on time).
+                netsim::tm_histo!("stack.qdisc.release_delay_ns")
+                    .record(now.saturating_sub(seg.eligible_at).as_nanos());
+                let flow = seg.flow;
+                let wire = seg.wire_bytes;
+                let npkts = seg.pkts.len() as u64;
+                netsim::tm_histo!("stack.nic.pkts_per_seg").record(npkts);
+                if let Some(tr) = &self.tracer {
+                    tr.rec(
+                        now,
+                        u64::from(flow.0),
+                        "qdisc",
+                        "release",
+                        seg.eligible_at.as_nanos(),
+                        now.as_nanos(),
+                        "earliest-eligible-first",
+                    );
+                    tr.rec(
+                        now,
+                        u64::from(flow.0),
+                        "nic",
+                        "tx-seg",
+                        npkts,
+                        wire,
+                        "tso-burst",
+                    );
+                }
+                let (done, pkts) = h.nic.transmit_segment(now, seg);
+                for (t, pkt) in pkts {
+                    self.q.schedule_at(t, Ev::PktLeaveNic { host, pkt });
+                }
+                self.q.schedule_at(done, Ev::SegTxDone { host, flow, wire });
+                // Check again when the NIC frees up.
+                self.schedule_check(host, done);
+            }
+            None => {
+                if let Some(t) = h.qdisc.next_eligible() {
+                    let t = t.max(now);
+                    self.schedule_check(host, t);
+                }
+            }
+        }
+    }
+
+    /// A packet's last bit left a host NIC: record it at the local
+    /// vantage point, then enter the bottleneck toward the other host.
+    fn pkt_leave_nic(&mut self, host: usize, pkt: Packet) {
+        let now = self.q.now();
+        match host {
+            CLIENT => self.client_capture.observe(now, Direction::Out, &pkt),
+            _ => self.server_capture.observe(now, Direction::Out, &pkt),
+        }
+        self.ledger.injected += 1;
+        // Random loss (configured paths only).
+        if self.path.loss > 0.0 && self.rng.chance(self.path.loss) {
+            self.path_stats.random_drops += 1;
+            self.ledger.dropped += 1;
+            netsim::tm_counter!("stack.net.random_drops").inc();
+            return;
+        }
+        let dir = host; // direction index = source host
+                        // Fault injection at the path entry: burst loss, duplication,
+                        // then link flaps (a dropped packet cannot duplicate; a held one
+                        // waits out the outage).
+        let mut copies: u64 = 1;
+        if let Some(f) = self.faults.as_mut() {
+            match f.on_departure(dir, now) {
+                Departure::Deliver => {}
+                Departure::Drop => {
+                    self.ledger.dropped += 1;
+                    netsim::tm_counter!("netsim.fault.drops").inc();
+                    if let Some(tr) = &self.tracer {
+                        tr.rec(
+                            now,
+                            u64::from(pkt.flow.0),
+                            "net",
+                            "fault-drop",
+                            u64::from(pkt.wire_len),
+                            0,
+                            "fault-schedule",
+                        );
+                    }
+                    return;
+                }
+                Departure::Duplicate => {
+                    copies = 2;
+                    self.ledger.injected += 1;
+                    netsim::tm_counter!("netsim.fault.duplicates").inc();
+                }
+            }
+            if let Some(down) = f.link_down(dir, now) {
+                if down.drop {
+                    f.stats.flap_drops += copies;
+                    self.ledger.dropped += copies;
+                    netsim::tm_counter!("netsim.fault.flap_drops").add(copies);
+                    return;
+                }
+                f.stats.flap_held += copies;
+                netsim::tm_counter!("netsim.fault.flap_held").add(copies);
+                let first = self.flap_held[dir].is_empty();
+                if copies == 2 {
+                    self.flap_held[dir].push(pkt.clone());
+                }
+                self.flap_held[dir].push(pkt);
+                if first {
+                    self.q.schedule_at(down.until, Ev::FlapRelease { dir });
+                }
+                return;
+            }
+        }
+        if copies == 2 {
+            self.enter_bottleneck(dir, pkt.clone());
+        }
+        self.enter_bottleneck(dir, pkt);
+    }
+
+    /// Hand a packet to the bottleneck transmitter for direction `dir`.
+    fn enter_bottleneck(&mut self, dir: usize, pkt: Packet) {
+        let now = self.q.now();
+        if self.bn_inflight[dir].is_none() {
+            let tx = Nanos::for_bytes_at_rate(pkt.wire_len as u64, self.path.bottleneck_bps);
+            self.bn_inflight[dir] = Some(pkt);
+            self.q.schedule_at(now + tx, Ev::BnTxDone { dir });
+        } else if !self.bn_queue[dir].enqueue(pkt) {
+            self.path_stats.overflow_drops += 1;
+            self.ledger.dropped += 1;
+        }
+    }
+
+    /// A buffering flap's recovery time arrived: if the link is still
+    /// down (overlapping windows), re-arm; otherwise drain the held
+    /// packets in order.
+    fn flap_release(&mut self, dir: usize) {
+        let now = self.q.now();
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(down) = f.link_down(dir, now) {
+                self.q.schedule_at(down.until, Ev::FlapRelease { dir });
+                return;
+            }
+        }
+        let held = std::mem::take(&mut self.flap_held[dir]);
+        for pkt in held {
+            self.enter_bottleneck(dir, pkt);
+        }
+    }
+
+    fn bn_tx_done(&mut self, dir: usize) {
+        let now = self.q.now();
+        let pkt = self.bn_inflight[dir].take().expect("no packet in flight");
+        let dst = 1 - dir;
+        self.path_stats.delivered_pkts += 1;
+        // Reorder jitter and RTT spikes stretch propagation only:
+        // packets may overtake each other, never travel back in time.
+        let mut delay = self.path.one_way_delay;
+        if let Some(f) = self.faults.as_mut() {
+            delay += f.extra_arrival_delay(dir, now);
+        }
+        self.ledger.arrivals_pending += 1;
+        self.q
+            .schedule_at(now + delay, Ev::Arrive { host: dst, pkt });
+        if let Some(next) = self.bn_queue[dir].dequeue() {
+            let tx = Nanos::for_bytes_at_rate(next.wire_len as u64, self.path.bottleneck_bps);
+            self.bn_inflight[dir] = Some(next);
+            self.q.schedule_at(now + tx, Ev::BnTxDone { dir });
+        }
+    }
+
+    fn arrive(&mut self, host: usize, pkt: Packet) {
+        let now = self.q.now();
+        self.ledger.arrivals_pending -= 1;
+        self.ledger.delivered += 1;
+        if self.auditor.enabled() {
+            let in_transit = self.in_transit_pkts();
+            self.auditor.check_conservation(
+                now,
+                self.ledger.injected,
+                self.ledger.delivered,
+                self.ledger.dropped,
+                in_transit,
+            );
+        }
+        match host {
+            CLIENT => self.client_capture.observe(now, Direction::In, &pkt),
+            _ => self.server_capture.observe(now, Direction::In, &pkt),
+        }
+        let flow = pkt.flow;
+        // Passive open: a SYN (TCP) or Initial (QUIC) for an unknown
+        // flow creates the server connection.
+        if !self.hosts[host].conns.contains_key(&flow) {
+            let mut conn = if pkt.kind == PacketKind::TcpSyn && host == SERVER {
+                let cfg = self.hosts[host].cfg.stack.clone();
+                Transport::Tcp(TcpConn::new(flow, cfg, false))
+            } else if pkt.kind == PacketKind::QuicInit && host == SERVER {
+                let cfg = self.hosts[host].cfg.stack.clone();
+                Transport::Quic(QuicConn::new(flow, cfg, false))
+            } else {
+                return; // stray packet for a dead/unknown flow
+            };
+            if let Some(tr) = &self.tracer {
+                conn.core_mut().set_tracer(tr.clone());
+            }
+            self.hosts[host].conns.insert(flow, conn);
+        }
+        let acts = {
+            let h = &mut self.hosts[host];
+            let conn = h.conns.get_mut(&flow).expect("conn just ensured");
+            conn.core_mut().input(&pkt, now, &mut h.cpu)
+        };
+        self.apply(host, flow, acts);
+        let more = {
+            let h = &mut self.hosts[host];
+            match h.conns.get_mut(&flow) {
+                Some(conn) => conn.core_mut().output(now, &mut h.cpu),
+                None => return,
+            }
+        };
+        self.apply(host, flow, more);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-host state: the stack instances (transport connections), the CPU
+//! model, the qdisc, and the NIC — everything below the application on
+//! one side of the path.
+
+use crate::config::HostConfig;
+use crate::cpu::Cpu;
+use crate::egress::TransportCore;
+use crate::nic::Nic;
+use crate::qdisc::FqQdisc;
+use crate::quic::QuicConn;
+use crate::tcp::TcpConn;
+use netsim::{FlowId, Nanos};
+use std::collections::BTreeMap;
+
+/// A transport endpoint: the stack supports TCP and QUIC side by side
+/// (Figure 1's columns share everything below the transport layer), plus
+/// arbitrary user-supplied [`TransportCore`] implementations installed
+/// via `Api::connect_custom`.
+///
+/// The network driver speaks to all variants exclusively through
+/// [`core`](Transport::core) / [`core_mut`](Transport::core_mut); the
+/// `as_*` accessors are the narrow escape hatch for transport-specific
+/// stats and operations (TCP `close`, legacy stats getters).
+pub(super) enum Transport {
+    Tcp(TcpConn),
+    Quic(QuicConn),
+    Custom(Box<dyn TransportCore>),
+}
+
+impl Transport {
+    /// The transport-agnostic driver interface.
+    pub(super) fn core(&self) -> &dyn TransportCore {
+        match self {
+            Transport::Tcp(c) => c,
+            Transport::Quic(c) => c,
+            Transport::Custom(c) => c.as_ref(),
+        }
+    }
+
+    /// Mutable transport-agnostic driver interface.
+    pub(super) fn core_mut(&mut self) -> &mut dyn TransportCore {
+        match self {
+            Transport::Tcp(c) => c,
+            Transport::Quic(c) => c,
+            Transport::Custom(c) => c.as_mut(),
+        }
+    }
+
+    /// TCP-specific escape hatch (legacy stats, `close`).
+    pub(super) fn as_tcp(&self) -> Option<&TcpConn> {
+        match self {
+            Transport::Tcp(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub(super) fn as_tcp_mut(&mut self) -> Option<&mut TcpConn> {
+        match self {
+            Transport::Tcp(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// QUIC-specific escape hatch (legacy stats).
+    pub(super) fn as_quic(&self) -> Option<&QuicConn> {
+        match self {
+            Transport::Quic(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+pub(super) struct Host {
+    pub(super) cfg: HostConfig,
+    pub(super) cpu: Cpu,
+    pub(super) nic: Nic,
+    pub(super) qdisc: FqQdisc,
+    pub(super) conns: BTreeMap<FlowId, Transport>,
+    /// Earliest pending QdiscCheck, to avoid event storms.
+    pub(super) next_check: Option<Nanos>,
+}
+
+impl Host {
+    pub(super) fn new(cfg: HostConfig) -> Self {
+        Host {
+            cpu: Cpu::new(cfg.cpu),
+            nic: Nic::new(cfg.nic_rate_bps),
+            qdisc: FqQdisc::new(),
+            conns: BTreeMap::new(),
+            next_check: None,
+            cfg,
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The simulated network: two hosts (client and server) joined by a
+//! symmetric bottleneck, driven by a deterministic event loop.
+//!
+//! A passive vantage point at the client access link records every packet
+//! in both directions — the `tcpdump` of the paper's §3 data collection.
+//! A second vantage point at the server side supports server-side defense
+//! studies (§5.4 argues the server side is the right deployment point).
+//!
+//! The module splits along the datapath:
+//!
+//! * [`mod@self`] — the [`Network`] container, event loop, fault/audit
+//!   wiring, and stats introspection;
+//! * `host` — per-host state (transport connections behind the
+//!   [`TransportCore`](crate::egress::TransportCore) trait, CPU, qdisc,
+//!   NIC);
+//! * `delivery` — event handlers and the path datapath (qdisc→NIC,
+//!   bottleneck, faults, arrival/passive open);
+//! * `api` — the application-facing [`Api`] handle.
+
+mod api;
+mod delivery;
+mod host;
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod tests_faults;
+
+pub use api::{Api, AppEvent};
+
+use crate::config::{HostConfig, PathConfig};
+use crate::cpu::Cpu;
+use crate::egress::FlowStats;
+use crate::quic::QuicStats;
+use crate::tcp::{ConnStats, TimerKind};
+use host::{Host, Transport};
+use netsim::telemetry::Tracer;
+use netsim::{
+    AuditReport, Auditor, Capture, DropTailQueue, EventQueue, FaultInjector, FaultSchedule,
+    FaultStats, FlowId, Nanos, Packet, SimRng,
+};
+
+pub const CLIENT: usize = 0;
+pub const SERVER: usize = 1;
+
+/// Callbacks through which applications drive the stack. All I/O is
+/// asynchronous: `Api::send` only fills the socket buffer, mirroring the
+/// `send()` semantics §2.3 builds its argument on.
+pub trait App {
+    fn on_start(&mut self, _api: &mut Api) {}
+    /// Client side: connection established.
+    fn on_connected(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// Server side: a new connection completed its handshake.
+    fn on_accept(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// `bytes` new in-order bytes arrived on `flow`.
+    fn on_data(&mut self, _api: &mut Api, _flow: FlowId, _bytes: u64) {}
+    /// Socket-buffer space is available again after a short write.
+    fn on_sendable(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// The peer closed its direction of the connection.
+    fn on_peer_closed(&mut self, _api: &mut Api, _flow: FlowId) {}
+    /// An application timer set via [`Api::set_timer`] fired.
+    fn on_timer(&mut self, _api: &mut Api, _token: u64) {}
+}
+
+/// Events flowing through the simulator.
+#[derive(Debug)]
+enum Ev {
+    /// A packet arrives at a host (after the bottleneck + propagation).
+    Arrive { host: usize, pkt: Packet },
+    /// One wire packet's last bit left the host NIC.
+    PktLeaveNic { host: usize, pkt: Packet },
+    /// The NIC finished serializing a whole segment of `flow`.
+    SegTxDone {
+        host: usize,
+        flow: FlowId,
+        wire: u64,
+    },
+    /// Bottleneck transmitter finished the packet in flight.
+    BnTxDone { dir: usize },
+    /// Re-examine the qdisc (pacing eligibility or NIC became free).
+    QdiscCheck { host: usize },
+    /// Transport timer.
+    ConnTimer {
+        host: usize,
+        flow: FlowId,
+        kind: TimerKind,
+        gen: u64,
+    },
+    /// Application timer.
+    AppTimer { host: usize, token: u64 },
+    /// A buffering link flap ended: drain held packets into the path.
+    FlapRelease { dir: usize },
+    /// Scheduled mid-flow path-MTU reduction from the fault schedule.
+    MtuChange { new_mtu_ip: u32 },
+}
+
+/// Counters for the path between the hosts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathStats {
+    pub random_drops: u64,
+    pub overflow_drops: u64,
+    pub delivered_pkts: u64,
+}
+
+/// Packet-conservation ledger kept for the auditor: everything injected
+/// into the path must end up delivered, dropped (and counted), or still
+/// in transit.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathLedger {
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    /// Arrive events scheduled but not yet handled.
+    arrivals_pending: u64,
+}
+
+/// The whole simulated world.
+pub struct Network {
+    q: EventQueue<Ev>,
+    hosts: [Host; 2],
+    apps: [Option<Box<dyn App>>; 2],
+    path: PathConfig,
+    bn_queue: [DropTailQueue; 2],
+    bn_inflight: [Option<Packet>; 2],
+    rng: SimRng,
+    next_flow: u32,
+    started: bool,
+    /// Fault injector, when a schedule was installed via `set_faults`.
+    faults: Option<FaultInjector>,
+    /// Packets held during a buffering link flap, per direction.
+    flap_held: [Vec<Packet>; 2],
+    /// Runtime invariant checker (debug default; `STOB_AUDIT=1` or
+    /// `set_audit` elsewhere).
+    auditor: Auditor,
+    /// Shared flow-trace ring: every shaping decision on either host is
+    /// recorded here when installed (`set_tracer`).
+    tracer: Option<Tracer>,
+    ledger: PathLedger,
+    pub path_stats: PathStats,
+    /// Vantage point at the client access link (the paper's capture
+    /// position). `Out` = client→server.
+    pub client_capture: Capture,
+    /// Vantage point at the server access link. `Out` = server→client.
+    pub server_capture: Capture,
+}
+
+impl Network {
+    pub fn new(
+        client: HostConfig,
+        server: HostConfig,
+        path: PathConfig,
+        client_app: Box<dyn App>,
+        server_app: Box<dyn App>,
+        seed: u64,
+    ) -> Self {
+        Network {
+            q: EventQueue::new(),
+            hosts: [Host::new(client), Host::new(server)],
+            apps: [Some(client_app), Some(server_app)],
+            bn_queue: [
+                DropTailQueue::new(path.queue_bytes),
+                DropTailQueue::new(path.queue_bytes),
+            ],
+            bn_inflight: [None, None],
+            path,
+            rng: SimRng::new(seed),
+            next_flow: 1,
+            started: false,
+            faults: None,
+            flap_held: [Vec::new(), Vec::new()],
+            auditor: Auditor::new(),
+            tracer: None,
+            ledger: PathLedger::default(),
+            path_stats: PathStats::default(),
+            client_capture: Capture::new(),
+            server_capture: Capture::new(),
+        }
+    }
+
+    pub fn now(&self) -> Nanos {
+        self.q.now()
+    }
+
+    /// Deliver `on_start` to both apps (server first, so it is listening
+    /// before the client connects).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.with_app(SERVER, |app, api| app.on_start(api));
+        self.with_app(CLIENT, |app, api| app.on_start(api));
+    }
+
+    /// Run until the event queue drains. Returns the final time.
+    pub fn run_to_idle(&mut self) -> Nanos {
+        self.start();
+        let mut sp = netsim::telemetry::span("stack.net.event_loop");
+        let t0 = self.q.now();
+        while let Some((t, ev)) = self.q.pop() {
+            self.auditor.check_monotonic(t);
+            self.handle(ev);
+        }
+        sp.sim_window(t0, self.q.now());
+        self.q.now()
+    }
+
+    /// Run until simulated `deadline`; later events stay queued.
+    pub fn run_until(&mut self, deadline: Nanos) {
+        self.start();
+        let mut sp = netsim::telemetry::span("stack.net.event_loop");
+        let t0 = self.q.now();
+        while let Some(t) = self.q.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.q.pop().expect("peeked event vanished");
+            self.auditor.check_monotonic(t);
+            self.handle(ev);
+        }
+        sp.sim_window(t0, self.q.now());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & auditing
+    // ------------------------------------------------------------------
+
+    /// Install a fault schedule. MTU-drop items become scheduled events;
+    /// the rest are consulted as packets traverse the path.
+    pub fn set_faults(&mut self, schedule: &FaultSchedule) {
+        let inj = FaultInjector::new(schedule);
+        for (at, new_mtu_ip) in inj.mtu_events() {
+            self.q
+                .schedule_at(at.max(self.q.now()), Ev::MtuChange { new_mtu_ip });
+        }
+        self.faults = Some(inj);
+    }
+
+    /// Counters of faults that actually fired (`None` without a schedule).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Force the invariant auditor on or off (debug builds default on;
+    /// release builds honour `STOB_AUDIT=1`).
+    pub fn set_audit(&mut self, on: bool) {
+        self.auditor.set_enabled(on);
+    }
+
+    /// Install a flow tracer: from now on every shaping decision on
+    /// either host (transport sizing/pacing, qdisc release, NIC bursts,
+    /// fault hits) is recorded into the shared bounded ring. Existing
+    /// connections pick it up immediately.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for h in self.hosts.iter_mut() {
+            for conn in h.conns.values_mut() {
+                conn.core_mut().set_tracer(tracer.clone());
+            }
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed flow tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Final invariant report: runs the conservation check over the path
+    /// ledger, then snapshots all recorded violations.
+    pub fn audit_report(&mut self) -> AuditReport {
+        let now = self.q.now();
+        let in_transit = self.in_transit_pkts();
+        self.auditor.check_conservation(
+            now,
+            self.ledger.injected,
+            self.ledger.delivered,
+            self.ledger.dropped,
+            in_transit,
+        );
+        self.auditor.report()
+    }
+
+    /// Packets currently somewhere on the path (bottleneck queues, the
+    /// transmitters, flap-hold buffers, or propagating toward a host).
+    fn in_transit_pkts(&self) -> u64 {
+        let queued: u64 = self.bn_queue.iter().map(|q| q.len() as u64).sum();
+        let inflight = self.bn_inflight.iter().flatten().count() as u64;
+        let held: u64 = self.flap_held.iter().map(|h| h.len() as u64).sum();
+        queued + inflight + held + self.ledger.arrivals_pending
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Transport-agnostic stats for any flow on `host`, whatever its
+    /// transport (TCP, QUIC, or custom).
+    pub fn flow_stats(&self, host: usize, flow: FlowId) -> Option<FlowStats> {
+        self.hosts[host]
+            .conns
+            .get(&flow)
+            .map(|t| t.core().flow_stats())
+    }
+
+    /// TCP-specific stats (`None` for non-TCP flows).
+    #[deprecated(note = "use `flow_stats` for transport-agnostic counters")]
+    pub fn conn_stats(&self, host: usize, flow: FlowId) -> Option<ConnStats> {
+        self.hosts[host]
+            .conns
+            .get(&flow)
+            .and_then(Transport::as_tcp)
+            .map(|c| c.stats)
+    }
+
+    /// QUIC-specific stats (`None` for non-QUIC flows).
+    #[deprecated(note = "use `flow_stats` for transport-agnostic counters")]
+    pub fn quic_stats(&self, host: usize, flow: FlowId) -> Option<QuicStats> {
+        self.hosts[host]
+            .conns
+            .get(&flow)
+            .and_then(Transport::as_quic)
+            .map(|c| c.stats)
+    }
+
+    pub fn cpu(&self, host: usize) -> &Cpu {
+        &self.hosts[host].cpu
+    }
+
+    pub fn nic_counters(&self, host: usize) -> (u64, u64) {
+        (
+            self.hosts[host].nic.segments_tx,
+            self.hosts[host].nic.packets_tx,
+        )
+    }
+}

@@ -1,0 +1,270 @@
+//! Fault-injection and runtime-auditor tests: compound fault schedules,
+//! link flaps, mid-flow MTU drops, and the negative tests that prove the
+//! invariant checks actually fire.
+
+use super::{Api, App, Network, CLIENT, SERVER};
+use crate::apps::{BulkSender, NullApp, Sink};
+use crate::config::{HostConfig, PathConfig};
+use crate::cpu::CpuModel;
+use crate::qdisc::SegDesc;
+use crate::tcp::TcpAction;
+use netsim::{Direction, FaultSchedule, FlowId, Nanos, Packet, PacketKind};
+
+fn fast_hosts() -> (HostConfig, HostConfig) {
+    let h = HostConfig {
+        cpu: CpuModel::infinitely_fast(),
+        ..HostConfig::default()
+    };
+    (h.clone(), h)
+}
+
+#[test]
+fn clean_run_audits_clean() {
+    // A lossy (Bernoulli) bulk transfer with the auditor forced on:
+    // every invariant must hold and the ledger must balance.
+    let (hc, hs) = fast_hosts();
+    let mut path = PathConfig::internet(50, 20);
+    path.loss = 0.02;
+    let mut net = Network::new(
+        hc,
+        hs,
+        path,
+        Box::new(BulkSender::new(1_000_000)),
+        Box::new(Sink::default()),
+        40,
+    );
+    net.set_audit(true);
+    net.run_to_idle();
+    let rep = net.audit_report();
+    assert!(rep.clean(), "violations: {:?}", rep.violations);
+    assert!(rep.checks > 0);
+}
+
+#[test]
+fn faulted_run_recovers_and_audits_clean() {
+    use netsim::FaultKind;
+    // GE burst loss + reordering + duplication at once: TCP must
+    // still deliver exactly, and no invariant may break.
+    let (hc, hs) = fast_hosts();
+    let total = 1_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::new(total)),
+        Box::new(Sink::default()),
+        41,
+    );
+    let sched = FaultSchedule::new(0xFA)
+        .push(FaultKind::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 0.3,
+        })
+        .push(FaultKind::Reorder {
+            prob: 0.05,
+            max_extra: Nanos::from_millis(2),
+        })
+        .push(FaultKind::Duplicate { prob: 0.02 });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_to_idle();
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total,
+        "delivery must survive compound faults"
+    );
+    let stats = net.fault_stats().unwrap();
+    assert!(stats.ge_drops > 0, "{stats:?}");
+    assert!(stats.duplicates > 0, "{stats:?}");
+    let rep = net.audit_report();
+    assert!(rep.clean(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn buffering_flap_stalls_then_completes() {
+    use netsim::FaultKind;
+    let (hc, hs) = fast_hosts();
+    let total = 2_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::new(total)),
+        Box::new(Sink::default()),
+        42,
+    );
+    let sched = FaultSchedule::new(7).push(FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_millis(250),
+        drop: false,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_to_idle();
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total
+    );
+    assert!(net.fault_stats().unwrap().flap_held > 0);
+    let rep = net.audit_report();
+    assert!(rep.clean(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn hard_outage_forces_recovery() {
+    use netsim::FaultKind;
+    let (hc, hs) = fast_hosts();
+    let total = 2_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::new(total)),
+        Box::new(Sink::default()),
+        43,
+    );
+    let sched = FaultSchedule::new(9).push(FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_millis(220),
+        drop: true,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_to_idle();
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total,
+        "transfer must complete after the outage"
+    );
+    assert!(net.fault_stats().unwrap().flap_drops > 0);
+    let cs = net.flow_stats(CLIENT, FlowId(1)).unwrap();
+    assert!(
+        cs.retransmits + cs.timeouts > 0,
+        "an outage must trigger loss recovery"
+    );
+    assert!(net.audit_report().clean());
+}
+
+#[test]
+fn mid_flow_mtu_drop_shrinks_packets() {
+    use netsim::FaultKind;
+    let (hc, hs) = fast_hosts();
+    let total = 3_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::new(total)),
+        Box::new(Sink::default()),
+        44,
+    );
+    let at = Nanos::from_millis(150);
+    let sched = FaultSchedule::new(1).push(FaultKind::MtuDrop {
+        at,
+        new_mtu_ip: 1200,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_to_idle();
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total
+    );
+    assert_eq!(net.fault_stats().unwrap().mtu_changes, 1);
+    // Segments queued before the change drain with the old size;
+    // everything packetized well after it obeys the reduced MTU
+    // (1200 IP + 14 Ethernet on the wire).
+    let slack = Nanos::from_millis(200);
+    let late: Vec<u32> = net
+        .client_capture
+        .records
+        .iter()
+        .filter(|r| r.kind == PacketKind::TcpData && r.dir == Direction::Out && r.ts > at + slack)
+        .map(|r| r.wire_len)
+        .collect();
+    assert!(!late.is_empty(), "transfer ended before the MTU change");
+    assert!(
+        late.iter().all(|&w| w <= 1214),
+        "oversized post-change packet: {late:?}"
+    );
+    assert!(net.audit_report().clean());
+}
+
+#[test]
+fn auditor_flags_a_segment_released_before_its_pacing_time() {
+    // Negative test: deliberately violate the pacing-release
+    // invariant through the real dequeue path by pushing a segment
+    // whose release time is in the future into the unpaced band.
+    let (hc, hs) = fast_hosts();
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::default(),
+        Box::new(NullApp),
+        Box::new(NullApp),
+        45,
+    );
+    net.set_audit(true);
+    net.start();
+    let pkt = Packet::tcp_data(FlowId(9), 0, 0, 1000);
+    let seg = SegDesc::new(FlowId(9), vec![pkt], Nanos::from_millis(5));
+    net.hosts[CLIENT].qdisc.enqueue_prio(seg);
+    net.qdisc_check(CLIENT); // departs at t=0, 5 ms early
+    let rep = net.audit_report();
+    assert!(!rep.clean());
+    assert_eq!(
+        rep.violations[0].invariant,
+        netsim::Invariant::PacingRelease
+    );
+}
+
+#[test]
+fn auditor_flags_departures_beyond_the_cc_grant() {
+    // Negative test for the §4.2 safety rule: fabricate an output
+    // batch far larger than the flow's congestion window and push it
+    // through `apply`. The real stack clamps its emissions (see
+    // `tcp::tests::shaper_cannot_grow_past_proposed`), so this
+    // models a buggy shaper integration bypassing those clamps.
+    struct Opener;
+    impl App for Opener {
+        fn on_start(&mut self, api: &mut Api) {
+            api.connect();
+        }
+    }
+    let (hc, hs) = fast_hosts();
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(Opener),
+        Box::new(NullApp),
+        46,
+    );
+    net.set_audit(true);
+    net.run_to_idle(); // handshake completes, connection idle
+    let flow = FlowId(1);
+    let cwnd = net.hosts[CLIENT]
+        .conns
+        .get(&flow)
+        .expect("conn")
+        .core()
+        .cwnd();
+    let mss = 1448u64;
+    let total = cwnd + 200_000; // far beyond grant + burst slop
+    let npkts = total.div_ceil(mss);
+    let pkts: Vec<Packet> = (0..npkts)
+        .map(|i| Packet::tcp_data(flow, i * mss, 0, mss as u32))
+        .collect();
+    let seg = SegDesc::new(flow, pkts, net.now());
+    net.apply(CLIENT, flow, vec![TcpAction::SendSeg(seg)]);
+    let rep = net.audit_report();
+    assert!(
+        rep.violations
+            .iter()
+            .any(|v| v.invariant == netsim::Invariant::SafetyRule),
+        "safety breach not flagged: {:?}",
+        rep.violations
+    );
+}

@@ -26,8 +26,9 @@
 use crate::cc::{make_cc, AckInfo, CongestionControl};
 use crate::config::StackConfig;
 use crate::cpu::Cpu;
+use crate::egress::{EgressLabels, EgressPipeline, FlowStats, TransportCore};
 use crate::qdisc::SegDesc;
-use crate::shaper::{BoxShaper, NoopShaper, ShapeCtx};
+use crate::shaper::{BoxShaper, ShapeCtx};
 use crate::tcp::{TcpAction, TimerKind};
 use netsim::{FlowId, Nanos, Packet, PacketKind};
 use std::collections::BTreeMap;
@@ -76,7 +77,9 @@ pub struct QuicConn {
     pub state: QuicState,
     is_client: bool,
     cc: Box<dyn CongestionControl>,
-    pub shaper: BoxShaper,
+    /// Shared egress pipeline: owns the shaper, pacing clock, CPU charge
+    /// and tracer hookup (see [`crate::egress`]).
+    pub egress: EgressPipeline,
     max_datagram: u32,
 
     // ---- send side ----
@@ -87,7 +90,6 @@ pub struct QuicConn {
     unacked: BTreeMap<u64, SentPacket>,
     /// Stream ranges awaiting retransmission.
     retx_queue: Vec<(u64, u32)>,
-    pacing_next: Nanos,
     inflight_bytes: u64,
     pto_gen: u64,
     pto_armed: bool,
@@ -104,10 +106,6 @@ pub struct QuicConn {
     stream_delivered: u64,
     ack_counter: u32,
 
-    /// Optional per-flow shaping-decision trace sink (see
-    /// `netsim::telemetry`). Installed by `Network::set_tracer`.
-    tracer: Option<netsim::telemetry::Tracer>,
-
     pub stats: QuicStats,
 }
 
@@ -119,14 +117,13 @@ impl QuicConn {
             state: QuicState::Closed,
             is_client,
             cc,
-            shaper: Box::new(NoopShaper),
+            egress: EgressPipeline::new(EgressLabels::QUIC),
             max_datagram: DEFAULT_MAX_DATAGRAM,
             app_written: 0,
             snd_offset: 0,
             next_pkt_num: 0,
             unacked: BTreeMap::new(),
             retx_queue: Vec::new(),
-            pacing_next: Nanos::ZERO,
             inflight_bytes: 0,
             pto_gen: 0,
             pto_armed: false,
@@ -138,21 +135,20 @@ impl QuicConn {
             stream_recv: BTreeMap::new(),
             stream_delivered: 0,
             ack_counter: 0,
-            tracer: None,
             stats: QuicStats::default(),
             cfg,
         }
     }
 
     pub fn set_shaper(&mut self, shaper: BoxShaper) {
-        self.shaper = shaper;
+        self.egress.set_shaper(shaper);
     }
 
     /// Install a flow-trace sink: every subsequent packet-size, GSO and
     /// pacing decision this endpoint makes is recorded as a
     /// [`netsim::telemetry::FlowEvent`].
     pub fn set_tracer(&mut self, tracer: netsim::telemetry::Tracer) {
-        self.tracer = Some(tracer);
+        self.egress.set_tracer(tracer);
     }
 
     /// Mid-flow path-MTU reduction: shrink the datagram size used for
@@ -239,24 +235,10 @@ impl QuicConn {
                 break;
             }
             let ctx = self.shape_ctx(now);
-            let batch_max = self
-                .shaper
-                .tso_segment_pkts(&ctx, GSO_BATCH)
-                .clamp(1, GSO_BATCH);
-            if batch_max != GSO_BATCH {
-                netsim::tm_counter!("stack.quic.gso_resegmented").inc();
-                if let Some(tr) = &self.tracer {
-                    tr.rec(
-                        now,
-                        u64::from(self.flow.0),
-                        "quic",
-                        "gso-pkts",
-                        GSO_BATCH as u64,
-                        batch_max as u64,
-                        "shaper-resegment",
-                    );
-                }
-            }
+            // GSO batch size through the shared pipeline (stage ② — the
+            // batch proposal is the fixed GSO_BATCH, not CC-autosized).
+            let batch_max = self.egress.segment_pkts(&ctx, GSO_BATCH);
+            let mut shaped = batch_max != GSO_BATCH;
             let mut pkts = Vec::new();
             let mut batch_payload = 0u64;
             for i in 0..batch_max {
@@ -278,24 +260,10 @@ impl QuicConn {
                     )
                 };
                 let proposed_ip = want.min(self.max_datagram) + DGRAM_HDR;
-                let shaped_ip = self
-                    .shaper
-                    .packet_ip_size(&ctx, i, proposed_ip)
-                    .clamp(DGRAM_HDR + 1, proposed_ip);
-                if shaped_ip != proposed_ip {
-                    netsim::tm_counter!("stack.quic.pkts_resized").inc();
-                    if let Some(tr) = &self.tracer {
-                        tr.rec(
-                            now,
-                            u64::from(self.flow.0),
-                            "quic",
-                            "pkt-size",
-                            proposed_ip as u64,
-                            shaped_ip as u64,
-                            "shaper-resize",
-                        );
-                    }
-                }
+                let shaped_ip =
+                    self.egress
+                        .packet_ip_size(&ctx, i, proposed_ip, DGRAM_HDR + 1, proposed_ip);
+                shaped |= shaped_ip != proposed_ip;
                 let len = shaped_ip - DGRAM_HDR;
                 if is_retx {
                     if len < want {
@@ -340,38 +308,14 @@ impl QuicConn {
             self.inflight_bytes += batch_payload;
             self.stats.pkts_sent += pkts.len() as u64;
             self.stats.batches_sent += 1;
-            let cpu_done = cpu.charge(
-                now,
-                cpu.model.segment_cost(batch_payload, pkts.len() as u32),
-            );
+            // Stages ④–⑥: CPU charge, pacing gate, shaper extra delay
+            // and pacing-clock advance, all in the shared pipeline.
             let wire: u64 = pkts.iter().map(|p| p.wire_len as u64).sum();
-            let base = self.pacing_next.max(now).max(cpu_done);
-            let extra = self.shaper.extra_delay(&ctx);
-            let eligible = base + extra;
-            if !extra.is_zero() {
-                netsim::tm_histo!("stack.quic.shaper_extra_delay_ns").record(extra.as_nanos());
-                if let Some(tr) = &self.tracer {
-                    tr.rec(
-                        now,
-                        u64::from(self.flow.0),
-                        "quic",
-                        "pacing",
-                        base.as_nanos(),
-                        eligible.as_nanos(),
-                        "shaper-delay",
-                    );
-                }
-            }
-            // As in TCP: the extra delay advances the pacing clock, so
-            // gaps stretch instead of the schedule shifting once.
-            if let Some(rate) = ctx.pacing_rate_bps {
-                if rate > 0 && rate < u64::MAX {
-                    self.pacing_next = eligible + Nanos::for_bytes_at_rate(wire, rate);
-                }
-            }
-            if !extra.is_zero() {
-                self.pacing_next = self.pacing_next.max(eligible);
-            }
+            let npkts = pkts.len() as u32;
+            let paced =
+                self.egress
+                    .pace_segment(&ctx, now, cpu, batch_payload, npkts, wire, shaped);
+            let eligible = paced.eligible;
             acts.push(TcpAction::SendSeg(SegDesc::new(self.flow, pkts, eligible)));
             acts.extend(self.arm_pto(now));
         }
@@ -533,7 +477,7 @@ impl QuicConn {
             });
             netsim::tm_histo!("stack.cc.cwnd_bytes").record(self.cc.cwnd());
             let ctx = self.shape_ctx(now);
-            self.shaper.on_ack(&ctx);
+            self.egress.on_ack(&ctx);
             if self.unacked.is_empty() {
                 self.pto_armed = false;
             } else if let Some(a) = self.arm_pto(now) {
@@ -584,6 +528,60 @@ impl QuicConn {
         let mut acts = Vec::new();
         acts.extend(self.arm_pto(now));
         acts
+    }
+}
+
+impl TransportCore for QuicConn {
+    fn input(&mut self, pkt: &Packet, now: Nanos, cpu: &mut Cpu) -> Vec<TcpAction> {
+        QuicConn::input(self, pkt, now, cpu)
+    }
+    fn output(&mut self, now: Nanos, cpu: &mut Cpu) -> Vec<TcpAction> {
+        QuicConn::output(self, now, cpu)
+    }
+    fn on_timer(&mut self, kind: TimerKind, gen: u64, now: Nanos) -> Vec<TcpAction> {
+        QuicConn::on_timer(self, kind, gen, now)
+    }
+    fn write(&mut self, len: u64) -> u64 {
+        QuicConn::write(self, len)
+    }
+    fn set_shaper(&mut self, shaper: BoxShaper) {
+        QuicConn::set_shaper(self, shaper);
+    }
+    fn set_mtu(&mut self, mtu_ip: u32) {
+        QuicConn::set_mtu(self, mtu_ip);
+    }
+    fn set_tracer(&mut self, tracer: netsim::telemetry::Tracer) {
+        QuicConn::set_tracer(self, tracer);
+    }
+    fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+    fn outstanding(&self) -> u64 {
+        self.inflight_bytes
+    }
+    fn pacing_rate_bps(&self) -> Option<u64> {
+        if self.cfg.pacing {
+            self.cc.pacing_rate_bps(self.srtt)
+        } else {
+            None
+        }
+    }
+    fn mtu_ip(&self) -> u32 {
+        self.max_datagram + DGRAM_HDR
+    }
+    fn srtt(&self) -> Option<Nanos> {
+        self.srtt
+    }
+    fn flow_stats(&self) -> FlowStats {
+        FlowStats {
+            bytes_delivered: self.stats.bytes_delivered,
+            segs_sent: self.stats.batches_sent,
+            pkts_sent: self.stats.pkts_sent,
+            acks_sent: self.stats.acks_sent,
+            retransmits: self.stats.retransmissions,
+            timeouts: self.stats.ptos,
+            shaped_segs: self.egress.shaped_segs(),
+        }
     }
 }
 

@@ -27,8 +27,9 @@
 use crate::cc::{make_cc, AckInfo, CongestionControl};
 use crate::config::{StackConfig, IP_TCP_OVERHEAD, MIN_IP_PACKET};
 use crate::cpu::Cpu;
+use crate::egress::{EgressLabels, EgressPipeline, FlowStats, TransportCore};
 use crate::qdisc::SegDesc;
-use crate::shaper::{BoxShaper, NoopShaper, ShapeCtx};
+use crate::shaper::{BoxShaper, ShapeCtx};
 use netsim::{FlowId, Nanos, Packet, PacketKind};
 use std::collections::BTreeMap;
 
@@ -93,7 +94,9 @@ pub struct TcpConn {
     pub flow: FlowId,
     pub cfg: StackConfig,
     pub cc: Box<dyn CongestionControl>,
-    pub shaper: BoxShaper,
+    /// Shared egress pipeline: owns the shaper, pacing clock, CPU charge
+    /// and tracer hookup (see [`crate::egress`]).
+    pub egress: EgressPipeline,
     pub state: TcpState,
     is_client: bool,
 
@@ -104,7 +107,6 @@ pub struct TcpConn {
     peer_rwnd: u64,
     dup_acks: u32,
     recovery_point: Option<u64>,
-    pacing_next: Nanos,
     /// Bytes currently in qdisc + NIC (TSQ accounting).
     tsq_bytes: u64,
     blocked: bool,
@@ -142,10 +144,6 @@ pub struct TcpConn {
     data_pkts_sent: u64,
     data_segs_sent: u64,
 
-    /// Optional per-flow shaping-decision trace sink (see
-    /// `netsim::telemetry`). Installed by `Network::set_tracer`.
-    tracer: Option<netsim::telemetry::Tracer>,
-
     pub stats: ConnStats,
 }
 
@@ -155,7 +153,7 @@ impl TcpConn {
         TcpConn {
             flow,
             cc,
-            shaper: Box::new(NoopShaper),
+            egress: EgressPipeline::new(EgressLabels::TCP),
             state: TcpState::Closed,
             is_client,
             app_written: 0,
@@ -164,7 +162,6 @@ impl TcpConn {
             peer_rwnd: cfg.recv_wnd, // assume symmetric until first packet
             dup_acks: 0,
             recovery_point: None,
-            pacing_next: Nanos::ZERO,
             tsq_bytes: 0,
             blocked: false,
             fin_queued: false,
@@ -188,21 +185,20 @@ impl TcpConn {
             data_bytes_sent: 0,
             data_pkts_sent: 0,
             data_segs_sent: 0,
-            tracer: None,
             stats: ConnStats::default(),
             cfg,
         }
     }
 
     pub fn set_shaper(&mut self, shaper: BoxShaper) {
-        self.shaper = shaper;
+        self.egress.set_shaper(shaper);
     }
 
     /// Install a flow-trace sink: every subsequent packet-size, TSO and
     /// pacing decision this endpoint makes is recorded as a
     /// [`netsim::telemetry::FlowEvent`].
     pub fn set_tracer(&mut self, tracer: netsim::telemetry::Tracer) {
-        self.tracer = Some(tracer);
+        self.egress.set_tracer(tracer);
     }
 
     /// Mid-flow path-MTU reduction (the stand-in for an ICMP
@@ -389,41 +385,14 @@ impl TcpConn {
             }
 
             let ctx = self.shape_ctx(now);
-            // TSO autosizing: ~1 ms at the pacing rate, >= 2 packets.
-            let proposed_pkts = if !self.cfg.tso {
-                1
-            } else {
-                let auto = match ctx.pacing_rate_bps {
-                    Some(rate) if rate < u64::MAX => {
-                        let bytes_per_ms = rate / 8 / 1000;
-                        ((bytes_per_ms / mss).max(2)) as u32
-                    }
-                    _ => self.cfg.tso_max_pkts,
-                };
-                auto.min(self.cfg.tso_max_pkts)
-                    .min(budget.div_ceil(mss).max(1) as u32)
-            };
-            let shaped_pkts = self
-                .shaper
-                .tso_segment_pkts(&ctx, proposed_pkts)
-                .clamp(1, proposed_pkts);
-            if shaped_pkts != proposed_pkts {
-                netsim::tm_counter!("stack.tcp.tso_resegmented").inc();
-                if let Some(tr) = &self.tracer {
-                    tr.rec(
-                        now,
-                        u64::from(self.flow.0),
-                        "tcp",
-                        "tso-pkts",
-                        proposed_pkts as u64,
-                        shaped_pkts as u64,
-                        "shaper-resegment",
-                    );
-                }
-            }
+            // TSO autosizing (stage ①), then the shaper's resegment hook
+            // (stage ②) via the shared pipeline.
+            let proposed_pkts =
+                EgressPipeline::tso_autosize(&ctx, self.cfg.tso, self.cfg.tso_max_pkts, budget);
+            let shaped_pkts = self.egress.segment_pkts(&ctx, proposed_pkts);
 
             // Build the segment's packets, consulting the per-packet
-            // sizing hook (flexible TSO, §5.5).
+            // sizing hook (flexible TSO, §5.5 — stage ③).
             let mut pkts: Vec<Packet> = Vec::with_capacity(shaped_pkts as usize);
             let mut remaining = budget;
             let mut shaped = shaped_pkts != proposed_pkts;
@@ -433,25 +402,14 @@ impl TcpConn {
                 }
                 let natural_payload = remaining.min(mss) as u32;
                 let proposed_ip = natural_payload + IP_TCP_OVERHEAD;
-                let want_ip = self.shaper.packet_ip_size(&ctx, i, proposed_ip);
-                let ip = want_ip
-                    .clamp(MIN_IP_PACKET.min(proposed_ip), self.cfg.mtu_ip)
-                    .min(proposed_ip);
-                if ip != proposed_ip {
-                    shaped = true;
-                    netsim::tm_counter!("stack.tcp.pkts_resized").inc();
-                    if let Some(tr) = &self.tracer {
-                        tr.rec(
-                            now,
-                            u64::from(self.flow.0),
-                            "tcp",
-                            "pkt-size",
-                            proposed_ip as u64,
-                            ip as u64,
-                            "shaper-resize",
-                        );
-                    }
-                }
+                let ip = self.egress.packet_ip_size(
+                    &ctx,
+                    i,
+                    proposed_ip,
+                    MIN_IP_PACKET.min(proposed_ip),
+                    self.cfg.mtu_ip.min(proposed_ip),
+                );
+                shaped |= ip != proposed_ip;
                 let payload = ip - IP_TCP_OVERHEAD;
                 let mut pkt = Packet::tcp_data(
                     self.flow,
@@ -471,45 +429,14 @@ impl TcpConn {
             let payload_total = budget - remaining;
             let npkts = pkts.len() as u32;
 
-            // CPU: building and pushing this segment costs cycles; the
-            // completion time gates its earliest departure.
-            let cpu_done = cpu.charge(now, cpu.model.segment_cost(payload_total, npkts));
-
-            // Pacing gate + Stob extra delay (never earlier than CC).
+            // Stages ④–⑥: CPU charge, pacing gate, shaper extra delay
+            // and pacing-clock advance, all in the shared pipeline.
             let wire_bytes: u64 = pkts.iter().map(|p| p.wire_len as u64).sum();
-            let base = self.pacing_next.max(now).max(cpu_done);
-            let extra = self.shaper.extra_delay(&ctx);
-            if !extra.is_zero() {
-                shaped = true;
-            }
-            let eligible = base + extra;
-            if !extra.is_zero() {
-                netsim::tm_histo!("stack.tcp.shaper_extra_delay_ns").record(extra.as_nanos());
-                if let Some(tr) = &self.tracer {
-                    tr.rec(
-                        now,
-                        u64::from(self.flow.0),
-                        "tcp",
-                        "pacing",
-                        base.as_nanos(),
-                        eligible.as_nanos(),
-                        "shaper-delay",
-                    );
-                }
-            }
-            // The extra delay advances the pacing clock too: consecutive
-            // inter-departure gaps *stretch* (the §3 "delaying"
-            // semantics), rather than the whole schedule shifting once.
-            // Still CCA-safe: departures only ever move later.
-            if let Some(rate) = ctx.pacing_rate_bps {
-                if self.cfg.pacing && rate < u64::MAX && rate > 0 {
-                    self.pacing_next = eligible + Nanos::for_bytes_at_rate(wire_bytes, rate);
-                }
-            }
-            if !extra.is_zero() {
-                self.pacing_next = self.pacing_next.max(eligible);
-            }
-            if shaped {
+            let paced =
+                self.egress
+                    .pace_segment(&ctx, now, cpu, payload_total, npkts, wire_bytes, shaped);
+            let eligible = paced.eligible;
+            if paced.shaped {
                 for p in &mut pkts {
                     p.meta.shaped = true;
                 }
@@ -641,7 +568,7 @@ impl TcpConn {
             self.cc.on_ack(&info);
             netsim::tm_histo!("stack.cc.cwnd_bytes").record(self.cc.cwnd());
             let ctx = self.shape_ctx(now);
-            self.shaper.on_ack(&ctx);
+            self.egress.on_ack(&ctx);
             if partial_retx && self.inflight() > 0 {
                 acts.push(self.retransmit_head(now));
             }
@@ -811,24 +738,13 @@ impl TcpConn {
         // too: the eavesdropper sees them like any other packet.
         let ctx = self.shape_ctx(now);
         let proposed_ip = natural + IP_TCP_OVERHEAD;
-        let ip = self
-            .shaper
-            .packet_ip_size(&ctx, 0, proposed_ip)
-            .clamp(MIN_IP_PACKET.min(proposed_ip), self.cfg.mtu_ip)
-            .min(proposed_ip);
+        let ip = self.egress.size_retransmit(
+            &ctx,
+            proposed_ip,
+            MIN_IP_PACKET.min(proposed_ip),
+            self.cfg.mtu_ip.min(proposed_ip),
+        );
         let len = ip - IP_TCP_OVERHEAD;
-        netsim::tm_counter!("stack.tcp.retransmits").inc();
-        if let Some(tr) = &self.tracer {
-            tr.rec(
-                now,
-                u64::from(self.flow.0),
-                "tcp",
-                "retransmit",
-                proposed_ip as u64,
-                ip as u64,
-                "loss-repair",
-            );
-        }
         let mut pkt = Packet::tcp_data(self.flow, self.snd_una, self.rcv_nxt, len);
         pkt.rwnd = self.cfg.recv_wnd;
         pkt.meta.retransmit = true;
@@ -896,6 +812,63 @@ impl TcpConn {
                     _ => Vec::new(),
                 }
             }
+        }
+    }
+}
+
+impl TransportCore for TcpConn {
+    fn input(&mut self, pkt: &Packet, now: Nanos, cpu: &mut Cpu) -> Vec<TcpAction> {
+        TcpConn::input(self, pkt, now, cpu)
+    }
+    fn output(&mut self, now: Nanos, cpu: &mut Cpu) -> Vec<TcpAction> {
+        TcpConn::output(self, now, cpu)
+    }
+    fn on_timer(&mut self, kind: TimerKind, gen: u64, now: Nanos) -> Vec<TcpAction> {
+        TcpConn::on_timer(self, kind, gen, now)
+    }
+    fn write(&mut self, len: u64) -> u64 {
+        TcpConn::write(self, len)
+    }
+    fn on_nic_release(&mut self, wire_bytes: u64) {
+        self.tsq_credit(wire_bytes);
+    }
+    fn set_shaper(&mut self, shaper: BoxShaper) {
+        TcpConn::set_shaper(self, shaper);
+    }
+    fn set_mtu(&mut self, mtu_ip: u32) {
+        TcpConn::set_mtu(self, mtu_ip);
+    }
+    fn set_tracer(&mut self, tracer: netsim::telemetry::Tracer) {
+        TcpConn::set_tracer(self, tracer);
+    }
+    fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+    fn outstanding(&self) -> u64 {
+        self.pipe()
+    }
+    fn pacing_rate_bps(&self) -> Option<u64> {
+        if self.cfg.pacing {
+            self.cc.pacing_rate_bps(self.srtt)
+        } else {
+            None
+        }
+    }
+    fn mtu_ip(&self) -> u32 {
+        self.cfg.mtu_ip
+    }
+    fn srtt(&self) -> Option<Nanos> {
+        TcpConn::srtt(self)
+    }
+    fn flow_stats(&self) -> FlowStats {
+        FlowStats {
+            bytes_delivered: self.stats.bytes_delivered,
+            segs_sent: self.stats.segs_sent,
+            pkts_sent: self.stats.pkts_sent,
+            acks_sent: self.stats.acks_sent,
+            retransmits: self.stats.fast_retransmits,
+            timeouts: self.stats.rtos,
+            shaped_segs: self.stats.shaped_segs,
         }
     }
 }

@@ -59,7 +59,7 @@ fn main() {
     let warmup = Nanos::from_millis(20);
     net.run_until(warmup);
     let mut last_bytes = net
-        .conn_stats(SERVER, FlowId(1))
+        .flow_stats(SERVER, FlowId(1))
         .map(|s| s.bytes_delivered)
         .unwrap_or(0);
     let step = Nanos::from_millis(20);
@@ -69,7 +69,7 @@ fn main() {
         t += step;
         net.run_until(t);
         let bytes = net
-            .conn_stats(SERVER, FlowId(1))
+            .flow_stats(SERVER, FlowId(1))
             .map(|s| s.bytes_delivered)
             .unwrap_or(0);
         let delta = bytes - last_bytes;
@@ -88,10 +88,10 @@ fn main() {
         total as f64 * 8.0 / (step * 10).as_secs_f64() / 1e9
     );
 
-    let cs = net.conn_stats(CLIENT, FlowId(1)).expect("client conn");
+    let cs = net.flow_stats(CLIENT, FlowId(1)).expect("client conn");
     println!(
         "sender: {} segments, {} packets ({} shaped), {} fast retransmits, {} RTOs",
-        cs.segs_sent, cs.pkts_sent, cs.shaped_segs, cs.fast_retransmits, cs.rtos
+        cs.segs_sent, cs.pkts_sent, cs.shaped_segs, cs.retransmits, cs.timeouts
     );
     println!(
         "sender CPU utilization: {:.0}%",

@@ -25,6 +25,8 @@ run env STOB_THREADS=4 STOB_JSON_OUT="$fault_t4" \
     cargo run --release --locked -p stob-bench --bin fault_matrix
 run cmp "$fault_t1" "$fault_t4"
 
+run scripts/check-golden.sh
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --locked -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked

@@ -1,0 +1,193 @@
+//! TCP↔QUIC shaping parity: both transports run the same
+//! `stack::egress::EgressPipeline`, so the same policy under the same
+//! load must produce the same shaping-decision trace — identical
+//! `reason` sequences and identical resegment/resize counts. Only the
+//! `layer`/`event` labels may differ ("tcp"/"tso-pkts" vs
+//! "quic"/"gso-pkts").
+
+use netsim::telemetry::Tracer;
+use netsim::{FlowId, Nanos};
+use stack::egress::{EgressLabels, EgressPipeline};
+use stack::shaper::{ShapeCtx, Shaper};
+use stack::{Api, App, Cpu, CpuModel, HostConfig, Network, PathConfig, StackConfig, SERVER};
+
+const SHAPER_REASONS: [&str; 3] = ["shaper-resegment", "shaper-resize", "shaper-delay"];
+
+/// Shrink every full-size packet by 300 IP bytes; pass partial packets
+/// through. Gating on `ctx.mss` keeps the post-shrink payload identical
+/// across transports (the IP overhead difference cancels out).
+struct ShrinkFull;
+impl Shaper for ShrinkFull {
+    fn packet_ip_size(&mut self, c: &ShapeCtx, _i: u32, p: u32) -> u32 {
+        if p >= c.mss {
+            p - 300
+        } else {
+            p
+        }
+    }
+}
+
+fn shaper_reasons(tracer: &Tracer, layer: &str) -> Vec<&'static str> {
+    tracer
+        .take()
+        .into_events()
+        .into_iter()
+        .filter(|e| e.layer == layer && SHAPER_REASONS.contains(&e.reason))
+        .map(|e| e.reason)
+        .collect()
+}
+
+fn count(reasons: &[&str], which: &str) -> usize {
+    reasons.iter().filter(|r| **r == which).count()
+}
+
+/// Drive the same byte load with the same policy through real TCP and
+/// real QUIC connections and compare the wire-shaping traces.
+#[test]
+fn tcp_and_quic_emit_identical_shaper_traces_end_to_end() {
+    // 4 post-shrink packets of 1050 B payload each. TCP mtu 1402 gives
+    // mss 1350 = QUIC's default max_datagram, so both transports chunk
+    // the stream identically.
+    let total: u64 = 4 * 1050;
+
+    struct Sender {
+        quic: bool,
+        total: u64,
+    }
+    impl App for Sender {
+        fn on_start(&mut self, api: &mut Api) {
+            if self.quic {
+                api.connect_quic(StackConfig::default(), Some(Box::new(ShrinkFull)));
+            } else {
+                let cfg = StackConfig {
+                    mtu_ip: 1402,
+                    ..StackConfig::default()
+                };
+                api.connect_with(cfg, Some(Box::new(ShrinkFull)));
+            }
+        }
+        fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+            api.send(flow, self.total);
+        }
+    }
+
+    let run = |quic: bool| -> Vec<&'static str> {
+        let h = HostConfig {
+            cpu: CpuModel::infinitely_fast(),
+            ..HostConfig::default()
+        };
+        let mut net = Network::new(
+            h.clone(),
+            h,
+            PathConfig::internet(100, 20),
+            Box::new(Sender { quic, total }),
+            Box::new(stack::apps::Sink::default()),
+            77,
+        );
+        let tracer = Tracer::new(100_000);
+        net.set_tracer(tracer.clone());
+        net.run_until(Nanos::from_secs(10));
+        assert_eq!(
+            net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+            total,
+            "transfer incomplete (quic={quic})"
+        );
+        shaper_reasons(&tracer, if quic { "quic" } else { "tcp" })
+    };
+
+    let tcp = run(false);
+    let quic = run(true);
+
+    // Three full packets shrink, the fourth (already sub-mss) passes.
+    assert_eq!(tcp, vec!["shaper-resize"; 3], "unexpected TCP trace");
+    assert_eq!(tcp, quic, "TCP and QUIC shaping traces diverge");
+    assert_eq!(
+        count(&tcp, "shaper-resize"),
+        count(&quic, "shaper-resize"),
+        "resize counts diverge"
+    );
+    assert_eq!(
+        count(&tcp, "shaper-resegment"),
+        count(&quic, "shaper-resegment"),
+        "resegment counts diverge"
+    );
+}
+
+/// Exercise all three hooks (resegment, resize, delay) against the bare
+/// pipelines with identical inputs: the full reason sequence must match
+/// element for element; only the labels differ.
+#[test]
+fn pipelines_with_identical_inputs_match_across_all_hooks() {
+    struct Policy;
+    impl Shaper for Policy {
+        fn tso_segment_pkts(&mut self, _c: &ShapeCtx, p: u32) -> u32 {
+            p.min(2)
+        }
+        fn packet_ip_size(&mut self, _c: &ShapeCtx, _i: u32, p: u32) -> u32 {
+            p.saturating_sub(100)
+        }
+        fn extra_delay(&mut self, _c: &ShapeCtx) -> Nanos {
+            Nanos::from_micros(250)
+        }
+    }
+
+    let drive = |labels: EgressLabels| -> (Vec<&'static str>, Vec<&'static str>) {
+        let mut pipe = EgressPipeline::new(labels);
+        pipe.set_shaper(Box::new(Policy));
+        let tracer = Tracer::new(1024);
+        pipe.set_tracer(tracer.clone());
+        let mut cpu = Cpu::new(CpuModel::infinitely_fast());
+        let mut now = Nanos::ZERO;
+        for round in 0..3u64 {
+            let ctx = ShapeCtx {
+                flow: FlowId(7),
+                now,
+                cwnd: 64 * 1300,
+                pacing_rate_bps: Some(1_000_000_000),
+                in_slow_start: false,
+                bytes_sent: round * 2600,
+                pkts_sent: round * 2,
+                segs_sent: round,
+                mtu_ip: 1360,
+                mss: 1300,
+            };
+            let n = pipe.segment_pkts(&ctx, 16);
+            assert_eq!(n, 2);
+            let mut wire = 0u64;
+            for i in 0..n {
+                let ip = pipe.packet_ip_size(&ctx, i, 1360, 588, 1360);
+                assert_eq!(ip, 1260);
+                wire += u64::from(ip) + 14;
+            }
+            let paced = pipe.pace_segment(&ctx, now, &mut cpu, 2600, n, wire, true);
+            assert!(paced.shaped);
+            now = paced.eligible;
+        }
+        let evs: Vec<_> = tracer.take().into_events();
+        let reasons = evs.iter().map(|e| e.reason).collect();
+        let events = evs.iter().map(|e| e.event).collect();
+        (reasons, events)
+    };
+
+    let (tcp_reasons, tcp_events) = drive(EgressLabels::TCP);
+    let (quic_reasons, quic_events) = drive(EgressLabels::QUIC);
+
+    assert_eq!(tcp_reasons, quic_reasons, "reason sequences diverge");
+    let per_round = [
+        "shaper-resegment",
+        "shaper-resize",
+        "shaper-resize",
+        "shaper-delay",
+    ];
+    assert_eq!(tcp_reasons, per_round.repeat(3), "unexpected stage order");
+    assert_eq!(count(&tcp_reasons, "shaper-resegment"), 3);
+    assert_eq!(count(&tcp_reasons, "shaper-resize"), 6);
+    // Only the per-transport resegment labels differ.
+    for (i, (t, q)) in tcp_events.iter().zip(quic_events.iter()).enumerate() {
+        if tcp_reasons[i] == "shaper-resegment" {
+            assert_eq!((*t, *q), ("tso-pkts", "gso-pkts"));
+        } else {
+            assert_eq!(t, q, "event label diverges at {i}");
+        }
+    }
+}

@@ -44,12 +44,12 @@ impl App for Shaped {
 fn goodput_gbps(net: &mut Network, warmup: Nanos, window: Nanos) -> f64 {
     net.run_until(warmup);
     let base = net
-        .conn_stats(SERVER, FlowId(1))
+        .flow_stats(SERVER, FlowId(1))
         .map(|s| s.bytes_delivered)
         .unwrap_or(0);
     net.run_until(warmup + window);
     let bytes = net
-        .conn_stats(SERVER, FlowId(1))
+        .flow_stats(SERVER, FlowId(1))
         .map(|s| s.bytes_delivered)
         .unwrap_or(0)
         - base;
@@ -122,7 +122,7 @@ fn shaped_flow_never_violates_cwnd_or_mtu() {
         }
     }
     // The flow made real progress.
-    let s = net.conn_stats(SERVER, FlowId(1)).expect("server conn");
+    let s = net.flow_stats(SERVER, FlowId(1)).expect("server conn");
     assert!(s.bytes_delivered > 10_000_000);
 }
 
@@ -150,7 +150,7 @@ fn delay_strategy_stretches_wire_gaps() {
         );
         net.run_to_idle();
         assert_eq!(
-            net.conn_stats(SERVER, FlowId(1))
+            net.flow_stats(SERVER, FlowId(1))
                 .expect("conn")
                 .bytes_delivered,
             total
