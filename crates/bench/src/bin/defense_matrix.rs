@@ -1,35 +1,40 @@
 //! Extension experiment: every implemented defense vs. the k-FP attack
-//! on the nine-site closed world — the protection/cost trade-off the
-//! paper's Table 1 taxonomy implies but does not measure.
+//! on the nine-site closed world, at **both placements** — the
+//! protection/cost trade-off the paper's Table 1 taxonomy implies but
+//! does not measure, crossed with the paper's central question of
+//! *where* the defense runs (app-layer emulation vs. in-stack shaper).
 //!
-//! The defense cells are independent, so they fan out across threads
-//! (`netsim::par`); each cell's randomness is forked from the run seed
-//! by (defense index, trace index), so the table is bit-identical at
-//! any `STOB_THREADS` setting.
+//! The (defense, placement) cells are independent, so they fan out
+//! across threads (`netsim::par`); each cell's randomness is forked
+//! from the run seed by (cell index, trace index), so the table is
+//! bit-identical at any `STOB_THREADS` setting.
 //!
 //! Usage: `defense_matrix [visits] [trees] [repeats] [seed]`
 //! Set `STOB_JSON_OUT=<path>` to also write results + stage timings as
-//! JSON.
+//! JSON (`STOB_JSON_NO_TIMINGS=1` drops the timings for golden runs).
 
-use defenses::buflo::{buflo, tamaraw, BufloConfig, TamarawConfig};
-use defenses::emulate::{apply, CounterMeasure, EmulateConfig};
-use defenses::front::{front, FrontConfig};
-use defenses::overhead::{bandwidth_overhead, latency_overhead, Defended};
-use defenses::regulator::{regulator, RegulatorConfig};
-use defenses::surakav::{surakav_from_bank, SurakavConfig};
-use defenses::wtfpad::{wtfpad, WtfPadConfig};
+use defenses::buflo::{BufloConfig, TamarawConfig};
+use defenses::emulate::{CounterMeasure, EmulateConfig, Section3Defense};
+use defenses::front::{FrontConfig, FrontDefense};
+use defenses::overhead::{bandwidth_overhead, latency_overhead};
+use defenses::regulator::{RegulatorConfig, RegulatorDefense};
+use defenses::surakav::{SurakavConfig, SurakavDefense};
+use defenses::wtfpad::{WtfPadConfig, WtfPadDefense};
+use defenses::{defend_all, BufloDefense, TamarawDefense, TraceBank};
 use netsim::par::{self, Timings};
 use netsim::{Json, SimRng};
 use std::time::Instant;
+use stob::defense::{Defense, Placement};
+use stob::policy::ObfuscationPolicy;
 use stob_bench::collect_dataset;
 use traces::{Dataset, Trace};
 use wf::eval::{evaluate, EvalConfig};
 use wf::forest::ForestConfig;
 
-/// The matrix rows. Each is a pure per-trace function of
-/// (trace, config, rng), which is what lets the cells parallelize.
+/// The matrix rows: every implemented defense, each expressed as a
+/// placement-agnostic [`Defense`] spec.
 #[derive(Debug, Clone, Copy)]
-enum Defense {
+enum DefenseKind {
     None,
     Split,
     Delayed,
@@ -42,55 +47,64 @@ enum Defense {
     Buflo,
 }
 
-impl Defense {
-    const ALL: [Defense; 10] = [
-        Defense::None,
-        Defense::Split,
-        Defense::Delayed,
-        Defense::Combined,
-        Defense::WtfPad,
-        Defense::Front,
-        Defense::Regulator,
-        Defense::Surakav,
-        Defense::Tamaraw,
-        Defense::Buflo,
+impl DefenseKind {
+    const ALL: [DefenseKind; 10] = [
+        DefenseKind::None,
+        DefenseKind::Split,
+        DefenseKind::Delayed,
+        DefenseKind::Combined,
+        DefenseKind::WtfPad,
+        DefenseKind::Front,
+        DefenseKind::Regulator,
+        DefenseKind::Surakav,
+        DefenseKind::Tamaraw,
+        DefenseKind::Buflo,
     ];
 
     fn name(self) -> &'static str {
         match self {
-            Defense::None => "none",
-            Defense::Split => "split (§3)",
-            Defense::Delayed => "delayed (§3)",
-            Defense::Combined => "combined (§3)",
-            Defense::WtfPad => "WTF-PAD (lite)",
-            Defense::Front => "FRONT",
-            Defense::Regulator => "RegulaTor (lite)",
-            Defense::Surakav => "Surakav (lite)",
-            Defense::Tamaraw => "Tamaraw",
-            Defense::Buflo => "BuFLO",
+            DefenseKind::None => "none",
+            DefenseKind::Split => "split (§3)",
+            DefenseKind::Delayed => "delayed (§3)",
+            DefenseKind::Combined => "combined (§3)",
+            DefenseKind::WtfPad => "WTF-PAD (lite)",
+            DefenseKind::Front => "FRONT",
+            DefenseKind::Regulator => "RegulaTor (lite)",
+            DefenseKind::Surakav => "Surakav (lite)",
+            DefenseKind::Tamaraw => "Tamaraw",
+            DefenseKind::Buflo => "BuFLO",
         }
     }
 
-    /// Apply to one trace. `bank` is the Surakav reference corpus
-    /// (shared read-only; every other defense ignores it).
-    fn apply(self, t: &Trace, em: &EmulateConfig, bank: &[Trace], rng: &mut SimRng) -> Defended {
+    /// The defense spec this row runs — one object, both placements.
+    fn spec(self) -> Box<dyn Defense> {
         match self {
-            Defense::None => Defended::unpadded(t.clone()),
-            Defense::Split => apply(CounterMeasure::Split, t, em, rng),
-            Defense::Delayed => apply(CounterMeasure::Delayed, t, em, rng),
-            Defense::Combined => apply(CounterMeasure::Combined, t, em, rng),
-            Defense::WtfPad => wtfpad(t, &WtfPadConfig::default(), rng),
-            Defense::Front => front(t, &FrontConfig::default(), rng),
-            Defense::Regulator => regulator(t, &RegulatorConfig::default()),
-            Defense::Surakav => surakav_from_bank(t, bank, &SurakavConfig::default(), rng).0,
-            Defense::Tamaraw => tamaraw(t, &TamarawConfig::default()),
-            Defense::Buflo => buflo(t, &BufloConfig::default()),
+            DefenseKind::None => Box::new(ObfuscationPolicy::passthrough("none")),
+            DefenseKind::Split => Box::new(Section3Defense::new(
+                CounterMeasure::Split,
+                EmulateConfig::default(),
+            )),
+            DefenseKind::Delayed => Box::new(Section3Defense::new(
+                CounterMeasure::Delayed,
+                EmulateConfig::default(),
+            )),
+            DefenseKind::Combined => Box::new(Section3Defense::new(
+                CounterMeasure::Combined,
+                EmulateConfig::default(),
+            )),
+            DefenseKind::WtfPad => Box::new(WtfPadDefense::new(WtfPadConfig::default())),
+            DefenseKind::Front => Box::new(FrontDefense::new(FrontConfig::default())),
+            DefenseKind::Regulator => Box::new(RegulatorDefense::new(RegulatorConfig::default())),
+            DefenseKind::Surakav => Box::new(SurakavDefense::new(SurakavConfig::default())),
+            DefenseKind::Tamaraw => Box::new(TamarawDefense::new(TamarawConfig::default())),
+            DefenseKind::Buflo => Box::new(BufloDefense::new(BufloConfig::default())),
         }
     }
 }
 
 struct Cell {
     name: &'static str,
+    placement: Placement,
     accuracy: String,
     mean: f64,
     bw_pct: f64,
@@ -127,24 +141,38 @@ fn main() {
         seed,
         ..EvalConfig::default()
     };
-    let em = EmulateConfig::default();
     let root = SimRng::new(seed);
     let n = dataset.len() as f64;
+    let bank = TraceBank(&dataset.traces);
 
-    // Cell fan-out: one independent (defend + evaluate) job per defense.
+    // Placement axis: every defense runs once per placement. The grid is
+    // flattened so each (defense, placement) cell is one fan-out job.
+    let grid: Vec<(DefenseKind, Placement)> = DefenseKind::ALL
+        .iter()
+        .flat_map(|&k| Placement::ALL.iter().map(move |&p| (k, p)))
+        .collect();
+
+    // Cell fan-out: one independent (defend + evaluate) job per cell.
     let fanout = Instant::now();
-    let cells: Vec<Cell> = par::par_map(&Defense::ALL, |di, &defense| {
-        let defense_root = root.fork(di as u64 + 1);
+    let cells: Vec<Cell> = par::par_map(&grid, |ci, &(kind, placement)| {
+        let cell_root = root.fork(ci as u64 + 1);
         let t0 = Instant::now();
+        let spec = kind.spec();
+        let rows = defend_all(
+            spec.as_ref(),
+            placement,
+            &dataset.traces,
+            Some(&bank),
+            &cell_root,
+            seed ^ ((ci as u64 + 1) << 32),
+        );
         let mut bw = 0.0;
         let mut lat = 0.0;
         let defended_traces: Vec<Trace> = dataset
             .traces
             .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mut rng = defense_root.fork(i as u64 + 1);
-                let d = defense.apply(t, &em, &dataset.traces, &mut rng);
+            .zip(rows)
+            .map(|(t, d)| {
                 bw += bandwidth_overhead(t, &d);
                 lat += latency_overhead(t, &d);
                 d.trace
@@ -155,7 +183,8 @@ fn main() {
         let t0 = Instant::now();
         let r = evaluate(&defended, &eval_cfg);
         Cell {
-            name: defense.name(),
+            name: kind.name(),
+            placement,
             accuracy: r.formatted(),
             mean: r.mean,
             bw_pct: bw / n * 100.0,
@@ -171,39 +200,48 @@ fn main() {
     }
 
     println!("\nDefense vs. k-FP (9 sites, closed world; chance = 0.111)\n");
-    println!("| defense          | accuracy       | bw overhead | latency overhead |");
-    println!("|------------------|----------------|-------------|------------------|");
+    println!("| defense          | placement | accuracy       | bw overhead | latency overhead |");
+    println!("|------------------|-----------|----------------|-------------|------------------|");
     for c in &cells {
         println!(
-            "| {:<16} | {:<14} | {:>9.1}% | {:>14.1}% |",
-            c.name, c.accuracy, c.bw_pct, c.lat_pct
+            "| {:<16} | {:<9} | {:<14} | {:>9.1}% | {:>14.1}% |",
+            c.name,
+            c.placement.name(),
+            c.accuracy,
+            c.bw_pct,
+            c.lat_pct
         );
     }
     println!(
         "\nreading: regularization (Tamaraw/BuFLO) buys real protection at huge \n\
          cost; lightweight obfuscation perturbs the attack cheaply but does not \n\
-         defeat it — the design space the paper wants Stob to widen."
+         defeat it — and the stack placement tracks the app-layer numbers, the \n\
+         design-space widening the paper argues for."
     );
     eprintln!("[defense_matrix] {timings}");
 
     if let Ok(path) = std::env::var("STOB_JSON_OUT") {
-        let json = Json::obj()
-            .set(
-                "cells",
-                Json::Arr(
-                    cells
-                        .iter()
-                        .map(|c| {
-                            Json::obj()
-                                .set("defense", c.name)
-                                .set("accuracy_mean", c.mean)
-                                .set("bandwidth_overhead_pct", c.bw_pct)
-                                .set("latency_overhead_pct", c.lat_pct)
-                        })
-                        .collect(),
-                ),
-            )
-            .set("timings", timings.to_json());
+        let mut json = Json::obj().set(
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .set("defense", c.name)
+                            .set("placement", c.placement.name())
+                            .set("accuracy_mean", c.mean)
+                            .set("bandwidth_overhead_pct", c.bw_pct)
+                            .set("latency_overhead_pct", c.lat_pct)
+                    })
+                    .collect(),
+            ),
+        );
+        // Timings are wall-clock noise; goldens drop them so the output
+        // is a pure function of (inputs, seed).
+        if std::env::var("STOB_JSON_NO_TIMINGS").map_or(true, |v| v != "1") {
+            json = json.set("timings", timings.to_json());
+        }
         if let Err(e) = std::fs::write(&path, json.to_string_pretty()) {
             eprintln!("[defense_matrix] could not write {path}: {e}");
         } else {

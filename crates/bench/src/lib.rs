@@ -16,13 +16,14 @@
 
 pub mod micro;
 
-use defenses::emulate::{self, CounterMeasure, EmulateConfig};
+use defenses::emulate::{self, CounterMeasure, EmulateConfig, Section3Defense};
 use defenses::overhead::{bandwidth_overhead, latency_overhead, Defended};
 use netsim::par::{self, Timings};
 use netsim::{FlowId, Nanos, SimRng};
-use stack::apps::{BulkSender, Sink};
+use stack::apps::{BulkSender, ShapedSender, Sink};
 use stack::net::{Network, SERVER};
 use stack::{HostConfig, PathConfig, StackConfig};
+use stob::defense::Placement;
 use stob::safety::SafetyCap;
 use stob::strategies::IncrementalReduce;
 use traces::loader::{collect, LoaderConfig};
@@ -106,6 +107,17 @@ pub fn run_table2(dataset: &Dataset, cfg: &Table2Config) -> Vec<Table2Cell> {
     run_table2_timed(dataset, cfg).0
 }
 
+/// Which backend the benchmarks route defenses through, from the
+/// `STOB_PLACEMENT` env var: unset or `app` = trace-level emulation
+/// (the paper's methodology; byte-identical to the golden outputs),
+/// `stack` = the same specs lowered into the in-stack shaper path.
+pub fn placement_from_env() -> Placement {
+    match std::env::var("STOB_PLACEMENT") {
+        Ok(v) if v == "stack" => Placement::Stack,
+        _ => Placement::App,
+    }
+}
+
 /// As [`run_table2`], but also returning per-stage wall-clock timings
 /// (accumulated across the 16 cells) for the bench JSON output.
 pub fn run_table2_timed(dataset: &Dataset, cfg: &Table2Config) -> (Vec<Table2Cell>, Timings) {
@@ -118,6 +130,7 @@ pub fn run_table2_timed(dataset: &Dataset, cfg: &Table2Config) -> (Vec<Table2Cel
         seed: cfg.seed,
         ..EvalConfig::default()
     };
+    let placement = placement_from_env();
     let mut out = Vec::new();
     let mut timings = Timings::new();
     for (cm, n) in emulate::section3_grid() {
@@ -127,15 +140,25 @@ pub fn run_table2_timed(dataset: &Dataset, cfg: &Table2Config) -> (Vec<Table2Cel
             first_n: n,
             ..EmulateConfig::default()
         };
-        // Per-cell root rng; apply_all forks it per trace, so the cell's
-        // emulation is deterministic at any thread count.
+        // Per-cell root rng; both backends fork it per trace, so the
+        // cell's emulation is deterministic at any thread count.
         let root = SimRng::new(cfg.seed).fork(n as u64).fork(cm as u64);
         let defended = timings.time("emulate", || {
+            let rows = match placement {
+                // The historical path, kept verbatim: golden outputs
+                // byte-compare against it.
+                Placement::App => emulate::apply_all(cm, &dataset.traces, &em, &root),
+                Placement::Stack => defenses::defend_all(
+                    &Section3Defense::new(cm, em),
+                    Placement::Stack,
+                    &dataset.traces,
+                    None,
+                    &root,
+                    cfg.seed ^ ((n as u64) << 32) ^ cm as u64,
+                ),
+            };
             Dataset::new(
-                emulate::apply_all(cm, &dataset.traces, &em, &root)
-                    .into_iter()
-                    .map(|d| d.trace)
-                    .collect(),
+                rows.into_iter().map(|d| d.trace).collect(),
                 dataset.class_names.clone(),
             )
         });
@@ -215,31 +238,7 @@ fn figure3_run(
     let host = HostConfig::default(); // calibrated CPU model, 100 GbE NIC
     let stack_cfg = StackConfig::default();
     let shaper = SafetyCap::new(IncrementalReduce::with_alpha(alpha));
-
-    struct ShapedSender {
-        inner: BulkSender,
-        cfg: StackConfig,
-        shaper: Option<Box<dyn stack::Shaper>>,
-    }
-    impl stack::net::App for ShapedSender {
-        fn on_start(&mut self, api: &mut stack::net::Api) {
-            let shaper = self.shaper.take();
-            let flow = api.connect_with(self.cfg.clone(), shaper);
-            let _ = flow;
-        }
-        fn on_connected(&mut self, api: &mut stack::net::Api, flow: FlowId) {
-            self.inner.on_connected(api, flow);
-        }
-        fn on_sendable(&mut self, api: &mut stack::net::Api, flow: FlowId) {
-            self.inner.on_sendable(api, flow);
-        }
-    }
-
-    let sender = ShapedSender {
-        inner: BulkSender::endless(),
-        cfg: stack_cfg,
-        shaper: Some(Box::new(shaper)),
-    };
+    let sender = ShapedSender::new(BulkSender::endless(), stack_cfg, Some(Box::new(shaper)));
     let mut net = Network::new(
         host.clone(),
         host,

@@ -1,0 +1,978 @@
+//! The placement-agnostic defense layer: one spec, two backends.
+//!
+//! The paper's thesis (§2.3, §4) is that the *same* defense behaves
+//! differently depending on whether it runs at the application layer or
+//! inside the network stack. This module makes that axis a first-class
+//! parameter instead of two disjoint code paths:
+//!
+//! - a [`Defense`] is a pure decision spec: given per-flow context and a
+//!   deterministic RNG it `build`s a [`FlowDefense`] — an
+//!   [`ObfuscationPolicy`] (size/delay/TSO rules) plus an optional
+//!   [`PadderCore`] (dummy-packet schedule);
+//! - [`emulate_flow`] is the **app-layer backend**: it interprets the
+//!   spec directly over a recorded packet sequence, reproducing the
+//!   trace-level emulation the `defenses` crate has always done;
+//! - [`enforce_flow`] is the **stack backend**: it lowers the same spec
+//!   through [`crate::strategies::build_shaper`] into a live
+//!   [`Shaper`](stack::Shaper) (inside the §4.2
+//!   [`SafetyCap`](crate::safety::SafetyCap) and the policy's guards)
+//!   and drives it with a replay [`EgressPipeline`] — the decisions the
+//!   stack would have made, applied to the recorded flow.
+//!
+//! Padding schedules are executed identically by both backends: §4.2
+//! scopes the stack's authority to sizing and departure timing of real
+//! data, so dummy-packet injection remains an application-layer concern
+//! at either placement. A defense that only pads (FRONT, WTF-PAD) is
+//! therefore placement-invariant by construction, while size/delay
+//! defenses inherit the stack's pacing clock, safety clamp, and guard
+//! semantics when placed in-stack — exactly the difference the paper
+//! argues about.
+
+use crate::policy::{sample_delay, DelaySpec, ObfuscationPolicy, SizeSpec};
+use netsim::{Direction, FlowId, Nanos, SimRng};
+use stack::egress::{EgressLabels, EgressPipeline};
+use stack::ShapeCtx;
+
+/// Where a defense is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Application layer: trace emulation via [`emulate_flow`].
+    App,
+    /// Inside the stack: shaper enforcement via [`enforce_flow`].
+    Stack,
+}
+
+impl Placement {
+    /// Both placements, in canonical (app, stack) order.
+    pub const ALL: [Placement; 2] = [Placement::App, Placement::Stack];
+
+    /// Short lowercase label used in benchmark axes and JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::App => "app",
+            Placement::Stack => "stack",
+        }
+    }
+}
+
+/// One packet of a flow as both backends see it: a timestamp relative to
+/// the flow start, a direction, and a wire size in bytes. The `traces`
+/// crate's `TracePacket` converts losslessly to and from this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowPkt {
+    pub ts: Nanos,
+    pub dir: Direction,
+    pub size: u32,
+}
+
+/// A defended flow: the shaped packet sequence plus the padding and
+/// latency accounting the overhead metrics need.
+#[derive(Debug, Clone)]
+pub struct DefendedFlow {
+    /// The shaped packet sequence, normalized (time-sorted, first packet
+    /// at t = 0).
+    pub pkts: Vec<FlowPkt>,
+    /// Dummy packets injected by the padding schedule.
+    pub dummy_pkts: usize,
+    /// Dummy bytes injected by the padding schedule.
+    pub dummy_bytes: u64,
+    /// When the last *real* byte was delivered (for latency overhead).
+    pub real_done: Nanos,
+}
+
+/// One packet emitted by a [`PadderCore`] when the flow closes.
+#[derive(Debug, Clone, Copy)]
+pub struct Emit {
+    pub pkt: FlowPkt,
+    /// True for injected dummies, false for re-emitted real packets.
+    pub dummy: bool,
+}
+
+/// Everything a [`PadderCore`] reports at flow close.
+#[derive(Debug, Clone, Default)]
+pub struct CloseOut {
+    /// Packets to merge into the flow (re-emitted reals for owned
+    /// directions, plus dummies).
+    pub emits: Vec<Emit>,
+    /// When the last real byte was delivered, if the core re-times real
+    /// data; `None` means "the policy stream's duration" (pure padding
+    /// never moves real packets).
+    pub real_done: Option<Nanos>,
+}
+
+/// A defense's padding/re-timing schedule, fed the flow's packets in
+/// arrival order. Cores typically buffer what they need in
+/// [`on_data`](Self::on_data) and produce their schedule in
+/// [`on_close`](Self::on_close), once the flow's shape is known.
+pub trait PadderCore {
+    /// Directions whose real packets this core re-emits wholesale (via
+    /// [`CloseOut::emits`]); the backend drops the original packets of
+    /// these directions and keeps everything else as-is. Empty for pure
+    /// padding defenses.
+    fn owned_dirs(&self) -> &'static [Direction] {
+        &[]
+    }
+
+    /// Observe one packet of the post-policy stream.
+    fn on_data(&mut self, _pkt: FlowPkt, _rng: &mut SimRng) {}
+
+    /// The flow is complete: produce the padding schedule.
+    fn on_close(&mut self, rng: &mut SimRng) -> CloseOut;
+}
+
+/// Read-only view of a trace bank for defenses that shape one flow to
+/// look like another (Surakav). Lives here (rather than depending on the
+/// `traces` crate) so the core stays trace-format-agnostic.
+pub trait ReferenceBank: Sync {
+    /// Number of candidate reference flows.
+    fn len(&self) -> usize;
+    /// True when the bank holds no candidates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Class label of candidate `i` (defenses avoid mimicking the
+    /// flow's own class).
+    fn label(&self, i: usize) -> usize;
+    /// Inbound packet times of candidate `i`.
+    fn in_times(&self, i: usize) -> Vec<Nanos>;
+}
+
+/// Per-flow context handed to [`Defense::build`].
+#[derive(Clone, Copy, Default)]
+pub struct DefenseCtx<'a> {
+    /// Class label of the flow being defended (0 when unknown).
+    pub label: usize,
+    /// Reference bank for mimicry defenses, when available.
+    pub bank: Option<&'a dyn ReferenceBank>,
+}
+
+/// What a [`Defense`] decides for one flow: the policy rules both
+/// backends interpret, plus the optional padding schedule.
+pub struct FlowDefense {
+    /// Size/delay/TSO rules (plus first-N and slow-start scoping).
+    pub policy: ObfuscationPolicy,
+    /// Dummy-packet schedule, if the defense pads.
+    pub padding: Option<Box<dyn PadderCore>>,
+    /// Restrict the policy's size/delay passes to one direction
+    /// (`None` = both). The §3 countermeasures act server-side only.
+    pub apply_dir: Option<Direction>,
+    /// Link rate (Mb/s) used to space split halves by the first half's
+    /// serialization time; 0 keeps halves at the same timestamp.
+    pub split_link_mbps: u64,
+}
+
+impl FlowDefense {
+    /// A defense that changes nothing.
+    pub fn passthrough(name: &str) -> Self {
+        FlowDefense {
+            policy: ObfuscationPolicy::passthrough(name),
+            padding: None,
+            apply_dir: None,
+            split_link_mbps: 0,
+        }
+    }
+
+    /// Policy rules only, applied to both directions.
+    pub fn from_policy(policy: ObfuscationPolicy) -> Self {
+        FlowDefense {
+            policy,
+            padding: None,
+            apply_dir: None,
+            split_link_mbps: 0,
+        }
+    }
+}
+
+/// A website-fingerprinting defense as a pure decision spec. Implemented
+/// once per defense; enforced by either backend.
+pub trait Defense: Send + Sync {
+    /// Stable identifier (used in registry bindings and benchmark axes).
+    fn name(&self) -> &str;
+
+    /// Decide this flow's defense. May draw from `rng` (reference
+    /// picks, budgets); both backends call it exactly once per flow
+    /// with the same RNG stream, so placement never changes the draws.
+    fn build(&self, ctx: &DefenseCtx, rng: &mut SimRng) -> FlowDefense;
+}
+
+/// A bare policy is the degenerate defense: no padding schedule, rules
+/// applied to both directions.
+impl Defense for ObfuscationPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense::from_policy(self.clone())
+    }
+}
+
+/// Normalize a packet sequence exactly as `Trace::normalize` does:
+/// stable time sort, then rebase so the first packet sits at t = 0.
+pub fn normalize_flow(pkts: &mut [FlowPkt]) {
+    pkts.sort_by_key(|p| p.ts);
+    if let Some(first) = pkts.first() {
+        let t0 = first.ts;
+        if !t0.is_zero() {
+            for p in pkts.iter_mut() {
+                p.ts -= t0;
+            }
+        }
+    }
+}
+
+/// Duration of a time-sorted packet sequence (`Trace::duration`).
+pub fn flow_duration(pkts: &[FlowPkt]) -> Nanos {
+    match (pkts.first(), pkts.last()) {
+        (Some(a), Some(b)) => b.ts - a.ts,
+        _ => Nanos::ZERO,
+    }
+}
+
+/// The §3 scoping rule shared by both backends: a policy pass touches
+/// packet `index` iff it is within the first-N window and (when the
+/// defense is direction-scoped) travels in the scoped direction.
+fn affects(first_n: u64, apply_dir: Option<Direction>, index: usize, dir: Direction) -> bool {
+    (first_n == 0 || (index as u64) < first_n) && apply_dir.is_none_or(|d| d == dir)
+}
+
+/// Validate the built policy; an inconsistent one degrades the flow to
+/// pass-through rules (counted) rather than shaping wrongly.
+fn checked_policy(fd: &FlowDefense) -> (bool, bool) {
+    if fd.policy.validate().is_err() {
+        netsim::tm_counter!("stob.registry.degraded").inc();
+        return (false, false);
+    }
+    let size_active = !matches!(fd.policy.size, SizeSpec::Unchanged);
+    let delay_active = !matches!(fd.policy.delay, DelaySpec::Unchanged);
+    (size_active, delay_active)
+}
+
+// ---------------------------------------------------------------------
+// App-layer backend
+// ---------------------------------------------------------------------
+
+/// Minimum piece size the generic re-chunking passes will emit; splits
+/// below this stop conveying size information and only inflate packet
+/// counts.
+const MIN_PIECE: u32 = 64;
+
+/// Conventional Ethernet wire MTU the generic chunkers aim at.
+const MTU_WIRE: u32 = 1514;
+
+/// Serialization gap between consecutive pieces of one split packet.
+fn piece_gap(split_link_mbps: u64, piece: u32) -> Nanos {
+    if split_link_mbps > 0 {
+        Nanos::for_bytes_at_rate(u64::from(piece), split_link_mbps * 1_000_000)
+    } else {
+        Nanos::ZERO
+    }
+}
+
+/// The size pass of the app-layer interpreter. `SplitAbove` is the exact
+/// §3 emulation (equal halves, optional serialization gap); the other
+/// specs re-chunk affected packets toward the spec's target size —  a
+/// best-effort trace-level reading of rules that are exact in-stack.
+fn size_pass(input: &[FlowPkt], fd: &FlowDefense, rng: &mut SimRng) -> Vec<FlowPkt> {
+    let p = &fd.policy;
+    let mut out = Vec::with_capacity(input.len() + 8);
+    let mut inc_idx: u32 = 0;
+    for (i, pkt) in input.iter().enumerate() {
+        if !affects(p.first_n_pkts, fd.apply_dir, i, pkt.dir) {
+            out.push(*pkt);
+            continue;
+        }
+        match &p.size {
+            SizeSpec::Unchanged => out.push(*pkt),
+            SizeSpec::SplitAbove { threshold } => {
+                if pkt.size > *threshold {
+                    netsim::tm_counter!("defense.app.split_pkts").inc();
+                    let a = pkt.size / 2 + pkt.size % 2;
+                    let b = pkt.size / 2;
+                    out.push(FlowPkt { size: a, ..*pkt });
+                    out.push(FlowPkt {
+                        ts: pkt.ts + piece_gap(fd.split_link_mbps, a),
+                        dir: pkt.dir,
+                        size: b,
+                    });
+                } else {
+                    out.push(*pkt);
+                }
+            }
+            spec => {
+                // Generic greedy re-chunking toward the spec's target.
+                let mut remaining = pkt.size;
+                let mut ts = pkt.ts;
+                let mut first = true;
+                while remaining > 0 {
+                    let target = match spec {
+                        SizeSpec::Fixed { ip_size } => *ip_size,
+                        SizeSpec::IncrementalReduce { step, steps } => {
+                            // Mirror the in-stack walk: MTU, MTU-step,
+                            // ..., MTU-steps*step, then reset.
+                            let reduction = inc_idx * step;
+                            inc_idx += 1;
+                            if inc_idx > *steps {
+                                inc_idx = 0;
+                            }
+                            MTU_WIRE.saturating_sub(reduction)
+                        }
+                        SizeSpec::FromHistogram(h) => {
+                            h.sample(rng.next_f64(), rng.next_f64()).max(1.0) as u32
+                        }
+                        _ => unreachable!("handled above"),
+                    };
+                    let take = remaining.min(target.max(MIN_PIECE));
+                    if !first {
+                        netsim::tm_counter!("defense.app.resized_pkts").inc();
+                    }
+                    out.push(FlowPkt {
+                        ts,
+                        dir: pkt.dir,
+                        size: take,
+                    });
+                    remaining -= take;
+                    if remaining > 0 {
+                        ts += piece_gap(fd.split_link_mbps, take);
+                    }
+                    first = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The delay pass of the app-layer interpreter: the §3 "stretch
+/// inter-arrival times" loop. Each affected packet's inter-arrival time
+/// (measured against the *pre-shift* schedule) is stretched by a draw
+/// from the policy's delay spec, and the stretch accumulates.
+fn delay_pass(input: &[FlowPkt], fd: &FlowDefense, rng: &mut SimRng) -> Vec<FlowPkt> {
+    let p = &fd.policy;
+    let mut out = Vec::with_capacity(input.len());
+    let mut shift = Nanos::ZERO;
+    let mut prev_orig = Nanos::ZERO;
+    for (i, pkt) in input.iter().enumerate() {
+        let iat = pkt.ts.saturating_sub(prev_orig);
+        if i > 0 && affects(p.first_n_pkts, fd.apply_dir, i, pkt.dir) {
+            netsim::tm_counter!("defense.app.delayed_pkts").inc();
+            shift += sample_delay(&p.delay, iat, rng);
+        }
+        out.push(FlowPkt {
+            ts: pkt.ts + shift,
+            ..*pkt
+        });
+        prev_orig = pkt.ts;
+    }
+    out
+}
+
+/// Run the padding schedule (if any) over the post-policy stream and
+/// assemble the final flow. Shared verbatim by both backends — padding
+/// is application-layer work at either placement (§4.2).
+fn run_padding(
+    padding: Option<Box<dyn PadderCore>>,
+    stream: Vec<FlowPkt>,
+    rng: &mut SimRng,
+    pad_counter: &'static str,
+) -> DefendedFlow {
+    let default_real_done = flow_duration(&stream);
+    let Some(mut core) = padding else {
+        return DefendedFlow {
+            pkts: stream,
+            dummy_pkts: 0,
+            dummy_bytes: 0,
+            real_done: default_real_done,
+        };
+    };
+    let owned = core.owned_dirs();
+    for pkt in &stream {
+        core.on_data(*pkt, rng);
+    }
+    let close = core.on_close(rng);
+    let mut pkts: Vec<FlowPkt> = stream
+        .iter()
+        .filter(|p| !owned.contains(&p.dir))
+        .copied()
+        .collect();
+    let mut dummy_pkts = 0usize;
+    let mut dummy_bytes = 0u64;
+    for e in &close.emits {
+        if e.dummy {
+            dummy_pkts += 1;
+            dummy_bytes += u64::from(e.pkt.size);
+        }
+        pkts.push(e.pkt);
+    }
+    normalize_flow(&mut pkts);
+    netsim::telemetry::counter(pad_counter).add(dummy_pkts as u64);
+    DefendedFlow {
+        pkts,
+        dummy_pkts,
+        dummy_bytes,
+        real_done: close.real_done.unwrap_or(default_real_done),
+    }
+}
+
+/// **App-layer backend**: interpret a defense directly over a recorded
+/// packet sequence — the trace emulation the `defenses` crate performs,
+/// now driven by the placement-agnostic spec. For the §3 countermeasures
+/// this reproduces `defenses::emulate::{split,delay}` byte-for-byte.
+pub fn emulate_flow(
+    defense: &dyn Defense,
+    input: &[FlowPkt],
+    ctx: &DefenseCtx,
+    rng: &mut SimRng,
+) -> DefendedFlow {
+    netsim::tm_counter!("defense.app.flows").inc();
+    let fd = defense.build(ctx, rng);
+    let (size_active, delay_active) = checked_policy(&fd);
+    let mut stream: Vec<FlowPkt> = input.to_vec();
+    if size_active {
+        stream = size_pass(&stream, &fd, rng);
+        normalize_flow(&mut stream);
+    }
+    if delay_active {
+        stream = delay_pass(&stream, &fd, rng);
+        normalize_flow(&mut stream);
+    }
+    run_padding(fd.padding, stream, rng, "defense.app.pad_pkts")
+}
+
+// ---------------------------------------------------------------------
+// Stack backend
+// ---------------------------------------------------------------------
+
+/// Stack parameters for the replay enforcement backend.
+#[derive(Debug, Clone, Copy)]
+pub struct StackParams {
+    /// Seed feeding the live strategy RNGs (as in `build_shaper`).
+    pub seed: u64,
+    /// Flow salt decorrelating flows that share one policy.
+    pub flow_salt: u64,
+    /// Wire MTU: the largest packet the replay pipeline will emit.
+    pub mtu_wire: u32,
+    /// MSS used to recover a per-packet pacing rate from recorded
+    /// inter-arrival times (`DelayJitter` keys its nominal gap on
+    /// `2 * mss` serialized at the pacing rate).
+    pub mss: u32,
+}
+
+impl Default for StackParams {
+    fn default() -> Self {
+        StackParams {
+            seed: 0,
+            flow_salt: 0,
+            mtu_wire: 1514,
+            mss: 1448,
+        }
+    }
+}
+
+impl StackParams {
+    /// Params with an explicit seed and the conventional Ethernet sizes.
+    pub fn with_seed(seed: u64) -> Self {
+        StackParams {
+            seed,
+            ..StackParams::default()
+        }
+    }
+}
+
+/// Shape context for one replayed packet. Replay assumes steady state
+/// (`in_slow_start = false`): a recorded trace carries no live CCA
+/// phase, so slow-start-respecting policies shape the whole flow.
+fn replay_ctx(params: &StackParams, pkts_sent: u64, now: Nanos, rate: Option<u64>) -> ShapeCtx {
+    ShapeCtx {
+        flow: FlowId(1),
+        now,
+        cwnd: u64::MAX,
+        pacing_rate_bps: rate,
+        in_slow_start: false,
+        bytes_sent: 0,
+        pkts_sent,
+        segs_sent: 0,
+        mtu_ip: params.mtu_wire,
+        mss: params.mss,
+    }
+}
+
+/// The synthetic pacing rate under which one recorded inter-arrival
+/// time serializes exactly `2 * mss` bytes — the inverse of
+/// `DelayJitter`'s nominal-gap rule, so the in-stack jitter stretches
+/// recorded gaps by the same fractions the app-layer pass draws.
+fn rate_for_iat(mss: u32, iat: Nanos) -> u64 {
+    if iat.is_zero() {
+        // Zero gap: infinite rate. `u64::MAX - 1` keeps DelayJitter on
+        // its `for_bytes_at_rate` path (nominal rounds to zero) while
+        // still consuming its draw, mirroring the app pass exactly.
+        return u64::MAX - 1;
+    }
+    let x = u64::from(mss).max(1) * 2 * 8 * 1_000_000_000;
+    (x / iat.0).max(1)
+}
+
+/// **Stack backend**: lower the defense's policy into a live shaper
+/// (strategy → §4.2 safety cap → guards, via
+/// [`crate::sockopt::assemble_policy_shaper`]) and replay the recorded
+/// flow through an [`EgressPipeline`]: the size stage re-fragments
+/// affected packets through the pipeline's packet-size decision, the
+/// delay stage gates each departure through the pacing clock and the
+/// shaper's extra delay, and the padding schedule runs exactly as in
+/// the app backend.
+pub fn enforce_flow(
+    defense: &dyn Defense,
+    input: &[FlowPkt],
+    ctx: &DefenseCtx,
+    rng: &mut SimRng,
+    params: &StackParams,
+) -> DefendedFlow {
+    netsim::tm_counter!("defense.stack.flows").inc();
+    let fd = defense.build(ctx, rng);
+    let (size_active, delay_active) = checked_policy(&fd);
+    let policy = if size_active || delay_active {
+        fd.policy.clone()
+    } else {
+        // Degraded or inert: enforce pass-through rules.
+        ObfuscationPolicy::passthrough(&fd.policy.name)
+    };
+    let (shaper, _audit) =
+        crate::sockopt::assemble_policy_shaper(&policy, params.seed, params.flow_salt);
+    let mut pipe = EgressPipeline::new(EgressLabels::REPLAY);
+    pipe.set_shaper(shaper);
+
+    // Size stage: re-fragment each affected packet through the
+    // pipeline's packet-size decision until its bytes are spent. The
+    // first-N guard sees the recorded packet index; direction scoping
+    // is applied here (guards are direction-blind).
+    let mut stream: Vec<FlowPkt>;
+    if size_active {
+        stream = Vec::with_capacity(input.len() + 8);
+        for (i, pkt) in input.iter().enumerate() {
+            if fd.apply_dir.is_some_and(|d| d != pkt.dir) {
+                stream.push(*pkt);
+                continue;
+            }
+            let sctx = replay_ctx(params, i as u64, pkt.ts, None);
+            let mut remaining = pkt.size;
+            let mut ts = pkt.ts;
+            let mut piece = 0u32;
+            while remaining > 0 {
+                let proposed = remaining.min(params.mtu_wire);
+                let got = pipe.packet_ip_size(&sctx, piece, proposed, 1, proposed);
+                stream.push(FlowPkt {
+                    ts,
+                    dir: pkt.dir,
+                    size: got,
+                });
+                remaining -= got;
+                if remaining > 0 {
+                    ts += piece_gap(fd.split_link_mbps, got);
+                }
+                piece += 1;
+            }
+        }
+        normalize_flow(&mut stream);
+    } else {
+        stream = input.to_vec();
+    }
+
+    // Delay stage: replay each packet through the pacing gate. The
+    // recorded inter-arrival time is converted into the synthetic
+    // pacing rate under which DelayJitter's nominal gap equals it, so
+    // the in-stack draw stretches the recorded gap — the §3 semantics,
+    // now enforced by the stack's own pacing clock and safety clamp.
+    let mut shaped: Vec<FlowPkt>;
+    if delay_active {
+        shaped = Vec::with_capacity(stream.len());
+        let mut shift = Nanos::ZERO;
+        let mut prev_orig = Nanos::ZERO;
+        for (e, pkt) in stream.iter().enumerate() {
+            let iat = pkt.ts.saturating_sub(prev_orig);
+            let intended = pkt.ts + shift;
+            if e > 0 && fd.apply_dir.is_none_or(|d| d == pkt.dir) {
+                let rate = rate_for_iat(params.mss, iat);
+                let sctx = replay_ctx(params, e as u64, intended, Some(rate));
+                let eligible = pipe.pace_replay(&sctx, intended);
+                shift += eligible.saturating_sub(intended);
+                shaped.push(FlowPkt {
+                    ts: eligible,
+                    ..*pkt
+                });
+            } else {
+                shaped.push(FlowPkt {
+                    ts: intended,
+                    ..*pkt
+                });
+            }
+            prev_orig = pkt.ts;
+        }
+        normalize_flow(&mut shaped);
+    } else {
+        shaped = stream;
+    }
+
+    run_padding(fd.padding, shaped, rng, "defense.stack.pad_pkts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TsoSpec;
+
+    fn mk(ts_us: u64, dir: Direction, size: u32) -> FlowPkt {
+        FlowPkt {
+            ts: Nanos::from_micros(ts_us),
+            dir,
+            size,
+        }
+    }
+
+    fn sample_flow() -> Vec<FlowPkt> {
+        vec![
+            mk(0, Direction::Out, 200),
+            mk(1_000, Direction::In, 1514),
+            mk(2_500, Direction::In, 900),
+            mk(4_000, Direction::Out, 100),
+            mk(9_000, Direction::In, 1400),
+        ]
+    }
+
+    /// A direction-scoped §3 policy defense, as the `defenses` crate
+    /// expresses the split/delay countermeasures.
+    struct S3 {
+        policy: ObfuscationPolicy,
+        dir: Option<Direction>,
+    }
+
+    impl Defense for S3 {
+        fn name(&self) -> &str {
+            &self.policy.name
+        }
+        fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+            FlowDefense {
+                policy: self.policy.clone(),
+                padding: None,
+                apply_dir: self.dir,
+                split_link_mbps: 0,
+            }
+        }
+    }
+
+    fn split_policy(threshold: u32, first_n: u64) -> ObfuscationPolicy {
+        ObfuscationPolicy {
+            name: "split".into(),
+            size: SizeSpec::SplitAbove { threshold },
+            delay: DelaySpec::Unchanged,
+            tso: TsoSpec::Unchanged,
+            first_n_pkts: first_n,
+            respect_slow_start: false,
+        }
+    }
+
+    fn delay_policy(lo: Nanos, hi: Nanos, first_n: u64) -> ObfuscationPolicy {
+        ObfuscationPolicy {
+            name: "delay".into(),
+            size: SizeSpec::Unchanged,
+            delay: DelaySpec::UniformAbsolute { lo, hi },
+            tso: TsoSpec::Unchanged,
+            first_n_pkts: first_n,
+            respect_slow_start: false,
+        }
+    }
+
+    #[test]
+    fn passthrough_defense_is_identity_at_both_placements() {
+        let input = sample_flow();
+        let d = ObfuscationPolicy::passthrough("none");
+        let mut rng = SimRng::new(5);
+        let out = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        assert_eq!(out.pkts, input);
+        assert_eq!(out.dummy_pkts, 0);
+        assert_eq!(out.real_done, flow_duration(&input));
+
+        let mut rng = SimRng::new(5);
+        let out = enforce_flow(
+            &d,
+            &input,
+            &DefenseCtx::default(),
+            &mut rng,
+            &StackParams::with_seed(5),
+        );
+        assert_eq!(out.pkts, input);
+        assert_eq!(out.dummy_pkts, 0);
+    }
+
+    #[test]
+    fn app_split_halves_scoped_direction_only() {
+        let input = sample_flow();
+        let d = S3 {
+            policy: split_policy(1200, 0),
+            dir: Some(Direction::In),
+        };
+        let mut rng = SimRng::new(1);
+        let out = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        // The 1514 and 1400 inbound packets split; outbound untouched.
+        let sizes: Vec<u32> = out.pkts.iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![200, 757, 757, 900, 100, 700, 700]);
+        assert!(out.pkts.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn app_delay_shift_accumulates_deterministically() {
+        let input = sample_flow();
+        let fixed = Nanos::from_micros(100);
+        let d = S3 {
+            policy: delay_policy(fixed, fixed, 0),
+            dir: None,
+        };
+        let mut rng = SimRng::new(1);
+        let out = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        // Packet 0 is never delayed; packet i (i >= 1) shifts by i * 100us.
+        for (i, (got, orig)) in out.pkts.iter().zip(&input).enumerate() {
+            let want = orig.ts + fixed * (i as u64);
+            assert_eq!(got.ts, want, "packet {i}");
+            assert_eq!(got.size, orig.size);
+        }
+    }
+
+    #[test]
+    fn first_n_scopes_both_backends_identically() {
+        let input = sample_flow();
+        let d = S3 {
+            policy: split_policy(1200, 2),
+            dir: None,
+        };
+        let mut rng = SimRng::new(3);
+        let app = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        // Only packet index 1 (the 1514) is within the first-2 window.
+        let sizes: Vec<u32> = app.pkts.iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![200, 757, 757, 900, 100, 1400]);
+
+        let mut rng = SimRng::new(3);
+        let stack = enforce_flow(
+            &d,
+            &input,
+            &DefenseCtx::default(),
+            &mut rng,
+            &StackParams::with_seed(3),
+        );
+        assert_eq!(app.pkts, stack.pkts);
+    }
+
+    #[test]
+    fn stack_split_matches_app_split_exactly() {
+        let input = sample_flow();
+        let d = S3 {
+            policy: split_policy(1200, 0),
+            dir: Some(Direction::In),
+        };
+        let mut rng = SimRng::new(7);
+        let app = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        let mut rng = SimRng::new(7);
+        let stack = enforce_flow(
+            &d,
+            &input,
+            &DefenseCtx::default(),
+            &mut rng,
+            &StackParams::with_seed(7),
+        );
+        assert_eq!(app.pkts, stack.pkts);
+    }
+
+    #[test]
+    fn stack_absolute_delay_matches_app_exactly() {
+        // UniformAbsolute draws are nominal-independent, so the stack
+        // backend (DelayJitter seeded seed ^ 0) replays the app pass's
+        // RNG stream bit-for-bit.
+        let input = sample_flow();
+        let d = S3 {
+            policy: delay_policy(Nanos::from_micros(10), Nanos::from_micros(500), 0),
+            dir: Some(Direction::In),
+        };
+        let seed = 0xD1CE;
+        let mut rng = SimRng::new(seed);
+        let app = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        let mut rng = SimRng::new(seed);
+        let stack = enforce_flow(
+            &d,
+            &input,
+            &DefenseCtx::default(),
+            &mut rng,
+            &StackParams::with_seed(seed),
+        );
+        assert_eq!(app.pkts, stack.pkts);
+        // And the delays actually moved something.
+        assert_ne!(app.pkts, input);
+    }
+
+    #[test]
+    fn invalid_policy_degrades_to_passthrough_and_counts() {
+        let input = sample_flow();
+        let d = S3 {
+            policy: split_policy(0, 0), // threshold 0 fails validate()
+            dir: None,
+        };
+        let before = netsim::tm_counter!("stob.registry.degraded").get();
+        let mut rng = SimRng::new(9);
+        let app = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+        let mut rng = SimRng::new(9);
+        let stack = enforce_flow(
+            &d,
+            &input,
+            &DefenseCtx::default(),
+            &mut rng,
+            &StackParams::with_seed(9),
+        );
+        assert_eq!(app.pkts, input);
+        assert_eq!(stack.pkts, input);
+        assert_eq!(
+            netsim::tm_counter!("stob.registry.degraded").get(),
+            before + 2
+        );
+    }
+
+    /// Injects one dummy per observed inbound packet, half a window late.
+    struct EchoPadder {
+        scheduled: Vec<Nanos>,
+    }
+
+    impl PadderCore for EchoPadder {
+        fn on_data(&mut self, pkt: FlowPkt, rng: &mut SimRng) {
+            if pkt.dir == Direction::In {
+                let jitter = Nanos::from_micros(rng.range_u64(1, 50));
+                self.scheduled.push(pkt.ts + jitter);
+            }
+        }
+        fn on_close(&mut self, _rng: &mut SimRng) -> CloseOut {
+            CloseOut {
+                emits: self
+                    .scheduled
+                    .iter()
+                    .map(|&ts| Emit {
+                        pkt: FlowPkt {
+                            ts,
+                            dir: Direction::In,
+                            size: 1514,
+                        },
+                        dummy: true,
+                    })
+                    .collect(),
+                real_done: None,
+            }
+        }
+    }
+
+    struct PadOnly;
+
+    impl Defense for PadOnly {
+        fn name(&self) -> &str {
+            "pad-only"
+        }
+        fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+            FlowDefense {
+                padding: Some(Box::new(EchoPadder {
+                    scheduled: Vec::new(),
+                })),
+                ..FlowDefense::passthrough("pad-only")
+            }
+        }
+    }
+
+    #[test]
+    fn pure_padding_defense_is_placement_invariant() {
+        let input = sample_flow();
+        let mut rng = SimRng::new(42);
+        let app = emulate_flow(&PadOnly, &input, &DefenseCtx::default(), &mut rng);
+        let mut rng = SimRng::new(42);
+        let stack = enforce_flow(
+            &PadOnly,
+            &input,
+            &DefenseCtx::default(),
+            &mut rng,
+            &StackParams::with_seed(42),
+        );
+        assert_eq!(app.pkts, stack.pkts);
+        assert_eq!(app.dummy_pkts, 3);
+        assert_eq!(app.dummy_bytes, 3 * 1514);
+        assert_eq!(stack.dummy_pkts, 3);
+        // Real packets all survive alongside the dummies.
+        assert_eq!(app.pkts.len(), input.len() + 3);
+        assert_eq!(app.real_done, flow_duration(&input));
+    }
+
+    #[test]
+    fn owned_dirs_replace_the_original_stream() {
+        /// Re-times every inbound packet onto a fixed grid.
+        struct GridCore {
+            count: usize,
+        }
+        impl PadderCore for GridCore {
+            fn owned_dirs(&self) -> &'static [Direction] {
+                &[Direction::In]
+            }
+            fn on_data(&mut self, pkt: FlowPkt, _rng: &mut SimRng) {
+                if pkt.dir == Direction::In {
+                    self.count += 1;
+                }
+            }
+            fn on_close(&mut self, _rng: &mut SimRng) -> CloseOut {
+                let grid = Nanos::from_millis(10);
+                CloseOut {
+                    emits: (0..self.count.max(1) + 1)
+                        .map(|i| Emit {
+                            pkt: FlowPkt {
+                                ts: grid * (i as u64),
+                                dir: Direction::In,
+                                size: 1514,
+                            },
+                            dummy: i >= self.count,
+                        })
+                        .collect(),
+                    real_done: Some(grid * (self.count.max(1) as u64 - 1)),
+                }
+            }
+        }
+        struct Grid;
+        impl Defense for Grid {
+            fn name(&self) -> &str {
+                "grid"
+            }
+            fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+                FlowDefense {
+                    padding: Some(Box::new(GridCore { count: 0 })),
+                    ..FlowDefense::passthrough("grid")
+                }
+            }
+        }
+        let input = sample_flow();
+        let mut rng = SimRng::new(1);
+        let out = emulate_flow(&Grid, &input, &DefenseCtx::default(), &mut rng);
+        // 2 outbound originals + 3 re-emitted + 1 dummy inbound.
+        assert_eq!(out.pkts.len(), 6);
+        let inbound: Vec<&FlowPkt> = out.pkts.iter().filter(|p| p.dir == Direction::In).collect();
+        assert_eq!(inbound.len(), 4);
+        assert!(inbound
+            .iter()
+            .all(|p| p.ts.0 % Nanos::from_millis(10).0 == 0 && p.size == 1514));
+        assert_eq!(out.dummy_pkts, 1);
+        assert_eq!(out.real_done, Nanos::from_millis(20));
+    }
+
+    #[test]
+    fn normalize_flow_matches_trace_normalize_semantics() {
+        let mut pkts = vec![
+            mk(5_000, Direction::In, 10),
+            mk(2_000, Direction::Out, 20),
+            mk(9_000, Direction::In, 30),
+        ];
+        normalize_flow(&mut pkts);
+        assert_eq!(pkts[0].ts, Nanos::ZERO);
+        assert_eq!(pkts[1].ts, Nanos::from_micros(3_000));
+        assert_eq!(pkts[2].ts, Nanos::from_micros(7_000));
+        assert_eq!(flow_duration(&pkts), Nanos::from_micros(7_000));
+        let mut empty: Vec<FlowPkt> = Vec::new();
+        normalize_flow(&mut empty);
+        assert_eq!(flow_duration(&empty), Nanos::ZERO);
+    }
+}

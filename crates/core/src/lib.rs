@@ -32,7 +32,17 @@
 //! Padding is deliberately *not* a Stob primitive: §4.2 leaves padding to
 //! the application (TLS record padding and app-specific schemes), because
 //! padding without application knowledge is both costly and ineffective.
+//! The [`defense`] layer honors that split: its padding schedules run at
+//! the application layer under either placement, while size/delay rules
+//! lower into the stack.
+//!
+//! On top of these sits the **defense layer** ([`defense`]): a
+//! placement-agnostic [`defense::Defense`] trait — one spec per defense —
+//! with an app-layer backend ([`defense::emulate_flow`]) and a stack
+//! backend ([`defense::enforce_flow`]) so the *same* decision logic can be
+//! evaluated at either placement, which is the paper's central comparison.
 
+pub mod defense;
 pub mod fit;
 pub mod guard;
 pub mod policy;
@@ -41,10 +51,17 @@ pub mod safety;
 pub mod sockopt;
 pub mod strategies;
 
+pub use defense::{
+    emulate_flow, enforce_flow, DefendedFlow, Defense, DefenseCtx, FlowDefense, FlowPkt,
+    PadderCore, Placement, ReferenceBank, StackParams,
+};
 pub use fit::{fit_delay_policy, fit_morphing_policy, fit_size_policy};
 pub use guard::CcaPhaseGuard;
 pub use policy::{DelaySpec, ObfuscationPolicy, SizeSpec};
-pub use registry::{PolicyKey, PolicyRegistry};
+pub use registry::{DefenseBinding, PolicyKey, PolicyRegistry};
 pub use safety::{SafetyAudit, SafetyCap};
-pub use sockopt::{attach_policy, attach_policy_checked, AttachResolution};
+pub use sockopt::{
+    assemble_policy_shaper, attach_defense, attach_policy, attach_policy_checked, AttachResolution,
+    DefenseAttachment,
+};
 pub use strategies::{Chain, DelayJitter, HistogramSampler, IncrementalReduce, SplitThreshold};

@@ -23,7 +23,7 @@ use netsim::json::{Json, JsonError};
 use netsim::{Histogram, Nanos, SimRng};
 
 /// How packet sizes should be obfuscated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SizeSpec {
     /// Leave sizes alone.
     Unchanged,
@@ -40,7 +40,7 @@ pub enum SizeSpec {
 }
 
 /// How departure times should be obfuscated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DelaySpec {
     /// Leave timing alone.
     Unchanged,
@@ -55,7 +55,7 @@ pub enum DelaySpec {
 }
 
 /// How TSO/GSO segment sizes should be obfuscated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TsoSpec {
     Unchanged,
     /// Cycle the segment size downward by `step` packets for `steps`
@@ -71,7 +71,7 @@ pub enum TsoSpec {
 }
 
 /// A complete obfuscation policy, as published to the registry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObfuscationPolicy {
     /// Human-readable identifier, unique within a registry.
     pub name: String,
@@ -123,6 +123,22 @@ impl ObfuscationPolicy {
     /// back to pass-through — shaping wrongly is worse than not shaping,
     /// and crashing the stack is worse than both.
     pub fn validate(&self) -> Result<(), String> {
+        // A histogram deserialized from an external source can claim a
+        // mass (`total`) its bins don't back up; sampling such a
+        // histogram silently skews toward the edge bins.
+        fn histogram_ok(h: &netsim::Histogram, what: &str) -> Result<(), String> {
+            if h.total == 0 {
+                return Err(format!("{what} histogram has no samples"));
+            }
+            let binned: u64 = h.counts.iter().sum();
+            if binned != h.total {
+                return Err(format!(
+                    "{what} histogram mass {} disagrees with binned count {binned}",
+                    h.total
+                ));
+            }
+            Ok(())
+        }
         match &self.size {
             SizeSpec::Unchanged => {}
             SizeSpec::SplitAbove { threshold } => {
@@ -135,11 +151,7 @@ impl ObfuscationPolicy {
                     return Err("size IncrementalReduce: steps must be positive".into());
                 }
             }
-            SizeSpec::FromHistogram(h) => {
-                if h.total == 0 {
-                    return Err("size histogram has no samples".into());
-                }
-            }
+            SizeSpec::FromHistogram(h) => histogram_ok(h, "size")?,
             SizeSpec::Fixed { ip_size } => {
                 if *ip_size == 0 {
                     return Err("Fixed: ip_size must be positive".into());
@@ -161,11 +173,7 @@ impl ObfuscationPolicy {
                     return Err("UniformAbsolute: hi below lo".into());
                 }
             }
-            DelaySpec::FromHistogramMicros(h) => {
-                if h.total == 0 {
-                    return Err("delay histogram has no samples".into());
-                }
-            }
+            DelaySpec::FromHistogramMicros(h) => histogram_ok(h, "delay")?,
         }
         match &self.tso {
             TsoSpec::Unchanged => {}
@@ -497,6 +505,23 @@ mod tests {
         p.delay = DelaySpec::Unchanged;
         p.tso = TsoSpec::Cap { pkts: 0 };
         assert!(p.validate().is_err(), "zero TSO cap");
+    }
+
+    #[test]
+    fn validate_rejects_forged_histogram_mass() {
+        // A histogram whose claimed total disagrees with its bins (only
+        // constructible by hand or via JSON) must not reach a sampler.
+        let mut h = Histogram::new(0.0, 1500.0, 10);
+        h.push(700.0);
+        h.total = 5;
+        let mut p = ObfuscationPolicy::passthrough("forged");
+        p.size = SizeSpec::FromHistogram(h.clone());
+        let err = p.validate().expect_err("forged mass must fail");
+        assert!(err.contains("disagrees"), "{err}");
+
+        p.size = SizeSpec::Unchanged;
+        p.delay = DelaySpec::FromHistogramMicros(h);
+        assert!(p.validate().is_err());
     }
 
     #[test]

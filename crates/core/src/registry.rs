@@ -8,6 +8,7 @@
 //! `Arc<ObfuscationPolicy>` so a resolved policy never blocks behind a
 //! writer.
 
+use crate::defense::{Defense, Placement};
 use crate::policy::ObfuscationPolicy;
 use netsim::json::{Json, JsonError};
 use std::collections::BTreeMap;
@@ -26,9 +27,23 @@ pub enum PolicyKey {
     Default,
 }
 
+/// A defense bound into the registry together with where it is to be
+/// enforced: at the application layer (trace emulation) or inside the
+/// stack (lowered into a shaper). One table serves both placements —
+/// the registry is the single source of truth for "what shape should
+/// this flow have, and who enforces it".
+#[derive(Clone)]
+pub struct DefenseBinding {
+    /// The placement-agnostic decision spec.
+    pub defense: Arc<dyn Defense>,
+    /// Which backend enforces it.
+    pub placement: Placement,
+}
+
 #[derive(Default)]
 struct Inner {
     table: BTreeMap<PolicyKey, Arc<ObfuscationPolicy>>,
+    defenses: BTreeMap<PolicyKey, DefenseBinding>,
     /// Bumped on every mutation; lets the stack cache resolutions.
     version: u64,
 }
@@ -121,6 +136,54 @@ impl PolicyRegistry {
             .or_else(|| g.table.get(&PolicyKey::Destination(destination)))
             .or_else(|| g.table.get(&PolicyKey::Default))
             .cloned()
+    }
+
+    /// Bind a defense (with its enforcement placement) under `key`.
+    pub fn bind_defense(&self, key: PolicyKey, defense: Arc<dyn Defense>, placement: Placement) {
+        netsim::tm_counter!("stob.registry.defense_binds").inc();
+        let mut g = self.write();
+        g.defenses
+            .insert(key, DefenseBinding { defense, placement });
+        g.version += 1;
+    }
+
+    /// Remove a defense binding. Returns true if something was removed.
+    pub fn unbind_defense(&self, key: PolicyKey) -> bool {
+        let mut g = self.write();
+        let removed = g.defenses.remove(&key).is_some();
+        if removed {
+            g.version += 1;
+        }
+        removed
+    }
+
+    /// Resolve the defense binding for a flow with the same precedence
+    /// as [`resolve`](Self::resolve) (flow, destination, default).
+    ///
+    /// A registry holding only plain policies still resolves here: a
+    /// bare [`ObfuscationPolicy`] *is* the degenerate defense (no
+    /// padding schedule), bound at the stack placement — the policy
+    /// table is one instantiation of the defense table.
+    pub fn resolve_defense(&self, flow: u32, destination: u32) -> Option<DefenseBinding> {
+        netsim::tm_counter!("stob.registry.resolutions").inc();
+        let g = self.read();
+        g.defenses
+            .get(&PolicyKey::Flow(flow))
+            .or_else(|| g.defenses.get(&PolicyKey::Destination(destination)))
+            .or_else(|| g.defenses.get(&PolicyKey::Default))
+            .cloned()
+            .or_else(|| {
+                let policy = g
+                    .table
+                    .get(&PolicyKey::Flow(flow))
+                    .or_else(|| g.table.get(&PolicyKey::Destination(destination)))
+                    .or_else(|| g.table.get(&PolicyKey::Default))
+                    .cloned()?;
+                Some(DefenseBinding {
+                    defense: policy as Arc<dyn Defense>,
+                    placement: Placement::Stack,
+                })
+            })
     }
 
     /// Current mutation counter (for cache invalidation on the datapath).
@@ -263,6 +326,51 @@ mod tests {
         assert_eq!(b.resolve(1, 4).expect("dest").name, "cdn-4");
         assert_eq!(b.resolve(1, 1).expect("default").name, "d");
         assert!(b.import_json("[not json").is_err());
+    }
+
+    #[test]
+    fn defense_bindings_resolve_with_placement_precedence() {
+        let r = PolicyRegistry::new();
+        r.bind_defense(
+            PolicyKey::Default,
+            Arc::new(ObfuscationPolicy::passthrough("default-d")),
+            Placement::App,
+        );
+        r.bind_defense(
+            PolicyKey::Destination(7),
+            Arc::new(ObfuscationPolicy::split_and_delay("dest7-d")),
+            Placement::Stack,
+        );
+        let b = r.resolve_defense(1, 7).expect("destination binding");
+        assert_eq!(b.defense.name(), "dest7-d");
+        assert_eq!(b.placement, Placement::Stack);
+        let b = r.resolve_defense(1, 8).expect("default binding");
+        assert_eq!(b.defense.name(), "default-d");
+        assert_eq!(b.placement, Placement::App);
+        assert!(r.unbind_defense(PolicyKey::Default));
+        assert!(!r.unbind_defense(PolicyKey::Default));
+        assert!(r.resolve_defense(1, 8).is_none());
+    }
+
+    #[test]
+    fn plain_policy_table_is_the_degenerate_defense_table() {
+        // A registry carrying only ObfuscationPolicy entries still
+        // resolves defenses: the policy is the spec, placed in-stack.
+        let r = PolicyRegistry::new();
+        r.publish(
+            PolicyKey::Destination(3),
+            ObfuscationPolicy::split_and_delay("srv3"),
+        );
+        let b = r.resolve_defense(9, 3).expect("policy fallback");
+        assert_eq!(b.defense.name(), "srv3");
+        assert_eq!(b.placement, Placement::Stack);
+        // An explicit defense binding takes precedence over the policy.
+        r.bind_defense(
+            PolicyKey::Destination(3),
+            Arc::new(ObfuscationPolicy::passthrough("override")),
+            Placement::App,
+        );
+        assert_eq!(r.resolve_defense(9, 3).unwrap().defense.name(), "override");
     }
 
     #[test]

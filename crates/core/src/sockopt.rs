@@ -9,11 +9,13 @@
 //! cap and the configured guards, and return the shaper plus an audit
 //! handle.
 
+use crate::defense::{DefenseCtx, Placement};
 use crate::guard::{CcaPhaseGuard, FirstNGuard};
+use crate::policy::ObfuscationPolicy;
 use crate::registry::PolicyRegistry;
 use crate::safety::{SafetyAudit, SafetyCap};
 use crate::strategies::build_shaper;
-use netsim::Nanos;
+use netsim::{Nanos, SimRng};
 use stack::{ShapeCtx, Shaper};
 use std::sync::Arc;
 
@@ -40,17 +42,18 @@ impl Shaper for AttachedShaper {
     }
 }
 
-/// Resolve and assemble the shaper for `(flow, destination)` from the
-/// registry. Returns `None` when no policy applies.
-pub fn attach_policy(
-    registry: &PolicyRegistry,
-    flow: u32,
-    destination: u32,
+/// Assemble the full enforcement stack for one policy: the live strategy
+/// from [`build_shaper`], inside the §4.2 [`SafetyCap`], inside the
+/// guards the policy requests. Shared by [`attach_policy`] (live
+/// connections) and the stack-placement defense backend
+/// ([`crate::defense::enforce_flow`]).
+pub fn assemble_policy_shaper(
+    policy: &ObfuscationPolicy,
     seed: u64,
-) -> Option<AttachedShaper> {
-    let policy = registry.resolve(flow, destination)?;
-    let strategy = build_shaper(&policy, seed, flow as u64);
-    let cap = SafetyCap::new(BoxedShaper(strategy));
+    flow_salt: u64,
+) -> (Box<dyn Shaper>, Arc<SafetyAudit>) {
+    let strategy = build_shaper(policy, seed, flow_salt);
+    let cap = SafetyCap::new(strategy);
     let audit = cap.audit_handle();
     // Guard order: position guard innermost (counts data packets), CCA
     // phase guard outermost (a policy that must respect slow start is
@@ -61,6 +64,19 @@ pub fn attach_policy(
         (false, 0) => Box::new(cap),
         (false, n) => Box::new(FirstNGuard::new(cap, n)),
     };
+    (guarded, audit)
+}
+
+/// Resolve and assemble the shaper for `(flow, destination)` from the
+/// registry. Returns `None` when no policy applies.
+pub fn attach_policy(
+    registry: &PolicyRegistry,
+    flow: u32,
+    destination: u32,
+    seed: u64,
+) -> Option<AttachedShaper> {
+    let policy = registry.resolve(flow, destination)?;
+    let (guarded, audit) = assemble_policy_shaper(&policy, seed, flow as u64);
     Some(AttachedShaper {
         inner: guarded,
         policy_name: policy.name.clone(),
@@ -123,23 +139,63 @@ pub fn attach_policy_checked(
     }
 }
 
-/// Adapter: `Box<dyn Shaper>` itself implements `Shaper` via this
-/// newtype (so it can sit inside the generic `SafetyCap`).
-struct BoxedShaper(Box<dyn Shaper>);
+/// Outcome of [`attach_defense`]: what the *stack* should do for a flow
+/// whose defense binding may live at either placement.
+pub enum DefenseAttachment {
+    /// A stack-placement defense resolved; install this shaper.
+    Attached(AttachedShaper),
+    /// The defense is bound at the application layer: the stack stays
+    /// pass-through and emulation (`crate::defense::emulate_flow`) is
+    /// responsible for the flow's shape.
+    AppLayer { defense_name: String },
+    /// No defense (or policy) is bound to this flow.
+    Unbound,
+    /// A defense resolved but its built policy failed validation; the
+    /// stack degrades to pass-through (counted in the registry).
+    Degraded {
+        defense_name: String,
+        reason: String,
+    },
+}
 
-impl Shaper for BoxedShaper {
-    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
-        self.0.tso_segment_pkts(ctx, proposed)
+/// Resolve a [`crate::defense::Defense`] binding for `(flow,
+/// destination)` and, when it is placed in the stack, lower its built
+/// [`crate::defense::FlowDefense`] into an attached shaper. `rng` feeds
+/// the defense's per-flow `build` decisions (reference picks, budgets);
+/// `seed` feeds the live strategy RNGs exactly as in [`attach_policy`].
+///
+/// Padding schedules carried by the defense are *not* enforced here:
+/// §4.2 scopes the stack's authority to sizing and departure timing of
+/// real data; dummy-packet injection stays an application concern at
+/// either placement.
+pub fn attach_defense(
+    registry: &PolicyRegistry,
+    flow: u32,
+    destination: u32,
+    seed: u64,
+    rng: &mut SimRng,
+) -> DefenseAttachment {
+    let Some(binding) = registry.resolve_defense(flow, destination) else {
+        return DefenseAttachment::Unbound;
+    };
+    let name = binding.defense.name().to_string();
+    if binding.placement == Placement::App {
+        return DefenseAttachment::AppLayer { defense_name: name };
     }
-    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
-        self.0.packet_ip_size(ctx, pkt_index, proposed)
+    let fd = binding.defense.build(&DefenseCtx::default(), rng);
+    if let Err(reason) = fd.policy.validate() {
+        registry.note_degraded();
+        return DefenseAttachment::Degraded {
+            defense_name: name,
+            reason,
+        };
     }
-    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
-        self.0.extra_delay(ctx)
-    }
-    fn on_ack(&mut self, ctx: &ShapeCtx) {
-        self.0.on_ack(ctx);
-    }
+    let (guarded, audit) = assemble_policy_shaper(&fd.policy, seed, flow as u64);
+    DefenseAttachment::Attached(AttachedShaper {
+        inner: guarded,
+        policy_name: fd.policy.name.clone(),
+        audit,
+    })
 }
 
 #[cfg(test)]
@@ -251,6 +307,73 @@ mod tests {
         assert_eq!(s.policy_name, "dest5");
         assert_eq!(s.packet_ip_size(&ctx(false, 0), 0, 1500), 750);
         assert_eq!(reg.degraded_count(), 0);
+    }
+
+    #[test]
+    fn attach_defense_installs_stack_placement_bindings() {
+        let reg = PolicyRegistry::new();
+        reg.bind_defense(
+            PolicyKey::Destination(5),
+            Arc::new(ObfuscationPolicy::split_and_delay("s3")),
+            Placement::Stack,
+        );
+        let mut rng = SimRng::new(9);
+        match attach_defense(&reg, 1, 5, 42, &mut rng) {
+            DefenseAttachment::Attached(mut s) => {
+                assert_eq!(s.policy_name, "s3");
+                assert_eq!(s.packet_ip_size(&ctx(false, 0), 0, 1500), 750);
+            }
+            _ => panic!("stack binding must attach a shaper"),
+        }
+    }
+
+    #[test]
+    fn attach_defense_defers_app_placement_to_emulation() {
+        let reg = PolicyRegistry::new();
+        reg.bind_defense(
+            PolicyKey::Default,
+            Arc::new(ObfuscationPolicy::split_and_delay("s3")),
+            Placement::App,
+        );
+        let mut rng = SimRng::new(9);
+        match attach_defense(&reg, 1, 1, 42, &mut rng) {
+            DefenseAttachment::AppLayer { defense_name } => assert_eq!(defense_name, "s3"),
+            _ => panic!("app binding must leave the stack pass-through"),
+        }
+    }
+
+    #[test]
+    fn attach_defense_reports_unbound_flows() {
+        let reg = PolicyRegistry::new();
+        let mut rng = SimRng::new(9);
+        assert!(matches!(
+            attach_defense(&reg, 1, 5, 42, &mut rng),
+            DefenseAttachment::Unbound
+        ));
+    }
+
+    #[test]
+    fn attach_defense_degrades_on_invalid_built_policy() {
+        use crate::policy::DelaySpec;
+        let reg = PolicyRegistry::new();
+        let mut bad = ObfuscationPolicy::split_and_delay("bad");
+        bad.delay = DelaySpec::UniformFraction {
+            lo_frac: 0.30,
+            hi_frac: 0.10, // inverted: fails validation
+        };
+        reg.bind_defense(PolicyKey::Default, Arc::new(bad), Placement::Stack);
+        let mut rng = SimRng::new(9);
+        match attach_defense(&reg, 1, 1, 42, &mut rng) {
+            DefenseAttachment::Degraded {
+                defense_name,
+                reason,
+            } => {
+                assert_eq!(defense_name, "bad");
+                assert!(!reason.is_empty());
+            }
+            _ => panic!("invalid built policy must degrade"),
+        }
+        assert_eq!(reg.degraded_count(), 1);
     }
 
     #[test]

@@ -158,23 +158,43 @@ impl Shaper for DelayJitter {
 
 /// Sample packet sizes from an empirical histogram (the §4.1 policy
 /// representation). Sizes are clamped by the stack to the CC-safe range.
+///
+/// A histogram with no mass (or a forged `total` its bins don't back up)
+/// cannot be sampled; constructing a sampler from one degrades to
+/// pass-through and bumps the registry's degraded counter rather than
+/// panicking on the datapath.
 #[derive(Debug)]
 pub struct HistogramSampler {
     pub sizes: Histogram,
     rng: SimRng,
+    degraded: bool,
 }
 
 impl HistogramSampler {
     pub fn new(sizes: Histogram, seed: u64) -> Self {
+        let degraded = sizes.total == 0 || sizes.counts.iter().sum::<u64>() != sizes.total;
+        if degraded {
+            netsim::tm_counter!("stob.registry.degraded").inc();
+        }
         HistogramSampler {
             sizes,
             rng: SimRng::new(seed),
+            degraded,
         }
+    }
+
+    /// True when the histogram was unsampleable and the shaper is a
+    /// pass-through.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 }
 
 impl Shaper for HistogramSampler {
     fn packet_ip_size(&mut self, _ctx: &ShapeCtx, _pkt_index: u32, proposed: u32) -> u32 {
+        if self.degraded {
+            return proposed;
+        }
         let s = self.sizes.sample(self.rng.next_f64(), self.rng.next_f64());
         (s.max(1.0) as u32).min(proposed)
     }
@@ -368,6 +388,35 @@ mod tests {
         for _ in 0..100 {
             assert!(s.packet_ip_size(&c, 0, 1500) <= 1500);
         }
+    }
+
+    #[test]
+    fn histogram_sampler_empty_histogram_degrades_to_passthrough() {
+        // Regression: an all-zero histogram used to reach
+        // `Histogram::sample` and panic. It must degrade instead.
+        let before = netsim::tm_counter!("stob.registry.degraded").get();
+        let mut s = HistogramSampler::new(Histogram::new(0.0, 1500.0, 10), 1);
+        assert!(s.is_degraded());
+        assert_eq!(
+            netsim::tm_counter!("stob.registry.degraded").get(),
+            before + 1,
+            "degradation must be observable"
+        );
+        let c = ctx();
+        for proposed in [1500, 900, 64] {
+            assert_eq!(s.packet_ip_size(&c, 0, proposed), proposed);
+        }
+    }
+
+    #[test]
+    fn histogram_sampler_forged_mass_degrades_to_passthrough() {
+        let mut h = Histogram::new(0.0, 1500.0, 10);
+        h.push(700.0);
+        h.total = 99; // bins hold one sample; the claimed mass lies
+        let mut s = HistogramSampler::new(h, 1);
+        assert!(s.is_degraded());
+        let c = ctx();
+        assert_eq!(s.packet_ip_size(&c, 0, 1200), 1200);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Trace-level adapters for the placement-agnostic defense layer.
+//!
+//! `stob::defense` works on bare packet sequences ([`FlowPkt`]) so the
+//! core stays trace-format-agnostic. This module is the bridge: it
+//! converts [`Trace`]s to and from flows, runs a [`Defense`] at either
+//! [`Placement`], and wraps the result in the [`Defended`] bookkeeping
+//! the overhead metrics consume. The per-defense convenience functions
+//! (`emulate::split`, `front::front`, ...) are thin adapters over these.
+
+use crate::overhead::Defended;
+use netsim::{par, Direction, Nanos, SimRng};
+use stob::defense::{
+    emulate_flow, enforce_flow, DefendedFlow, Defense, DefenseCtx, FlowPkt, Placement,
+    ReferenceBank, StackParams,
+};
+use traces::{Trace, TracePacket};
+
+/// View a trace as the packet sequence both backends operate on.
+pub fn to_flow(trace: &Trace) -> Vec<FlowPkt> {
+    trace
+        .packets
+        .iter()
+        .map(|p| FlowPkt {
+            ts: p.ts,
+            dir: p.dir,
+            size: p.size,
+        })
+        .collect()
+}
+
+/// Rebuild a trace from a defended flow, keeping the victim's identity.
+pub fn to_trace(label: usize, visit: usize, pkts: &[FlowPkt]) -> Trace {
+    Trace::new(
+        label,
+        visit,
+        pkts.iter()
+            .map(|p| TracePacket::new(p.ts, p.dir, p.size))
+            .collect(),
+    )
+}
+
+fn to_defended(label: usize, visit: usize, flow: DefendedFlow) -> Defended {
+    Defended {
+        trace: to_trace(label, visit, &flow.pkts),
+        dummy_pkts: flow.dummy_pkts,
+        dummy_bytes: flow.dummy_bytes,
+        real_done: flow.real_done,
+    }
+}
+
+/// Run a defense over one trace at the **application layer** (trace
+/// emulation, the historical behavior of this crate).
+pub fn emulate_trace(
+    defense: &dyn Defense,
+    trace: &Trace,
+    ctx: &DefenseCtx,
+    rng: &mut SimRng,
+) -> Defended {
+    let flow = to_flow(trace);
+    to_defended(
+        trace.label,
+        trace.visit,
+        emulate_flow(defense, &flow, ctx, rng),
+    )
+}
+
+/// Run a defense over one trace **in the stack**: the same spec, lowered
+/// into a live shaper and replayed through the egress pipeline.
+pub fn enforce_trace(
+    defense: &dyn Defense,
+    trace: &Trace,
+    ctx: &DefenseCtx,
+    rng: &mut SimRng,
+    params: &StackParams,
+) -> Defended {
+    let flow = to_flow(trace);
+    to_defended(
+        trace.label,
+        trace.visit,
+        enforce_flow(defense, &flow, ctx, rng, params),
+    )
+}
+
+/// Run a defense at the given placement — the single entry point the
+/// benchmarks' placement axis goes through.
+pub fn defend_trace(
+    defense: &dyn Defense,
+    placement: Placement,
+    trace: &Trace,
+    ctx: &DefenseCtx,
+    rng: &mut SimRng,
+    params: &StackParams,
+) -> Defended {
+    match placement {
+        Placement::App => emulate_trace(defense, trace, ctx, rng),
+        Placement::Stack => enforce_trace(defense, trace, ctx, rng, params),
+    }
+}
+
+/// Apply one defense to every trace in a corpus, in parallel, at the
+/// given placement.
+///
+/// Same determinism contract as `emulate::apply_all`: each trace's
+/// randomness is forked from `root` by corpus index (`root.fork(i + 1)`),
+/// and the stack backend's shaper seed is derived from the root seed and
+/// the corpus index, so output is a pure function of
+/// (traces, defense, placement, root) at any thread count.
+pub fn defend_all(
+    defense: &(dyn Defense + Sync),
+    placement: Placement,
+    traces: &[Trace],
+    bank: Option<&(dyn ReferenceBank + Sync)>,
+    root: &SimRng,
+    seed: u64,
+) -> Vec<Defended> {
+    let _sp = netsim::telemetry::span("defenses.backend.defend_all");
+    netsim::tm_counter!("defenses.emulate.traces").add(traces.len() as u64);
+    par::par_map(traces, |i, t| {
+        let mut rng = root.fork(i as u64 + 1);
+        let ctx = DefenseCtx {
+            label: t.label,
+            bank: bank.map(|b| b as &dyn ReferenceBank),
+        };
+        let params = StackParams::with_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        defend_trace(defense, placement, t, &ctx, &mut rng, &params)
+    })
+}
+
+/// A slice of traces as a [`ReferenceBank`] for mimicry defenses.
+pub struct TraceBank<'a>(pub &'a [Trace]);
+
+impl ReferenceBank for TraceBank<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn label(&self, i: usize) -> usize {
+        self.0[i].label
+    }
+    fn in_times(&self, i: usize) -> Vec<Nanos> {
+        self.0[i]
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::In)
+            .map(|p| p.ts)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::sites::paper_sites;
+    use traces::statgen::generate;
+
+    #[test]
+    fn flow_round_trip_is_lossless() {
+        let t = generate(&paper_sites()[1], 1, 0, 5);
+        let rt = to_trace(t.label, t.visit, &to_flow(&t));
+        assert_eq!(rt, t);
+    }
+
+    #[test]
+    fn defend_all_matches_sequential_forks() {
+        let corpus: Vec<Trace> = (0..9)
+            .map(|v| generate(&paper_sites()[v % 3], v % 3, v, 3))
+            .collect();
+        let d = crate::emulate::Section3Defense::new(
+            crate::emulate::CounterMeasure::Combined,
+            crate::emulate::EmulateConfig::default(),
+        );
+        let root = SimRng::new(0xAB);
+        let par = defend_all(&d, Placement::App, &corpus, None, &root, 7);
+        for (i, t) in corpus.iter().enumerate() {
+            let mut rng = root.fork(i as u64 + 1);
+            let ctx = DefenseCtx {
+                label: t.label,
+                bank: None,
+            };
+            let seq = emulate_trace(&d, t, &ctx, &mut rng);
+            assert_eq!(par[i].trace, seq.trace);
+        }
+    }
+
+    #[test]
+    fn trace_bank_exposes_inbound_schedules() {
+        let corpus: Vec<Trace> = (0..4)
+            .map(|v| generate(&paper_sites()[v], v, 0, 2))
+            .collect();
+        let bank = TraceBank(&corpus);
+        assert_eq!(bank.len(), 4);
+        for (i, t) in corpus.iter().enumerate() {
+            assert_eq!(bank.label(i), t.label);
+            let times = bank.in_times(i);
+            assert!(!times.is_empty());
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -6,9 +6,11 @@
 //! the canonical example of §2.3's cost argument: they buy protection
 //! with massive padding bandwidth and added latency.
 
+use crate::backend::emulate_trace;
 use crate::overhead::Defended;
-use netsim::{Direction, Nanos};
-use traces::{Trace, TracePacket};
+use netsim::{Direction, Nanos, SimRng};
+use stob::defense::{CloseOut, Defense, DefenseCtx, Emit, FlowDefense, FlowPkt, PadderCore};
+use traces::Trace;
 
 /// BuFLO parameters.
 #[derive(Debug, Clone, Copy)]
@@ -31,53 +33,121 @@ impl Default for BufloConfig {
     }
 }
 
-/// Regularize one direction's byte stream onto a constant-rate grid.
-/// Returns (packets, dummies, time real data finished).
+/// Regularize one direction's byte stream onto a constant-rate grid,
+/// appending to `emits`. Returns the time real data finished.
 fn constant_rate(
+    emits: &mut Vec<Emit>,
     total_real_bytes: u64,
     dir: Direction,
     size: u32,
     rho: Nanos,
     tau: Nanos,
-) -> (Vec<TracePacket>, usize, Nanos) {
-    let mut out = Vec::new();
+) -> Nanos {
     let mut remaining = total_real_bytes;
     let mut t = Nanos::ZERO;
-    let mut dummies = 0usize;
     let mut real_done = Nanos::ZERO;
     while remaining > 0 || t < tau {
-        out.push(TracePacket::new(t, dir, size));
-        if remaining > 0 {
+        let dummy = remaining == 0;
+        emits.push(Emit {
+            pkt: FlowPkt { ts: t, dir, size },
+            dummy,
+        });
+        if !dummy {
             remaining = remaining.saturating_sub(size as u64);
             if remaining == 0 {
                 real_done = t;
             }
-        } else {
-            dummies += 1;
         }
         t += rho;
     }
-    (out, dummies, real_done)
+    real_done
 }
 
-/// Apply BuFLO to a trace.
-pub fn buflo(trace: &Trace, cfg: &BufloConfig) -> Defended {
-    let in_bytes = trace.bytes(Direction::In);
-    let out_bytes = trace.bytes(Direction::Out);
-    let (mut pkts, d_in, done_in) =
-        constant_rate(in_bytes, Direction::In, cfg.packet_size, cfg.rho, cfg.tau);
-    let (pkts_out, d_out, done_out) =
-        constant_rate(out_bytes, Direction::Out, cfg.packet_size, cfg.rho, cfg.tau);
-    pkts.extend(pkts_out);
-    let mut t = Trace::new(trace.label, trace.visit, pkts);
-    t.normalize();
-    let dummy_pkts = d_in + d_out;
-    Defended {
-        trace: t,
-        dummy_pkts,
-        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
-        real_done: done_in.max(done_out),
+/// BuFLO's schedule: count each direction's real bytes, then re-emit
+/// everything on the fixed-size constant-rate grid. Owns both
+/// directions — nothing of the original shape survives.
+struct BufloCore {
+    cfg: BufloConfig,
+    in_bytes: u64,
+    out_bytes: u64,
+}
+
+impl PadderCore for BufloCore {
+    fn owned_dirs(&self) -> &'static [Direction] {
+        &[Direction::In, Direction::Out]
     }
+
+    fn on_data(&mut self, pkt: FlowPkt, _rng: &mut SimRng) {
+        match pkt.dir {
+            Direction::In => self.in_bytes += u64::from(pkt.size),
+            Direction::Out => self.out_bytes += u64::from(pkt.size),
+        }
+    }
+
+    fn on_close(&mut self, _rng: &mut SimRng) -> CloseOut {
+        let cfg = &self.cfg;
+        let mut emits = Vec::new();
+        let done_in = constant_rate(
+            &mut emits,
+            self.in_bytes,
+            Direction::In,
+            cfg.packet_size,
+            cfg.rho,
+            cfg.tau,
+        );
+        let done_out = constant_rate(
+            &mut emits,
+            self.out_bytes,
+            Direction::Out,
+            cfg.packet_size,
+            cfg.rho,
+            cfg.tau,
+        );
+        CloseOut {
+            emits,
+            real_done: Some(done_in.max(done_out)),
+        }
+    }
+}
+
+/// BuFLO as a placement-agnostic [`Defense`].
+#[derive(Debug, Clone, Copy)]
+pub struct BufloDefense {
+    pub cfg: BufloConfig,
+}
+
+impl BufloDefense {
+    pub fn new(cfg: BufloConfig) -> Self {
+        BufloDefense { cfg }
+    }
+}
+
+impl Defense for BufloDefense {
+    fn name(&self) -> &str {
+        "BuFLO"
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            padding: Some(Box::new(BufloCore {
+                cfg: self.cfg,
+                in_bytes: 0,
+                out_bytes: 0,
+            })),
+            ..FlowDefense::passthrough("BuFLO")
+        }
+    }
+}
+
+/// Apply BuFLO to a trace. Adapter over the app-layer backend; the
+/// schedule is deterministic, so no randomness is consumed.
+pub fn buflo(trace: &Trace, cfg: &BufloConfig) -> Defended {
+    emulate_trace(
+        &BufloDefense::new(*cfg),
+        trace,
+        &DefenseCtx::default(),
+        &mut SimRng::new(0),
+    )
 }
 
 /// Tamaraw parameters.
@@ -103,32 +173,96 @@ impl Default for TamarawConfig {
     }
 }
 
-/// Apply Tamaraw to a trace.
-pub fn tamaraw(trace: &Trace, cfg: &TamarawConfig) -> Defended {
-    let mut all = Vec::new();
-    let mut dummy_pkts = 0usize;
-    let mut real_done = Nanos::ZERO;
-    for (dir, rho) in [(Direction::In, cfg.rho_in), (Direction::Out, cfg.rho_out)] {
-        let real_bytes = trace.bytes(dir);
-        let n_real = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
-        let n_total = n_real.div_ceil(cfg.l).max(1) * cfg.l;
-        for i in 0..n_total {
-            let t = rho * i as u64;
-            all.push(TracePacket::new(t, dir, cfg.packet_size));
-            if i + 1 == n_real {
-                real_done = real_done.max(t);
+/// Tamaraw's schedule: per-direction constant-rate grids with the
+/// packet count padded to a multiple of L. Owns both directions.
+struct TamarawCore {
+    cfg: TamarawConfig,
+    in_bytes: u64,
+    out_bytes: u64,
+}
+
+impl PadderCore for TamarawCore {
+    fn owned_dirs(&self) -> &'static [Direction] {
+        &[Direction::In, Direction::Out]
+    }
+
+    fn on_data(&mut self, pkt: FlowPkt, _rng: &mut SimRng) {
+        match pkt.dir {
+            Direction::In => self.in_bytes += u64::from(pkt.size),
+            Direction::Out => self.out_bytes += u64::from(pkt.size),
+        }
+    }
+
+    fn on_close(&mut self, _rng: &mut SimRng) -> CloseOut {
+        let cfg = &self.cfg;
+        let mut emits = Vec::new();
+        let mut real_done = Nanos::ZERO;
+        for (dir, rho, real_bytes) in [
+            (Direction::In, cfg.rho_in, self.in_bytes),
+            (Direction::Out, cfg.rho_out, self.out_bytes),
+        ] {
+            let n_real = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
+            let n_total = n_real.div_ceil(cfg.l).max(1) * cfg.l;
+            for i in 0..n_total {
+                let t = rho * i as u64;
+                emits.push(Emit {
+                    pkt: FlowPkt {
+                        ts: t,
+                        dir,
+                        size: cfg.packet_size,
+                    },
+                    dummy: i >= n_real,
+                });
+                if i + 1 == n_real {
+                    real_done = real_done.max(t);
+                }
             }
         }
-        dummy_pkts += n_total - n_real;
+        CloseOut {
+            emits,
+            real_done: Some(real_done),
+        }
     }
-    let mut t = Trace::new(trace.label, trace.visit, all);
-    t.normalize();
-    Defended {
-        trace: t,
-        dummy_pkts,
-        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
-        real_done,
+}
+
+/// Tamaraw as a placement-agnostic [`Defense`].
+#[derive(Debug, Clone, Copy)]
+pub struct TamarawDefense {
+    pub cfg: TamarawConfig,
+}
+
+impl TamarawDefense {
+    pub fn new(cfg: TamarawConfig) -> Self {
+        TamarawDefense { cfg }
     }
+}
+
+impl Defense for TamarawDefense {
+    fn name(&self) -> &str {
+        "Tamaraw"
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            padding: Some(Box::new(TamarawCore {
+                cfg: self.cfg,
+                in_bytes: 0,
+                out_bytes: 0,
+            })),
+            ..FlowDefense::passthrough("Tamaraw")
+        }
+    }
+}
+
+/// Apply Tamaraw to a trace. Adapter over the app-layer backend; the
+/// schedule is deterministic, so no randomness is consumed.
+pub fn tamaraw(trace: &Trace, cfg: &TamarawConfig) -> Defended {
+    emulate_trace(
+        &TamarawDefense::new(*cfg),
+        trace,
+        &DefenseCtx::default(),
+        &mut SimRng::new(0),
+    )
 }
 
 #[cfg(test)]

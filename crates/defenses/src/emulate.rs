@@ -13,9 +13,12 @@
 //! Delays are applied cumulatively: stretching one inter-arrival time
 //! shifts everything after it, as a real in-stack delay would.
 
+use crate::backend::emulate_trace;
 use crate::overhead::Defended;
-use netsim::{par, Direction, Nanos, SimRng};
-use traces::{Trace, TracePacket};
+use netsim::{par, Direction, SimRng};
+use stob::defense::{Defense, DefenseCtx, FlowDefense};
+use stob::policy::{DelaySpec, ObfuscationPolicy, SizeSpec, TsoSpec};
+use traces::Trace;
 
 /// Which §3 countermeasure to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,74 +85,84 @@ impl Default for EmulateConfig {
     }
 }
 
-impl EmulateConfig {
-    fn affects(&self, index: usize, dir: Direction) -> bool {
-        (self.first_n == 0 || index < self.first_n) && self.direction.is_none_or(|d| d == dir)
+/// The §3 countermeasures as a placement-agnostic [`Defense`]: the
+/// split/delay rules become an [`ObfuscationPolicy`] scoped to the
+/// configured direction and first-N window, so the *same spec* runs as
+/// trace emulation (`Placement::App`) or through the in-stack shaper
+/// (`Placement::Stack`).
+#[derive(Debug, Clone, Copy)]
+pub struct Section3Defense {
+    pub cm: CounterMeasure,
+    pub cfg: EmulateConfig,
+}
+
+impl Section3Defense {
+    pub fn new(cm: CounterMeasure, cfg: EmulateConfig) -> Self {
+        Section3Defense { cm, cfg }
+    }
+
+    /// The policy this countermeasure lowers to.
+    pub fn policy(&self) -> ObfuscationPolicy {
+        let size = match self.cm {
+            CounterMeasure::Split | CounterMeasure::Combined => SizeSpec::SplitAbove {
+                threshold: self.cfg.split_threshold,
+            },
+            _ => SizeSpec::Unchanged,
+        };
+        let delay = match self.cm {
+            CounterMeasure::Delayed | CounterMeasure::Combined => DelaySpec::UniformFraction {
+                lo_frac: self.cfg.delay_lo,
+                hi_frac: self.cfg.delay_hi,
+            },
+            _ => DelaySpec::Unchanged,
+        };
+        ObfuscationPolicy {
+            name: self.cm.name().to_string(),
+            size,
+            delay,
+            tso: TsoSpec::Unchanged,
+            first_n_pkts: self.cfg.first_n as u64,
+            respect_slow_start: false,
+        }
+    }
+}
+
+impl Defense for Section3Defense {
+    fn name(&self) -> &str {
+        self.cm.name()
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            policy: self.policy(),
+            padding: None,
+            apply_dir: self.cfg.direction,
+            split_link_mbps: self.cfg.link_mbps,
+        }
     }
 }
 
 /// Split qualifying packets into two equal halves. The second half lands
 /// at the same timestamp (back-to-back on the wire at trace resolution).
+///
+/// Adapter over the app-layer backend; splitting draws no randomness.
 pub fn split(trace: &Trace, cfg: &EmulateConfig) -> Trace {
-    let mut out = Vec::with_capacity(trace.len());
-    for (i, p) in trace.packets.iter().enumerate() {
-        if cfg.affects(i, p.dir) && p.size > cfg.split_threshold {
-            netsim::tm_counter!("defenses.emulate.split_pkts").inc();
-            let a = p.size / 2 + p.size % 2;
-            let b = p.size / 2;
-            out.push(TracePacket::new(p.ts, p.dir, a));
-            // The second half physically serializes after the first when
-            // a link rate is configured; the paper's emulation keeps it
-            // at the same timestamp.
-            let gap = if cfg.link_mbps > 0 {
-                Nanos::for_bytes_at_rate(a as u64, cfg.link_mbps * 1_000_000)
-            } else {
-                Nanos::ZERO
-            };
-            out.push(TracePacket::new(p.ts + gap, p.dir, b));
-        } else {
-            out.push(*p);
-        }
-    }
-    let mut t = Trace::new(trace.label, trace.visit, out);
-    t.normalize();
-    t
+    let d = Section3Defense::new(CounterMeasure::Split, *cfg);
+    emulate_trace(&d, trace, &DefenseCtx::default(), &mut SimRng::new(0)).trace
 }
 
 /// Stretch qualifying inter-arrival times by `U(delay_lo, delay_hi)`,
-/// shifting all subsequent packets.
+/// shifting all subsequent packets. Adapter over the app-layer backend.
 pub fn delay(trace: &Trace, cfg: &EmulateConfig, rng: &mut SimRng) -> Trace {
-    let mut out = Vec::with_capacity(trace.len());
-    let mut shift = Nanos::ZERO;
-    let mut prev_orig = Nanos::ZERO;
-    for (i, p) in trace.packets.iter().enumerate() {
-        let iat = p.ts.saturating_sub(prev_orig);
-        if i > 0 && cfg.affects(i, p.dir) {
-            netsim::tm_counter!("defenses.emulate.delayed_pkts").inc();
-            let f = rng.range_f64(cfg.delay_lo, cfg.delay_hi);
-            shift += iat.mul_f64(f);
-        }
-        out.push(TracePacket::new(p.ts + shift, p.dir, p.size));
-        prev_orig = p.ts;
-    }
-    let mut t = Trace::new(trace.label, trace.visit, out);
-    t.normalize();
-    t
+    let d = Section3Defense::new(CounterMeasure::Delayed, *cfg);
+    emulate_trace(&d, trace, &DefenseCtx::default(), rng).trace
 }
 
 /// Apply one §3 countermeasure, returning the defended trace with
 /// overhead bookkeeping.
 pub fn apply(cm: CounterMeasure, trace: &Trace, cfg: &EmulateConfig, rng: &mut SimRng) -> Defended {
-    let defended = match cm {
-        CounterMeasure::Original => trace.clone(),
-        CounterMeasure::Split => split(trace, cfg),
-        CounterMeasure::Delayed => delay(trace, cfg, rng),
-        CounterMeasure::Combined => {
-            let s = split(trace, cfg);
-            delay(&s, cfg, rng)
-        }
-    };
-    Defended::unpadded(defended)
+    let d = Section3Defense::new(cm, *cfg);
+    emulate_trace(&d, trace, &DefenseCtx::default(), rng)
 }
 
 /// Apply one countermeasure to every trace in a corpus, in parallel.
@@ -190,6 +203,8 @@ pub fn section3_grid() -> Vec<(CounterMeasure, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::Nanos;
+    use traces::TracePacket;
 
     fn trace() -> Trace {
         Trace::new(

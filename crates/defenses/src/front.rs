@@ -8,9 +8,11 @@
 //! timing. §2.3 quotes ≈80 % bandwidth overhead for FRONT; the defaults
 //! below land in that regime on our synthetic pages.
 
+use crate::backend::emulate_trace;
 use crate::overhead::Defended;
 use netsim::{Direction, Nanos, SimRng};
-use traces::{Trace, TracePacket};
+use stob::defense::{CloseOut, Defense, DefenseCtx, Emit, FlowDefense, FlowPkt, PadderCore};
+use traces::Trace;
 
 #[derive(Debug, Clone, Copy)]
 pub struct FrontConfig {
@@ -37,34 +39,74 @@ impl Default for FrontConfig {
     }
 }
 
-/// Apply FRONT to a trace.
+/// FRONT's padding schedule: pure padding (no real packet is touched),
+/// so the core never buffers data and draws its whole schedule at close.
+struct FrontCore {
+    cfg: FrontConfig,
+}
+
+impl PadderCore for FrontCore {
+    fn on_close(&mut self, rng: &mut SimRng) -> CloseOut {
+        let cfg = &self.cfg;
+        let mut emits = Vec::new();
+        for (dir, n_max) in [
+            (Direction::Out, cfg.n_client),
+            (Direction::In, cfg.n_server),
+        ] {
+            if n_max == 0 {
+                continue;
+            }
+            // Sample the padding budget and time window per direction.
+            let n = rng.range_usize(1, n_max);
+            let sigma = rng.range_f64(cfg.w_min, cfg.w_max);
+            for _ in 0..n {
+                let t = Nanos::from_secs_f64(rng.rayleigh(sigma));
+                emits.push(Emit {
+                    pkt: FlowPkt {
+                        ts: t,
+                        dir,
+                        size: cfg.dummy_size,
+                    },
+                    dummy: true,
+                });
+            }
+        }
+        CloseOut {
+            emits,
+            real_done: None,
+        }
+    }
+}
+
+/// FRONT as a placement-agnostic [`Defense`]. Padding-only, so it is
+/// placement-invariant: both backends execute the identical schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontDefense {
+    pub cfg: FrontConfig,
+}
+
+impl FrontDefense {
+    pub fn new(cfg: FrontConfig) -> Self {
+        FrontDefense { cfg }
+    }
+}
+
+impl Defense for FrontDefense {
+    fn name(&self) -> &str {
+        "FRONT"
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            padding: Some(Box::new(FrontCore { cfg: self.cfg })),
+            ..FlowDefense::passthrough("FRONT")
+        }
+    }
+}
+
+/// Apply FRONT to a trace. Adapter over the app-layer backend.
 pub fn front(trace: &Trace, cfg: &FrontConfig, rng: &mut SimRng) -> Defended {
-    let mut pkts = trace.packets.clone();
-    let mut dummy_pkts = 0usize;
-    for (dir, n_max) in [
-        (Direction::Out, cfg.n_client),
-        (Direction::In, cfg.n_server),
-    ] {
-        if n_max == 0 {
-            continue;
-        }
-        // Sample the padding budget and time window per direction.
-        let n = rng.range_usize(1, n_max);
-        let sigma = rng.range_f64(cfg.w_min, cfg.w_max);
-        for _ in 0..n {
-            let t = Nanos::from_secs_f64(rng.rayleigh(sigma));
-            pkts.push(TracePacket::new(t, dir, cfg.dummy_size));
-            dummy_pkts += 1;
-        }
-    }
-    let mut t = Trace::new(trace.label, trace.visit, pkts);
-    t.normalize();
-    Defended {
-        trace: t,
-        dummy_pkts,
-        dummy_bytes: dummy_pkts as u64 * cfg.dummy_size as u64,
-        real_done: trace.duration(),
-    }
+    emulate_trace(&FrontDefense::new(*cfg), trace, &DefenseCtx::default(), rng)
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! padding vs. the work-conserving cost of timing-only defenses.
 //! [`taxonomy`] is the machine-readable Table 1.
 
+pub mod backend;
 pub mod buflo;
 pub mod emulate;
 pub mod front;
@@ -27,6 +28,12 @@ pub mod surakav;
 pub mod taxonomy;
 pub mod wtfpad;
 
-pub use emulate::{CounterMeasure, EmulateConfig};
+pub use backend::{defend_all, defend_trace, emulate_trace, enforce_trace, TraceBank};
+pub use buflo::{BufloDefense, TamarawDefense};
+pub use emulate::{CounterMeasure, EmulateConfig, Section3Defense};
+pub use front::FrontDefense;
 pub use overhead::{bandwidth_overhead, latency_overhead, Defended};
+pub use regulator::RegulatorDefense;
+pub use surakav::SurakavDefense;
 pub use taxonomy::{table1, Manipulation, Strategy, Target, TaxonomyEntry};
+pub use wtfpad::WtfPadDefense;

@@ -9,9 +9,11 @@
 //! "Lite": we keep the surge schedule and dummy fill, but skip the
 //! upload-threshold machinery of the full design.
 
+use crate::backend::emulate_trace;
 use crate::overhead::Defended;
-use netsim::{Direction, Nanos};
-use traces::{Trace, TracePacket};
+use netsim::{Direction, Nanos, SimRng};
+use stob::defense::{CloseOut, Defense, DefenseCtx, Emit, FlowDefense, FlowPkt, PadderCore};
+use traces::Trace;
 
 #[derive(Debug, Clone, Copy)]
 pub struct RegulatorConfig {
@@ -39,67 +41,119 @@ impl Default for RegulatorConfig {
     }
 }
 
-/// Apply RegulaTor-lite to a trace.
+/// RegulaTor's schedule: buffer the inbound arrival times, then re-emit
+/// the whole inbound stream on the decaying surge schedule. Owns the
+/// inbound direction; outbound packets pass through untouched.
+struct RegulatorCore {
+    cfg: RegulatorConfig,
+    arrivals: Vec<Nanos>,
+}
+
+impl PadderCore for RegulatorCore {
+    fn owned_dirs(&self) -> &'static [Direction] {
+        &[Direction::In]
+    }
+
+    fn on_data(&mut self, pkt: FlowPkt, _rng: &mut SimRng) {
+        if pkt.dir == Direction::In {
+            self.arrivals.push(pkt.ts);
+        }
+    }
+
+    fn on_close(&mut self, _rng: &mut SimRng) -> CloseOut {
+        let cfg = &self.cfg;
+        let incoming = &self.arrivals;
+        let mut emits = Vec::new();
+
+        let mut dummy_pkts = 0usize;
+        let dummy_budget = (incoming.len() as f64 * cfg.padding_budget) as usize;
+        let mut next_real = 0usize; // index into `incoming`
+        let mut schedule_start = incoming.first().copied().unwrap_or(Nanos::ZERO);
+        let mut t = schedule_start;
+        let mut real_done = Nanos::ZERO;
+
+        while next_real < incoming.len() {
+            // Current schedule rate with geometric decay.
+            let age = (t.saturating_sub(schedule_start)).as_secs_f64();
+            let rate = (cfg.rate * cfg.decay.powf(age)).max(10.0);
+            let slot = Nanos::from_secs_f64(1.0 / rate);
+
+            // Queue backlog: real packets that have arrived but not been
+            // re-emitted yet.
+            let backlog = incoming[next_real..]
+                .iter()
+                .take_while(|&&ts| ts <= t)
+                .count();
+            if backlog > cfg.surge_threshold {
+                // New surge: restart the schedule at full rate.
+                schedule_start = t;
+            }
+
+            let emit_real = backlog > 0;
+            if emit_real {
+                real_done = t;
+                next_real += 1;
+            } else if dummy_pkts < dummy_budget {
+                dummy_pkts += 1;
+            } else {
+                t += slot;
+                continue;
+            }
+            emits.push(Emit {
+                pkt: FlowPkt {
+                    ts: t,
+                    dir: Direction::In,
+                    size: cfg.packet_size,
+                },
+                dummy: !emit_real,
+            });
+            t += slot;
+        }
+
+        CloseOut {
+            emits,
+            real_done: Some(real_done),
+        }
+    }
+}
+
+/// RegulaTor-lite as a placement-agnostic [`Defense`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegulatorDefense {
+    pub cfg: RegulatorConfig,
+}
+
+impl RegulatorDefense {
+    pub fn new(cfg: RegulatorConfig) -> Self {
+        RegulatorDefense { cfg }
+    }
+}
+
+impl Defense for RegulatorDefense {
+    fn name(&self) -> &str {
+        "RegulaTor (lite)"
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            padding: Some(Box::new(RegulatorCore {
+                cfg: self.cfg,
+                arrivals: Vec::new(),
+            })),
+            ..FlowDefense::passthrough("RegulaTor (lite)")
+        }
+    }
+}
+
+/// Apply RegulaTor-lite to a trace. Adapter over the app-layer backend;
+/// the schedule is deterministic, so no randomness is consumed.
 pub fn regulator(trace: &Trace, cfg: &RegulatorConfig) -> Defended {
-    let incoming: Vec<&TracePacket> = trace
-        .packets
-        .iter()
-        .filter(|p| p.dir == Direction::In)
-        .collect();
-    let mut out: Vec<TracePacket> = trace
-        .packets
-        .iter()
-        .filter(|p| p.dir == Direction::Out)
-        .copied()
-        .collect();
-
-    let mut dummy_pkts = 0usize;
-    let dummy_budget = (incoming.len() as f64 * cfg.padding_budget) as usize;
-    let mut next_real = 0usize; // index into `incoming`
-    let mut schedule_start = incoming.first().map(|p| p.ts).unwrap_or(Nanos::ZERO);
-    let mut emitted_since_start = 0u64;
-    let mut t = schedule_start;
-    let mut real_done = Nanos::ZERO;
-
-    while next_real < incoming.len() {
-        // Current schedule rate with geometric decay.
-        let age = (t.saturating_sub(schedule_start)).as_secs_f64();
-        let rate = (cfg.rate * cfg.decay.powf(age)).max(10.0);
-        let slot = Nanos::from_secs_f64(1.0 / rate);
-
-        // Queue backlog: real packets that have arrived but not been
-        // re-emitted yet.
-        let backlog = incoming[next_real..]
-            .iter()
-            .take_while(|p| p.ts <= t)
-            .count();
-        if backlog > cfg.surge_threshold {
-            // New surge: restart the schedule at full rate.
-            schedule_start = t;
-            emitted_since_start = 0;
-        }
-
-        if backlog > 0 {
-            out.push(TracePacket::new(t, Direction::In, cfg.packet_size));
-            real_done = t;
-            next_real += 1;
-        } else if dummy_pkts < dummy_budget {
-            out.push(TracePacket::new(t, Direction::In, cfg.packet_size));
-            dummy_pkts += 1;
-        }
-        emitted_since_start += 1;
-        let _ = emitted_since_start;
-        t += slot;
-    }
-
-    let mut defended = Trace::new(trace.label, trace.visit, out);
-    defended.normalize();
-    Defended {
-        trace: defended,
-        dummy_pkts,
-        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
-        real_done,
-    }
+    emulate_trace(
+        &RegulatorDefense::new(*cfg),
+        trace,
+        &DefenseCtx::default(),
+        &mut SimRng::new(0),
+    )
 }
 
 #[cfg(test)]

@@ -9,9 +9,13 @@
 //!
 //! Table 1 row: Tor, regularization, padding + timing modification.
 
+use crate::backend::{emulate_trace, TraceBank};
 use crate::overhead::Defended;
 use netsim::{Direction, Nanos, SimRng};
-use traces::{Trace, TracePacket};
+use stob::defense::{
+    CloseOut, Defense, DefenseCtx, Emit, FlowDefense, FlowPkt, PadderCore, ReferenceBank,
+};
+use traces::Trace;
 
 #[derive(Debug, Clone, Copy)]
 pub struct SurakavConfig {
@@ -32,8 +36,187 @@ impl Default for SurakavConfig {
     }
 }
 
+/// Surakav's enforcement loop: buffer the inbound stream, then re-emit
+/// its bytes on the reference schedule, stalling (shifting) when data
+/// is not yet available and padding when the data ran out. Owns the
+/// inbound direction.
+struct SurakavCore {
+    cfg: SurakavConfig,
+    ref_times: Vec<Nanos>,
+    /// Inbound arrivals as (ts, cumulative bytes up to and including
+    /// this packet).
+    orig_in: Vec<(Nanos, u64)>,
+    real_bytes: u64,
+}
+
+impl PadderCore for SurakavCore {
+    fn owned_dirs(&self) -> &'static [Direction] {
+        &[Direction::In]
+    }
+
+    fn on_data(&mut self, pkt: FlowPkt, _rng: &mut SimRng) {
+        if pkt.dir == Direction::In {
+            self.real_bytes += u64::from(pkt.size);
+            self.orig_in.push((pkt.ts, self.real_bytes));
+        }
+    }
+
+    fn on_close(&mut self, _rng: &mut SimRng) -> CloseOut {
+        let cfg = &self.cfg;
+        let ref_times = &self.ref_times;
+        let real_bytes = self.real_bytes;
+        let orig_in = &self.orig_in;
+        // Causality: the k-th real byte cannot leave before it existed in
+        // the original flow. Earliest time `bytes` of real data exist:
+        let available_at = |bytes: u64| -> Nanos {
+            match orig_in.iter().find(|&&(_, cum)| cum >= bytes) {
+                Some(&(t, _)) => t,
+                None => orig_in.last().map(|&(t, _)| t).unwrap_or(Nanos::ZERO),
+            }
+        };
+
+        let mut emits = Vec::new();
+        let mut remaining = real_bytes;
+        let mut real_done = Nanos::ZERO;
+        let mut schedule: Vec<Nanos> = ref_times.clone();
+        // If the reference is shorter than the data needs, replay its
+        // tail IAT pattern.
+        if !ref_times.is_empty() {
+            let need = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
+            let mut replays = 0;
+            while schedule.len() < need && replays < cfg.max_tail_replays {
+                let base = *schedule.last().expect("nonempty");
+                let tail_start = ref_times.len().saturating_sub(32);
+                let tail = &ref_times[tail_start..];
+                if tail.len() < 2 {
+                    // Degenerate reference: fall back to a fixed cadence.
+                    schedule.push(base + Nanos::from_millis(5));
+                } else {
+                    for w in tail.windows(2) {
+                        schedule.push(base + (w[1] - w[0]).max(Nanos(1)));
+                        if schedule.len() >= need {
+                            break;
+                        }
+                    }
+                }
+                replays += 1;
+            }
+        }
+        // When the schedule runs ahead of the data, the whole remaining
+        // schedule shifts (the send queue stalls), as in the real system.
+        let mut shift = Nanos::ZERO;
+        let mut sent_real = 0u64;
+        for &sched_t in &schedule {
+            let mut t = sched_t + shift;
+            let dummy = remaining == 0;
+            if !dummy {
+                let need_bytes = (sent_real + cfg.packet_size as u64).min(real_bytes);
+                let ready = available_at(need_bytes);
+                if t < ready {
+                    shift += ready - t;
+                    t = ready;
+                }
+                sent_real = need_bytes;
+                remaining = real_bytes - sent_real;
+                if remaining == 0 {
+                    real_done = t;
+                }
+            }
+            emits.push(Emit {
+                pkt: FlowPkt {
+                    ts: t,
+                    dir: Direction::In,
+                    size: cfg.packet_size,
+                },
+                dummy,
+            });
+        }
+        CloseOut {
+            emits,
+            real_done: Some(real_done),
+        }
+    }
+}
+
+/// Legacy reference choice, shared by [`SurakavDefense`] and
+/// [`surakav_from_bank`]: a uniformly random bank entry with a different
+/// label than the victim when one exists, any entry otherwise.
+pub fn pick_reference(bank: &dyn ReferenceBank, label: usize, rng: &mut SimRng) -> usize {
+    assert!(!bank.is_empty(), "empty reference bank");
+    let others: Vec<usize> = (0..bank.len())
+        .filter(|&i| bank.label(i) != label)
+        .collect();
+    if others.is_empty() {
+        rng.range_usize(0, bank.len() - 1)
+    } else {
+        others[rng.range_usize(0, others.len() - 1)]
+    }
+}
+
+/// Surakav-lite with a fixed, pre-chosen reference schedule.
+struct FixedRefSurakav {
+    cfg: SurakavConfig,
+    ref_times: Vec<Nanos>,
+}
+
+impl Defense for FixedRefSurakav {
+    fn name(&self) -> &str {
+        "Surakav (lite)"
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            padding: Some(Box::new(SurakavCore {
+                cfg: self.cfg,
+                ref_times: self.ref_times.clone(),
+                orig_in: Vec::new(),
+                real_bytes: 0,
+            })),
+            ..FlowDefense::passthrough("Surakav (lite)")
+        }
+    }
+}
+
+/// Surakav-lite as a placement-agnostic [`Defense`]: per flow, draw a
+/// reference from the context's [`ReferenceBank`] (avoiding the victim's
+/// own label) and enforce its inbound schedule. Without a bank the
+/// defense degrades to a pass-through (and is counted as degraded).
+#[derive(Debug, Clone, Copy)]
+pub struct SurakavDefense {
+    pub cfg: SurakavConfig,
+}
+
+impl SurakavDefense {
+    pub fn new(cfg: SurakavConfig) -> Self {
+        SurakavDefense { cfg }
+    }
+}
+
+impl Defense for SurakavDefense {
+    fn name(&self) -> &str {
+        "Surakav (lite)"
+    }
+
+    fn build(&self, ctx: &DefenseCtx, rng: &mut SimRng) -> FlowDefense {
+        let Some(bank) = ctx.bank.filter(|b| !b.is_empty()) else {
+            netsim::tm_counter!("stob.registry.degraded").inc();
+            return FlowDefense::passthrough("Surakav (lite)");
+        };
+        let idx = pick_reference(bank, ctx.label, rng);
+        FlowDefense {
+            padding: Some(Box::new(SurakavCore {
+                cfg: self.cfg,
+                ref_times: bank.in_times(idx),
+                orig_in: Vec::new(),
+                real_bytes: 0,
+            })),
+            ..FlowDefense::passthrough("Surakav (lite)")
+        }
+    }
+}
+
 /// Apply Surakav-lite: re-emit `trace`'s incoming bytes on `reference`'s
-/// incoming schedule.
+/// incoming schedule. Adapter over the app-layer backend.
 pub fn surakav(trace: &Trace, reference: &Trace, cfg: &SurakavConfig) -> Defended {
     let ref_times: Vec<Nanos> = reference
         .packets
@@ -41,93 +224,11 @@ pub fn surakav(trace: &Trace, reference: &Trace, cfg: &SurakavConfig) -> Defende
         .filter(|p| p.dir == Direction::In)
         .map(|p| p.ts)
         .collect();
-    let real_bytes = trace.bytes(Direction::In);
-    // Causality: the k-th real byte cannot leave before it existed in the
-    // original flow. Track the original arrival time of each byte offset.
-    let orig_in: Vec<(Nanos, u64)> = {
-        let mut acc = 0u64;
-        trace
-            .packets
-            .iter()
-            .filter(|p| p.dir == Direction::In)
-            .map(|p| {
-                acc += p.size as u64;
-                (p.ts, acc)
-            })
-            .collect()
+    let d = FixedRefSurakav {
+        cfg: *cfg,
+        ref_times,
     };
-    // Earliest time at which `bytes` of real data are available.
-    let available_at = |bytes: u64| -> Nanos {
-        match orig_in.iter().find(|&&(_, cum)| cum >= bytes) {
-            Some(&(t, _)) => t,
-            None => orig_in.last().map(|&(t, _)| t).unwrap_or(Nanos::ZERO),
-        }
-    };
-    let mut out: Vec<TracePacket> = trace
-        .packets
-        .iter()
-        .filter(|p| p.dir == Direction::Out)
-        .copied()
-        .collect();
-
-    let mut remaining = real_bytes;
-    let mut dummy_pkts = 0usize;
-    let mut real_done = Nanos::ZERO;
-    let mut schedule: Vec<Nanos> = ref_times.clone();
-    // If the reference is shorter than the data needs, replay its tail
-    // IAT pattern.
-    if !ref_times.is_empty() {
-        let need = real_bytes.div_ceil(cfg.packet_size as u64) as usize;
-        let mut replays = 0;
-        while schedule.len() < need && replays < cfg.max_tail_replays {
-            let base = *schedule.last().expect("nonempty");
-            let tail_start = ref_times.len().saturating_sub(32);
-            let tail = &ref_times[tail_start..];
-            if tail.len() < 2 {
-                // Degenerate reference: fall back to a fixed cadence.
-                schedule.push(base + Nanos::from_millis(5));
-            } else {
-                for w in tail.windows(2) {
-                    schedule.push(base + (w[1] - w[0]).max(Nanos(1)));
-                    if schedule.len() >= need {
-                        break;
-                    }
-                }
-            }
-            replays += 1;
-        }
-    }
-    // When the schedule runs ahead of the data, the whole remaining
-    // schedule shifts (the send queue stalls), as in the real system.
-    let mut shift = Nanos::ZERO;
-    let mut sent_real = 0u64;
-    for &sched_t in &schedule {
-        let mut t = sched_t + shift;
-        if remaining > 0 {
-            let need_bytes = (sent_real + cfg.packet_size as u64).min(real_bytes);
-            let ready = available_at(need_bytes);
-            if t < ready {
-                shift += ready - t;
-                t = ready;
-            }
-            sent_real = need_bytes;
-            remaining = real_bytes - sent_real;
-            if remaining == 0 {
-                real_done = t;
-            }
-        } else {
-            dummy_pkts += 1;
-        }
-        out.push(TracePacket::new(t, Direction::In, cfg.packet_size));
-    }
-    let mut defended = Trace::new(trace.label, trace.visit, out);
-    defended.normalize();
-    Defended {
-        trace: defended,
-        dummy_pkts,
-        dummy_bytes: dummy_pkts as u64 * cfg.packet_size as u64,
-        real_done,
-    }
+    emulate_trace(&d, trace, &DefenseCtx::default(), &mut SimRng::new(0))
 }
 
 /// Convenience: pick a reference from a bank (a different label than the
@@ -138,13 +239,8 @@ pub fn surakav_from_bank<'a>(
     cfg: &SurakavConfig,
     rng: &mut SimRng,
 ) -> (Defended, &'a Trace) {
-    assert!(!bank.is_empty(), "empty reference bank");
-    let others: Vec<&Trace> = bank.iter().filter(|t| t.label != trace.label).collect();
-    let reference = if others.is_empty() {
-        &bank[rng.range_usize(0, bank.len() - 1)]
-    } else {
-        others[rng.range_usize(0, others.len() - 1)]
-    };
+    let idx = pick_reference(&TraceBank(bank), trace.label, rng);
+    let reference = &bank[idx];
     (surakav(trace, reference, cfg), reference)
 }
 

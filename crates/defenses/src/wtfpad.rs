@@ -8,9 +8,11 @@
 //!
 //! Table 1 row: Tor-class, obfuscation, padding + timing modification.
 
+use crate::backend::emulate_trace;
 use crate::overhead::Defended;
 use netsim::{Direction, Nanos, SimRng};
-use traces::{Trace, TracePacket};
+use stob::defense::{CloseOut, Defense, DefenseCtx, Emit, FlowDefense, FlowPkt, PadderCore};
+use traces::Trace;
 
 #[derive(Debug, Clone, Copy)]
 pub struct WtfPadConfig {
@@ -34,43 +36,95 @@ impl Default for WtfPadConfig {
     }
 }
 
-/// Apply WTF-PAD-lite to a trace.
-pub fn wtfpad(trace: &Trace, cfg: &WtfPadConfig, rng: &mut SimRng) -> Defended {
-    let mut pkts = trace.packets.clone();
-    let mut dummy_pkts = 0usize;
-    for dir in [Direction::In, Direction::Out] {
-        let times: Vec<Nanos> = trace
-            .packets
-            .iter()
-            .filter(|p| p.dir == dir)
-            .map(|p| p.ts)
-            .collect();
-        for w in times.windows(2) {
-            let gap = (w[1] - w[0]).as_secs_f64();
-            let mut cursor = w[0];
-            for _ in 0..cfg.max_per_gap {
-                let thr = rng.range_f64(cfg.gap_lo, cfg.gap_hi);
-                let remaining = (w[1] - cursor).as_secs_f64();
-                if remaining <= thr {
-                    break;
-                }
-                // Plant a dummy `thr` after the cursor: the silence now
-                // looks like ongoing burst traffic.
-                cursor += Nanos::from_secs_f64(thr);
-                pkts.push(TracePacket::new(cursor, dir, cfg.dummy_size));
-                dummy_pkts += 1;
-            }
-            let _ = gap;
+/// WTF-PAD's adaptive schedule: observe each direction's packet times,
+/// then plant dummies inside conspicuous silences. Pure padding.
+struct WtfPadCore {
+    cfg: WtfPadConfig,
+    in_times: Vec<Nanos>,
+    out_times: Vec<Nanos>,
+}
+
+impl PadderCore for WtfPadCore {
+    fn on_data(&mut self, pkt: FlowPkt, _rng: &mut SimRng) {
+        match pkt.dir {
+            Direction::In => self.in_times.push(pkt.ts),
+            Direction::Out => self.out_times.push(pkt.ts),
         }
     }
-    let mut t = Trace::new(trace.label, trace.visit, pkts);
-    t.normalize();
-    Defended {
-        trace: t,
-        dummy_pkts,
-        dummy_bytes: dummy_pkts as u64 * cfg.dummy_size as u64,
-        real_done: trace.duration(),
+
+    fn on_close(&mut self, rng: &mut SimRng) -> CloseOut {
+        let cfg = &self.cfg;
+        let mut emits = Vec::new();
+        for (dir, times) in [
+            (Direction::In, &self.in_times),
+            (Direction::Out, &self.out_times),
+        ] {
+            for w in times.windows(2) {
+                let mut cursor = w[0];
+                for _ in 0..cfg.max_per_gap {
+                    let thr = rng.range_f64(cfg.gap_lo, cfg.gap_hi);
+                    let remaining = (w[1] - cursor).as_secs_f64();
+                    if remaining <= thr {
+                        break;
+                    }
+                    // Plant a dummy `thr` after the cursor: the silence
+                    // now looks like ongoing burst traffic.
+                    cursor += Nanos::from_secs_f64(thr);
+                    emits.push(Emit {
+                        pkt: FlowPkt {
+                            ts: cursor,
+                            dir,
+                            size: cfg.dummy_size,
+                        },
+                        dummy: true,
+                    });
+                }
+            }
+        }
+        CloseOut {
+            emits,
+            real_done: None,
+        }
     }
+}
+
+/// WTF-PAD-lite as a placement-agnostic [`Defense`]. Padding-only.
+#[derive(Debug, Clone, Copy)]
+pub struct WtfPadDefense {
+    pub cfg: WtfPadConfig,
+}
+
+impl WtfPadDefense {
+    pub fn new(cfg: WtfPadConfig) -> Self {
+        WtfPadDefense { cfg }
+    }
+}
+
+impl Defense for WtfPadDefense {
+    fn name(&self) -> &str {
+        "WTF-PAD (lite)"
+    }
+
+    fn build(&self, _ctx: &DefenseCtx, _rng: &mut SimRng) -> FlowDefense {
+        FlowDefense {
+            padding: Some(Box::new(WtfPadCore {
+                cfg: self.cfg,
+                in_times: Vec::new(),
+                out_times: Vec::new(),
+            })),
+            ..FlowDefense::passthrough("WTF-PAD (lite)")
+        }
+    }
+}
+
+/// Apply WTF-PAD-lite to a trace. Adapter over the app-layer backend.
+pub fn wtfpad(trace: &Trace, cfg: &WtfPadConfig, rng: &mut SimRng) -> Defended {
+    emulate_trace(
+        &WtfPadDefense::new(*cfg),
+        trace,
+        &DefenseCtx::default(),
+        rng,
+    )
 }
 
 #[cfg(test)]
@@ -79,6 +133,7 @@ mod tests {
     use crate::overhead::{bandwidth_overhead, latency_overhead};
     use traces::sites::paper_sites;
     use traces::statgen::generate;
+    use traces::TracePacket;
 
     fn sample() -> Trace {
         generate(&paper_sites()[4], 4, 0, 1)

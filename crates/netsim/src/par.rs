@@ -98,7 +98,10 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let lo = w * chunk;
+                // Both bounds clamp to n: with n = 5, workers = 4 the
+                // last worker's nominal range [6, 8) starts past the
+                // slice and must collapse to empty.
+                let lo = (w * chunk).min(n);
                 let hi = ((w + 1) * chunk).min(n);
                 let slice = &items[lo..hi];
                 scope.spawn(move || {
@@ -221,6 +224,16 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(par_map_n(8, &none, |_, &x| x).is_empty());
         assert_eq!(par_map_n(8, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_start_past_input_collapses_to_empty_chunk() {
+        // n = 5, workers = 4 -> chunk = 2: the last worker's nominal
+        // range starts at 6, past the slice. Regression test for the
+        // out-of-range slice panic.
+        let items: Vec<u32> = (0..5).collect();
+        let out = par_map_n(4, &items, |_, &x| x * 3);
+        assert_eq!(out, vec![0, 3, 6, 9, 12]);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!
 //!    Names follow `crate.layer.metric` (see `OBSERVABILITY.md` for the
 //!    full catalogue): `stack.tcp.tso_resegmented`,
-//!    `stack.qdisc.release_delay_ns`, `defenses.emulate.split_pkts`, …
+//!    `stack.qdisc.release_delay_ns`, `defense.app.split_pkts`, …
 //!
 //! 2. **Spans** — RAII wall-clock + sim-clock timers for the hot paths
 //!    (`Forest::fit`, `predict_batch`, `emulate::apply_all`, the event

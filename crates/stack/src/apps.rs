@@ -3,7 +3,9 @@
 //! `BulkSender` + `Sink` form the iperf3-style memory-to-memory transfer
 //! used by Figure 3; `NullApp` is the do-nothing peer.
 
+use crate::config::StackConfig;
 use crate::net::{Api, App};
+use crate::shaper::BoxShaper;
 use netsim::FlowId;
 
 /// How much a bulk sender tries to write per `send()` call. Large enough
@@ -76,6 +78,39 @@ impl App for BulkSender {
     }
     fn on_sendable(&mut self, api: &mut Api, flow: FlowId) {
         self.pump(api, flow);
+    }
+}
+
+/// A [`BulkSender`] whose connection is opened with an explicit stack
+/// configuration and an optional shaper already attached — the
+/// "defended bulk transfer" endpoint used by the figure-3 and ablation
+/// harnesses.
+pub struct ShapedSender {
+    inner: BulkSender,
+    cfg: StackConfig,
+    shaper: Option<BoxShaper>,
+}
+
+impl ShapedSender {
+    pub fn new(inner: BulkSender, cfg: StackConfig, shaper: Option<BoxShaper>) -> Self {
+        ShapedSender { inner, cfg, shaper }
+    }
+
+    pub fn written(&self) -> u64 {
+        self.inner.written()
+    }
+}
+
+impl App for ShapedSender {
+    fn on_start(&mut self, api: &mut Api) {
+        let shaper = self.shaper.take();
+        self.inner.flow = Some(api.connect_with(self.cfg.clone(), shaper));
+    }
+    fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+        self.inner.pump(api, flow);
+    }
+    fn on_sendable(&mut self, api: &mut Api, flow: FlowId) {
+        self.inner.pump(api, flow);
     }
 }
 

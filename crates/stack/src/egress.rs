@@ -241,6 +241,18 @@ impl EgressLabels {
         delay_histo: "stack.quic.shaper_extra_delay_ns",
         retransmit_counter: None,
     };
+
+    /// Labels for trace replay: the stack-placement defense backend
+    /// (`stob::defense::enforce_flow`) drives a pipeline over recorded
+    /// packet timestamps instead of live transport state.
+    pub const REPLAY: EgressLabels = EgressLabels {
+        layer: "replay",
+        reseg_event: "replay-pkts",
+        reseg_counter: "stack.replay.resegmented",
+        resize_counter: "stack.replay.pkts_resized",
+        delay_histo: "stack.replay.extra_delay_ns",
+        retransmit_counter: None,
+    };
 }
 
 /// A counter handle resolved from the registry on first use, so merely
@@ -312,6 +324,7 @@ pub struct EgressPipeline {
     eg_resize: LazyCounter,
     eg_retransmits: LazyCounter,
     eg_delay: LazyHisto,
+    eg_replayed: LazyCounter,
 }
 
 impl EgressPipeline {
@@ -331,6 +344,7 @@ impl EgressPipeline {
             eg_resize: LazyCounter::new("stack.egress.pkts_resized"),
             eg_retransmits: LazyCounter::new("stack.egress.retransmits"),
             eg_delay: LazyHisto::new("stack.egress.shaper_extra_delay_ns"),
+            eg_replayed: LazyCounter::new("stack.replay.pkts"),
             labels,
         }
     }
@@ -530,6 +544,44 @@ impl EgressPipeline {
         }
         self.eg_segments.get().inc();
         PacedSegment { eligible, shaped }
+    }
+
+    /// Stage ④ for trace replay: gate one *recorded* packet through the
+    /// pacing clock and the shaper's extra-delay hook, without charging
+    /// CPU or advancing wire serialization time (a replayed trace has no
+    /// live CPU model and already embeds serialization in its
+    /// timestamps).
+    ///
+    /// `intended` is the packet's departure time as computed so far
+    /// (recorded timestamp plus accumulated shift). The eligible time is
+    /// `max(pacing clock, intended) + extra_delay`, the pacing clock
+    /// advances to it, and the delay is recorded under this pipeline's
+    /// delay instruments. The stack-placement defense backend
+    /// (`stob::defense::enforce_flow`) is the intended caller, with
+    /// [`EgressLabels::REPLAY`].
+    pub fn pace_replay(&mut self, ctx: &ShapeCtx, intended: Nanos) -> Nanos {
+        let base = self.pacing_next.max(intended);
+        let extra = self.shaper.extra_delay(ctx);
+        let eligible = base + extra;
+        if !extra.is_zero() {
+            self.delay_histo.get().record(extra.as_nanos());
+            self.eg_delay.get().record(extra.as_nanos());
+            if let Some(tr) = &self.tracer {
+                tr.rec(
+                    ctx.now,
+                    u64::from(ctx.flow.0),
+                    self.labels.layer,
+                    "pacing",
+                    base.as_nanos(),
+                    eligible.as_nanos(),
+                    "shaper-delay",
+                );
+            }
+            self.shaped_segs += 1;
+        }
+        self.eg_replayed.get().inc();
+        self.pacing_next = eligible;
+        eligible
     }
 
     /// ACK passthrough: lets stateful shaping strategies observe flow

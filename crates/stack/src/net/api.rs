@@ -9,7 +9,7 @@ use crate::config::StackConfig;
 use crate::egress::{FlowStats, TransportCore};
 use crate::quic::QuicConn;
 use crate::shaper::BoxShaper;
-use crate::tcp::{ConnStats, TcpConn};
+use crate::tcp::TcpConn;
 use netsim::{FlowId, Nanos, SimRng};
 
 /// Application-facing handle, passed into every [`App`](super::App)
@@ -168,13 +168,6 @@ impl<'a> Api<'a> {
         self.net.flow_stats(self.host, flow)
     }
 
-    /// TCP-specific stats of one of this host's connections.
-    #[deprecated(note = "use `flow_stats` for transport-agnostic counters")]
-    pub fn conn_stats(&self, flow: FlowId) -> Option<ConnStats> {
-        #[allow(deprecated)]
-        self.net.conn_stats(self.host, flow)
-    }
-
     /// Smoothed RTT of a connection, if measured.
     pub fn srtt(&self, flow: FlowId) -> Option<Nanos> {
         self.net.hosts[self.host]
@@ -192,11 +185,10 @@ impl<'a> Api<'a> {
 #[cfg(test)]
 mod tests {
     use super::super::{Network, SERVER};
-    use crate::apps::{BulkSender, Sink};
+    use crate::apps::{BulkSender, ShapedSender, Sink};
     use crate::config::{HostConfig, PathConfig, StackConfig};
     use crate::cpu::CpuModel;
-    use crate::net::{Api, App, CLIENT};
-    use netsim::{FlowId, Nanos};
+    use netsim::FlowId;
 
     fn fast_host() -> HostConfig {
         HostConfig {
@@ -205,68 +197,30 @@ mod tests {
         }
     }
 
-    /// The deprecated TCP getters must keep working and agree with the
-    /// unified accessor.
+    /// `ShapedSender` drives a transfer through `connect_with` exactly
+    /// like a plain `BulkSender` does through `connect`.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_conn_stats_wrapper_matches_flow_stats() {
+    fn shaped_sender_without_shaper_matches_bulk_sender() {
         let total = 300_000;
-        let mut net = Network::new(
-            fast_host(),
-            fast_host(),
-            PathConfig::internet(50, 20),
-            Box::new(BulkSender::new(total)),
-            Box::new(Sink::default()),
-            61,
-        );
-        net.run_to_idle();
-        let legacy = net.conn_stats(SERVER, FlowId(1)).expect("tcp stats");
-        let unified = net.flow_stats(SERVER, FlowId(1)).expect("flow stats");
-        assert_eq!(legacy.bytes_delivered, total);
-        assert_eq!(unified.bytes_delivered, legacy.bytes_delivered);
-        let c_legacy = net.conn_stats(CLIENT, FlowId(1)).unwrap();
-        let c_unified = net.flow_stats(CLIENT, FlowId(1)).unwrap();
-        assert_eq!(c_unified.segs_sent, c_legacy.segs_sent);
-        assert_eq!(c_unified.pkts_sent, c_legacy.pkts_sent);
-        assert_eq!(c_unified.acks_sent, c_legacy.acks_sent);
-        assert_eq!(c_unified.retransmits, c_legacy.fast_retransmits);
-        assert_eq!(c_unified.timeouts, c_legacy.rtos);
-        // And the TCP-only getter stays TCP-only.
-        assert!(net.quic_stats(SERVER, FlowId(1)).is_none());
-    }
-
-    /// Same contract for the deprecated QUIC getter.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_quic_stats_wrapper_matches_flow_stats() {
-        struct QuicOnce;
-        impl App for QuicOnce {
-            fn on_start(&mut self, api: &mut Api) {
-                api.connect_quic(StackConfig::default(), None);
-            }
-            fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
-                api.send(flow, 200_000);
-            }
-        }
-        let mut net = Network::new(
-            fast_host(),
-            fast_host(),
-            PathConfig::internet(100, 20),
-            Box::new(QuicOnce),
-            Box::new(Sink::default()),
-            62,
-        );
-        net.run_until(Nanos::from_secs(10));
-        let legacy = net.quic_stats(SERVER, FlowId(1)).expect("quic stats");
-        let unified = net.flow_stats(SERVER, FlowId(1)).expect("flow stats");
-        assert_eq!(legacy.bytes_delivered, 200_000);
-        assert_eq!(unified.bytes_delivered, legacy.bytes_delivered);
-        let c_legacy = net.quic_stats(CLIENT, FlowId(1)).unwrap();
-        let c_unified = net.flow_stats(CLIENT, FlowId(1)).unwrap();
-        assert_eq!(c_unified.segs_sent, c_legacy.batches_sent);
-        assert_eq!(c_unified.pkts_sent, c_legacy.pkts_sent);
-        assert_eq!(c_unified.retransmits, c_legacy.retransmissions);
-        assert_eq!(c_unified.timeouts, c_legacy.ptos);
-        assert!(net.conn_stats(SERVER, FlowId(1)).is_none());
+        let run = |app: Box<dyn crate::net::App>| {
+            let mut net = Network::new(
+                fast_host(),
+                fast_host(),
+                PathConfig::internet(50, 20),
+                app,
+                Box::new(Sink::default()),
+                61,
+            );
+            net.run_to_idle();
+            net.flow_stats(SERVER, FlowId(1)).expect("flow stats")
+        };
+        let plain = run(Box::new(BulkSender::new(total)));
+        let shaped = run(Box::new(ShapedSender::new(
+            BulkSender::new(total),
+            StackConfig::default(),
+            None,
+        )));
+        assert_eq!(plain.bytes_delivered, total);
+        assert_eq!(plain, shaped);
     }
 }

@@ -46,25 +46,10 @@ impl Transport {
         }
     }
 
-    /// TCP-specific escape hatch (legacy stats, `close`).
-    pub(super) fn as_tcp(&self) -> Option<&TcpConn> {
-        match self {
-            Transport::Tcp(c) => Some(c),
-            _ => None,
-        }
-    }
-
+    /// TCP-specific escape hatch (`close`).
     pub(super) fn as_tcp_mut(&mut self) -> Option<&mut TcpConn> {
         match self {
             Transport::Tcp(c) => Some(c),
-            _ => None,
-        }
-    }
-
-    /// QUIC-specific escape hatch (legacy stats).
-    pub(super) fn as_quic(&self) -> Option<&QuicConn> {
-        match self {
-            Transport::Quic(c) => Some(c),
             _ => None,
         }
     }

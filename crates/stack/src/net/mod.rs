@@ -30,9 +30,8 @@ pub use api::{Api, AppEvent};
 use crate::config::{HostConfig, PathConfig};
 use crate::cpu::Cpu;
 use crate::egress::FlowStats;
-use crate::quic::QuicStats;
-use crate::tcp::{ConnStats, TimerKind};
-use host::{Host, Transport};
+use crate::tcp::TimerKind;
+use host::Host;
 use netsim::telemetry::Tracer;
 use netsim::{
     AuditReport, Auditor, Capture, DropTailQueue, EventQueue, FaultInjector, FaultSchedule,
@@ -299,26 +298,6 @@ impl Network {
             .conns
             .get(&flow)
             .map(|t| t.core().flow_stats())
-    }
-
-    /// TCP-specific stats (`None` for non-TCP flows).
-    #[deprecated(note = "use `flow_stats` for transport-agnostic counters")]
-    pub fn conn_stats(&self, host: usize, flow: FlowId) -> Option<ConnStats> {
-        self.hosts[host]
-            .conns
-            .get(&flow)
-            .and_then(Transport::as_tcp)
-            .map(|c| c.stats)
-    }
-
-    /// QUIC-specific stats (`None` for non-QUIC flows).
-    #[deprecated(note = "use `flow_stats` for transport-agnostic counters")]
-    pub fn quic_stats(&self, host: usize, flow: FlowId) -> Option<QuicStats> {
-        self.hosts[host]
-            .conns
-            .get(&flow)
-            .and_then(Transport::as_quic)
-            .map(|c| c.stats)
     }
 
     pub fn cpu(&self, host: usize) -> &Cpu {

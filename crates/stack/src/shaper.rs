@@ -87,6 +87,24 @@ pub struct NoopShaper;
 
 impl Shaper for NoopShaper {}
 
+/// Forwarding impl so a boxed shaper can sit inside generic wrappers
+/// (`SafetyCap<S>`, guards, chains) without an extra newtype at every
+/// call site.
+impl Shaper for Box<dyn Shaper> {
+    fn tso_segment_pkts(&mut self, ctx: &ShapeCtx, proposed: u32) -> u32 {
+        (**self).tso_segment_pkts(ctx, proposed)
+    }
+    fn packet_ip_size(&mut self, ctx: &ShapeCtx, pkt_index: u32, proposed: u32) -> u32 {
+        (**self).packet_ip_size(ctx, pkt_index, proposed)
+    }
+    fn extra_delay(&mut self, ctx: &ShapeCtx) -> Nanos {
+        (**self).extra_delay(ctx)
+    }
+    fn on_ack(&mut self, ctx: &ShapeCtx) {
+        (**self).on_ack(ctx)
+    }
+}
+
 /// Boxed shaper alias used throughout the stack.
 pub type BoxShaper = Box<dyn Shaper>;
 
@@ -132,5 +150,23 @@ mod tests {
         assert_eq!(s.tso_segment_pkts(&c, 1), 1);
         // Untouched hooks keep identity defaults.
         assert_eq!(s.packet_ip_size(&c, 0, 1500), 1500);
+    }
+
+    #[test]
+    fn boxed_shaper_forwards_to_inner() {
+        struct Fixed;
+        impl Shaper for Fixed {
+            fn packet_ip_size(&mut self, _c: &ShapeCtx, _i: u32, _p: u32) -> u32 {
+                600
+            }
+            fn extra_delay(&mut self, _c: &ShapeCtx) -> Nanos {
+                Nanos::from_micros(7)
+            }
+        }
+        let mut boxed: Box<dyn Shaper> = Box::new(Fixed);
+        let c = ctx();
+        assert_eq!(boxed.packet_ip_size(&c, 0, 1500), 600);
+        assert_eq!(boxed.extra_delay(&c), Nanos::from_micros(7));
+        assert_eq!(boxed.tso_segment_pkts(&c, 44), 44, "identity default");
     }
 }

@@ -1,30 +1,46 @@
 #!/usr/bin/env bash
-# Byte-compare the table2 experiment output against the committed golden.
+# Byte-compare the benchmark experiment outputs against committed goldens.
 #
-# Guards the egress-pipeline refactor invariant: any change to the shared
-# shaping/pacing path that alters simulated behavior shows up here as a
-# diff, even if every unit test still passes. The golden was produced
-# with the exact invocation below; STOB_JSON_NO_TIMINGS strips wall-clock
-# fields so the dump is deterministic across machines and thread counts.
+# Guards the refactor invariants: any change to the shared shaping/pacing
+# path or the defense layer that alters simulated behavior shows up here
+# as a diff, even if every unit test still passes. The goldens were
+# produced with the exact invocations below; STOB_JSON_NO_TIMINGS strips
+# wall-clock fields so the dumps are deterministic across machines and
+# thread counts. defense_matrix is additionally run at two thread counts
+# to pin the fan-out determinism contract.
 #
 # Usage: scripts/check-golden.sh
 # To regenerate after an *intentional* behavior change:
 #   STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT=tests/golden/table2.json \
 #     cargo run --release --locked -p stob-bench --bin table2 -- 12 25 2 7
+#   STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT=tests/golden/defense_matrix.json \
+#     cargo run --release --locked -p stob-bench --bin defense_matrix -- 6 10 2 7
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-golden="tests/golden/table2.json"
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
+check() {
+    local golden="$1"
+    local label="$2"
+    if ! cmp "$golden" "$out"; then
+        echo "check-golden: $golden diverged from the current build ($label)." >&2
+        echo "If the behavior change is intentional, regenerate the golden" >&2
+        echo "(see the header of scripts/check-golden.sh)." >&2
+        exit 1
+    fi
+    echo "check-golden: $label output is byte-identical to $golden"
+}
+
 STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT="$out" \
     cargo run --release --locked -p stob-bench --bin table2 -- 12 25 2 7
+check tests/golden/table2.json "table2 (1 thread)"
 
-if ! cmp "$golden" "$out"; then
-    echo "check-golden: $golden diverged from the current build." >&2
-    echo "If the behavior change is intentional, regenerate the golden" >&2
-    echo "(see the header of scripts/check-golden.sh)." >&2
-    exit 1
-fi
-echo "check-golden: table2 output is byte-identical to $golden"
+STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT="$out" \
+    cargo run --release --locked -p stob-bench --bin defense_matrix -- 6 10 2 7
+check tests/golden/defense_matrix.json "defense_matrix (1 thread)"
+
+STOB_THREADS=4 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT="$out" \
+    cargo run --release --locked -p stob-bench --bin defense_matrix -- 6 10 2 7
+check tests/golden/defense_matrix.json "defense_matrix (4 threads)"
