@@ -13,94 +13,17 @@
 //! Set `STOB_JSON_OUT=<path>` to also write results + stage timings as
 //! JSON (`STOB_JSON_NO_TIMINGS=1` drops the timings for golden runs).
 
-use defenses::buflo::{BufloConfig, TamarawConfig};
-use defenses::emulate::{CounterMeasure, EmulateConfig, Section3Defense};
-use defenses::front::{FrontConfig, FrontDefense};
 use defenses::overhead::{bandwidth_overhead, latency_overhead};
-use defenses::regulator::{RegulatorConfig, RegulatorDefense};
-use defenses::surakav::{SurakavConfig, SurakavDefense};
-use defenses::wtfpad::{WtfPadConfig, WtfPadDefense};
-use defenses::{defend_all, BufloDefense, TamarawDefense, TraceBank};
+use defenses::{defend_all, TraceBank};
 use netsim::par::{self, Timings};
 use netsim::{Json, SimRng};
 use std::time::Instant;
-use stob::defense::{Defense, Placement};
-use stob::policy::ObfuscationPolicy;
+use stob::defense::Placement;
 use stob_bench::collect_dataset;
+use stob_bench::suite::DefenseKind;
 use traces::{Dataset, Trace};
 use wf::eval::{evaluate, EvalConfig};
 use wf::forest::ForestConfig;
-
-/// The matrix rows: every implemented defense, each expressed as a
-/// placement-agnostic [`Defense`] spec.
-#[derive(Debug, Clone, Copy)]
-enum DefenseKind {
-    None,
-    Split,
-    Delayed,
-    Combined,
-    WtfPad,
-    Front,
-    Regulator,
-    Surakav,
-    Tamaraw,
-    Buflo,
-}
-
-impl DefenseKind {
-    const ALL: [DefenseKind; 10] = [
-        DefenseKind::None,
-        DefenseKind::Split,
-        DefenseKind::Delayed,
-        DefenseKind::Combined,
-        DefenseKind::WtfPad,
-        DefenseKind::Front,
-        DefenseKind::Regulator,
-        DefenseKind::Surakav,
-        DefenseKind::Tamaraw,
-        DefenseKind::Buflo,
-    ];
-
-    fn name(self) -> &'static str {
-        match self {
-            DefenseKind::None => "none",
-            DefenseKind::Split => "split (§3)",
-            DefenseKind::Delayed => "delayed (§3)",
-            DefenseKind::Combined => "combined (§3)",
-            DefenseKind::WtfPad => "WTF-PAD (lite)",
-            DefenseKind::Front => "FRONT",
-            DefenseKind::Regulator => "RegulaTor (lite)",
-            DefenseKind::Surakav => "Surakav (lite)",
-            DefenseKind::Tamaraw => "Tamaraw",
-            DefenseKind::Buflo => "BuFLO",
-        }
-    }
-
-    /// The defense spec this row runs — one object, both placements.
-    fn spec(self) -> Box<dyn Defense> {
-        match self {
-            DefenseKind::None => Box::new(ObfuscationPolicy::passthrough("none")),
-            DefenseKind::Split => Box::new(Section3Defense::new(
-                CounterMeasure::Split,
-                EmulateConfig::default(),
-            )),
-            DefenseKind::Delayed => Box::new(Section3Defense::new(
-                CounterMeasure::Delayed,
-                EmulateConfig::default(),
-            )),
-            DefenseKind::Combined => Box::new(Section3Defense::new(
-                CounterMeasure::Combined,
-                EmulateConfig::default(),
-            )),
-            DefenseKind::WtfPad => Box::new(WtfPadDefense::new(WtfPadConfig::default())),
-            DefenseKind::Front => Box::new(FrontDefense::new(FrontConfig::default())),
-            DefenseKind::Regulator => Box::new(RegulatorDefense::new(RegulatorConfig::default())),
-            DefenseKind::Surakav => Box::new(SurakavDefense::new(SurakavConfig::default())),
-            DefenseKind::Tamaraw => Box::new(TamarawDefense::new(TamarawConfig::default())),
-            DefenseKind::Buflo => Box::new(BufloDefense::new(BufloConfig::default())),
-        }
-    }
-}
 
 struct Cell {
     name: &'static str,
@@ -143,7 +66,7 @@ fn main() {
     };
     let root = SimRng::new(seed);
     let n = dataset.len() as f64;
-    let bank = TraceBank(&dataset.traces);
+    let bank = TraceBank::new(&dataset.traces);
 
     // Placement axis: every defense runs once per placement. The grid is
     // flattened so each (defense, placement) cell is one fan-out job.

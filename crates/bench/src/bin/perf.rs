@@ -1,0 +1,697 @@
+//! The perf campaign: one calibrated, schema-stable measurement of every
+//! hot path, written as `BENCH_<n>.json` so the repo carries a committed
+//! perf trajectory CI can hold the line on.
+//!
+//! Five metric families (see PERF.md for methodology):
+//!
+//! * `stack_net`  — visits/sec through the full `stack::net` collection
+//!   pipeline (the §3 data-collection hot loop).
+//! * `egress`     — packets/sec through [`EgressPipeline::pace_replay`],
+//!   the per-packet stage the stack placement pays on every departure.
+//! * `defenses`   — emulate-vs-enforce ns/packet for all 10 suite
+//!   defenses ([`stob_bench::suite::DefenseKind`]), both placements.
+//! * `forest`     — random-forest fit throughput and per-sample predict
+//!   latency, baseline (scalar `predict` loop) vs current
+//!   (`predict_rows`, trees-outer/samples-inner).
+//! * `features`   — k-FP feature extraction ns/trace, baseline
+//!   (`extract_features`, the multi-pass reference) vs current
+//!   ([`FeatureExtractor`], the single-pass rewrite).
+//!
+//! Plus a `telemetry` family measuring the `tm_counter!` ns/op with the
+//! global switch on vs off (the disabled fast path).
+//!
+//! Every family runs warmup + a fixed iteration count and reports the
+//! median of k repetitions, so numbers are comparable across PRs. The
+//! timed work is bit-deterministic: alongside the timings the run emits
+//! a `checks` object (work counts + FNV checksums of the produced
+//! values) that is a pure function of (mode, seed) — byte-identical at
+//! any `STOB_THREADS`, which CI verifies.
+//!
+//! Usage:
+//!   perf [--quick] [--out PATH] [--checks-out PATH]
+//!   perf --validate FILE
+//!   perf --compare COMMITTED FRESH [--tolerance X]
+//!
+//! Env: `STOB_PERF_OUT` / `STOB_PERF_CHECKS_OUT` (fallbacks for the
+//! flags). Without an output path the JSON goes to stdout.
+
+use defenses::{defend_all, TraceBank};
+use netsim::FlowId;
+use netsim::{telemetry, Json, Nanos, SimRng};
+use stack::egress::{EgressLabels, EgressPipeline};
+use stack::shaper::{ShapeCtx, Shaper};
+use std::hint::black_box;
+use std::time::Instant;
+use stob::defense::Placement;
+use stob_bench::suite::DefenseKind;
+use traces::sites::paper_sites;
+use traces::statgen::generate_corpus;
+use traces::Trace;
+use wf::features::{extract_features, FeatureConfig, FeatureExtractor};
+use wf::forest::{Forest, ForestConfig};
+
+/// Schema tag every BENCH file carries; bump only with a migration note
+/// in PERF.md.
+const SCHEMA: &str = "stob-perf-v1";
+/// The PR number this binary writes by default (`BENCH_6.json`).
+const BENCH_ID: u64 = 6;
+/// Seed for every synthetic workload in this file.
+const SEED: u64 = 0xBE6C;
+
+// ---------------------------------------------------------------------
+// Calibration: fixed workload sizes per mode.
+// ---------------------------------------------------------------------
+
+/// Workload sizes. `quick` shrinks corpus sizes and repetition counts
+/// but keeps the *per-unit* work identical (same feature dims, same
+/// tree count, same packet mix), so per-unit numbers stay comparable —
+/// just noisier.
+struct Calib {
+    mode: &'static str,
+    /// Median-of-k repetitions per timed region.
+    reps: usize,
+    /// Visits/site for the feature + forest corpus.
+    corpus_visits: usize,
+    /// Visits/site for the defense corpus.
+    defense_visits: usize,
+    /// Times the feature matrix is tiled for the predict workload.
+    predict_tile: usize,
+    /// Visits/site collected through the full stack.
+    net_visits: usize,
+    /// Packets driven through the egress pipeline.
+    egress_pkts: u64,
+    /// `tm_counter!` ops per timed region.
+    telemetry_ops: u64,
+}
+
+impl Calib {
+    fn quick() -> Self {
+        Calib {
+            mode: "quick",
+            reps: 3,
+            corpus_visits: 6,
+            defense_visits: 4,
+            predict_tile: 8,
+            net_visits: 2,
+            egress_pkts: 100_000,
+            telemetry_ops: 1_000_000,
+        }
+    }
+    fn full() -> Self {
+        Calib {
+            mode: "full",
+            reps: 5,
+            corpus_visits: 20,
+            defense_visits: 8,
+            predict_tile: 16,
+            net_visits: 6,
+            egress_pkts: 1_000_000,
+            telemetry_ops: 5_000_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement harness.
+// ---------------------------------------------------------------------
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// One warmup run (discarded), then `reps` timed runs; returns the
+/// median wall-clock seconds and the last result (for checksums — the
+/// work is deterministic, so every run returns the same value).
+fn timed<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = black_box(f());
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median(samples), out)
+}
+
+/// FNV-1a-style mix for order-sensitive checksums.
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+fn checksum_features(rows: &[Vec<f64>]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for row in rows {
+        for &x in row {
+            h = mix(h, x.to_bits());
+        }
+    }
+    h
+}
+
+fn checksum_traces(traces: &[Trace]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for t in traces {
+        h = mix(h, t.packets.len() as u64);
+        for p in &t.packets {
+            h = mix(h, p.ts.as_nanos());
+            h = mix(h, u64::from(p.size));
+        }
+    }
+    h
+}
+
+fn hex(h: u64) -> String {
+    format!("{h:#018x}")
+}
+
+// ---------------------------------------------------------------------
+// Families.
+// ---------------------------------------------------------------------
+
+struct FamilyOut {
+    json: Json,
+    checks: Json,
+}
+
+/// `features`: ns/trace, reference multi-pass vs single-pass extractor.
+/// Both run serially — this family measures per-trace latency, not
+/// fan-out throughput.
+fn bench_features(cal: &Calib, corpus: &[Trace]) -> FamilyOut {
+    let cfg = FeatureConfig::paper();
+    let (base_s, base_rows) = timed(cal.reps, || {
+        corpus
+            .iter()
+            .map(|t| extract_features(t, &cfg))
+            .collect::<Vec<_>>()
+    });
+    let (cur_s, cur_rows) = timed(cal.reps, || {
+        let mut ex = FeatureExtractor::new(&cfg);
+        corpus.iter().map(|t| ex.extract(t)).collect::<Vec<_>>()
+    });
+    assert_eq!(
+        checksum_features(&base_rows),
+        checksum_features(&cur_rows),
+        "single-pass extractor diverged from reference"
+    );
+    let n = corpus.len() as f64;
+    let baseline = base_s / n * 1e9;
+    let current = cur_s / n * 1e9;
+    eprintln!(
+        "[perf] features: {baseline:>10.0} -> {current:>10.0} ns/trace  ({:.2}x)",
+        baseline / current
+    );
+    FamilyOut {
+        json: Json::obj()
+            .set("unit", "ns/trace")
+            .set("baseline", baseline)
+            .set("current", current)
+            .set("speedup", baseline / current),
+        checks: Json::obj()
+            .set("traces", corpus.len() as u64)
+            .set("dims", cur_rows[0].len() as u64)
+            .set("checksum", hex(checksum_features(&cur_rows))),
+    }
+}
+
+/// `forest`: fit throughput (tree·samples/sec) and predict ns/sample,
+/// scalar per-sample loop vs the blocked trees-outer path.
+fn bench_forest(cal: &Calib, corpus: &[Trace]) -> (FamilyOut, FamilyOut) {
+    let cfg = FeatureConfig::paper();
+    let x = wf::features::extract_all(corpus, &cfg);
+    let y: Vec<usize> = corpus.iter().map(|t| t.label).collect();
+    let fcfg = ForestConfig {
+        n_trees: 100,
+        ..ForestConfig::default()
+    };
+    let (fit_s, forest) = timed(cal.reps, || {
+        let mut rng = SimRng::new(SEED);
+        Forest::fit(&x, &y, 9, &fcfg, &mut rng)
+    });
+    let fit_rate = (x.len() * fcfg.n_trees) as f64 / fit_s;
+
+    // Tile the matrix so the predict working set exceeds one tree's
+    // nodes — the regime the batched path is built for.
+    let tiled: Vec<&[f64]> = (0..cal.predict_tile)
+        .flat_map(|_| x.iter().map(|r| r.as_slice()))
+        .collect();
+    let (base_s, base_pred) = timed(cal.reps, || {
+        tiled.iter().map(|r| forest.predict(r)).collect::<Vec<_>>()
+    });
+    let (cur_s, cur_pred) = timed(cal.reps, || forest.predict_rows(&tiled));
+    assert_eq!(base_pred, cur_pred, "predict_rows diverged from predict");
+    let m = tiled.len() as f64;
+    let baseline = base_s / m * 1e9;
+    let current = cur_s / m * 1e9;
+    eprintln!(
+        "[perf] forest_fit: {fit_rate:>10.0} tree·samples/s; predict: \
+         {baseline:>8.0} -> {current:>8.0} ns/sample  ({:.2}x)",
+        baseline / current
+    );
+    let mut pred_sum = 0xCBF2_9CE4_8422_2325u64;
+    for &p in &cur_pred {
+        pred_sum = mix(pred_sum, p as u64);
+    }
+    (
+        FamilyOut {
+            json: Json::obj()
+                .set("unit", "tree_samples_per_sec")
+                .set("current", fit_rate),
+            checks: Json::obj()
+                .set("trees", fcfg.n_trees as u64)
+                .set("train_samples", x.len() as u64),
+        },
+        FamilyOut {
+            json: Json::obj()
+                .set("unit", "ns/sample")
+                .set("baseline", baseline)
+                .set("current", current)
+                .set("speedup", baseline / current),
+            checks: Json::obj()
+                .set("predict_samples", tiled.len() as u64)
+                .set("batch_matches_scalar", true)
+                .set("prediction_checksum", hex(pred_sum)),
+        },
+    )
+}
+
+/// `defenses`: ns/packet for every suite row at both placements, via the
+/// same `defend_all` fan-out the benchmarks use.
+fn bench_defenses(cal: &Calib, corpus: &[Trace]) -> FamilyOut {
+    let input_pkts: usize = corpus.iter().map(|t| t.packets.len()).sum();
+    let bank = TraceBank::new(corpus);
+    let root = SimRng::new(SEED);
+    let mut cells = Json::obj();
+    let mut cell_checks = Json::obj();
+    for (ci, kind) in DefenseKind::ALL.iter().enumerate() {
+        let spec = kind.spec();
+        let mut cell = Json::obj();
+        let mut check = Json::obj();
+        for placement in [Placement::App, Placement::Stack] {
+            let (secs, rows) = timed(cal.reps, || {
+                defend_all(
+                    spec.as_ref(),
+                    placement,
+                    corpus,
+                    Some(&bank),
+                    &root,
+                    SEED ^ ((ci as u64 + 1) << 32),
+                )
+            });
+            let out: Vec<Trace> = rows.into_iter().map(|d| d.trace).collect();
+            let ns_pkt = secs / input_pkts as f64 * 1e9;
+            let (tkey, ckey) = match placement {
+                Placement::App => ("emulate", "emulate"),
+                Placement::Stack => ("enforce", "enforce"),
+            };
+            cell = cell.set(tkey, ns_pkt);
+            check = check
+                .set(format!("{ckey}_pkts").as_str(), {
+                    out.iter().map(|t| t.packets.len()).sum::<usize>() as u64
+                })
+                .set(
+                    format!("{ckey}_checksum").as_str(),
+                    hex(checksum_traces(&out)),
+                );
+        }
+        eprintln!(
+            "[perf] defense {:<16} emulate {:>8.0} ns/pkt, enforce {:>8.0} ns/pkt",
+            kind.name(),
+            cell.get("emulate").and_then(Json::as_f64).unwrap(),
+            cell.get("enforce").and_then(Json::as_f64).unwrap()
+        );
+        cells = cells.set(kind.key(), cell);
+        cell_checks = cell_checks.set(kind.key(), check);
+    }
+    FamilyOut {
+        json: Json::obj().set("unit", "ns/packet").set("cells", cells),
+        checks: Json::obj()
+            .set("input_pkts", input_pkts as u64)
+            .set("cells", cell_checks),
+    }
+}
+
+/// `stack_net`: visits/sec through the full collection pipeline —
+/// simulated page loads through `stack::net`, sanitization included.
+fn bench_stack_net(cal: &Calib) -> FamilyOut {
+    let (secs, summary) = timed(cal.reps, || {
+        stob_bench::collect_dataset(cal.net_visits, SEED)
+    });
+    let visits = (paper_sites().len() * cal.net_visits) as f64;
+    let rate = visits / secs;
+    eprintln!("[perf] stack_net: {rate:>10.1} visits/s");
+    FamilyOut {
+        json: Json::obj()
+            .set("unit", "visits_per_sec")
+            .set("current", rate),
+        checks: Json::obj()
+            .set("traces", summary.dataset.len() as u64)
+            .set("per_class", summary.per_class as u64)
+            .set("checksum", hex(checksum_traces(&summary.dataset.traces))),
+    }
+}
+
+/// A deterministic shaper for the egress loop: a fixed extra delay on
+/// every `period`-th segment, so the pipeline exercises both the cheap
+/// (no-delay) and instrumented (delay-recording) branches.
+struct PulseShaper {
+    period: u64,
+    delay: Nanos,
+    i: u64,
+}
+
+impl Shaper for PulseShaper {
+    fn extra_delay(&mut self, _ctx: &ShapeCtx) -> Nanos {
+        self.i += 1;
+        if self.i.is_multiple_of(self.period) {
+            self.delay
+        } else {
+            Nanos::ZERO
+        }
+    }
+}
+
+/// `egress`: packets/sec through `pace_replay`, the per-packet gate the
+/// stack placement pays on every recorded departure.
+fn bench_egress(cal: &Calib) -> FamilyOut {
+    let n = cal.egress_pkts;
+    let (secs, final_clock) = timed(cal.reps, || {
+        let mut p = EgressPipeline::new(EgressLabels::REPLAY);
+        p.set_shaper(Box::new(PulseShaper {
+            period: 7,
+            delay: Nanos(1_500),
+            i: 0,
+        }));
+        let mut ctx = ShapeCtx {
+            flow: FlowId(1),
+            now: Nanos::ZERO,
+            cwnd: u64::MAX,
+            pacing_rate_bps: None,
+            in_slow_start: false,
+            bytes_sent: 0,
+            pkts_sent: 0,
+            segs_sent: 0,
+            mtu_ip: 1500,
+            mss: 1448,
+        };
+        for i in 0..n {
+            // Recorded departures 10 µs apart; the pipeline gates each.
+            let intended = Nanos(i * 10_000);
+            ctx.now = intended;
+            ctx.pkts_sent = i;
+            black_box(p.pace_replay(&ctx, intended));
+        }
+        p.pacing_next()
+    });
+    let rate = n as f64 / secs;
+    eprintln!("[perf] egress: {rate:>12.0} pkts/s");
+    FamilyOut {
+        json: Json::obj().set("unit", "pkts_per_sec").set("current", rate),
+        checks: Json::obj()
+            .set("pkts", n)
+            .set("final_pacing_ns", final_clock.as_nanos()),
+    }
+}
+
+/// `telemetry`: `tm_counter!` ns/op with the global switch on vs off —
+/// the disabled fast path must be near-free so instrumented hot loops
+/// cost nothing when observability is off.
+fn bench_telemetry(cal: &Calib) -> FamilyOut {
+    let n = cal.telemetry_ops;
+    let run = |ops: u64| {
+        for i in 0..ops {
+            netsim::tm_counter!("bench.perf.telemetry_probe").add(black_box(i) & 1);
+        }
+    };
+    let (on_s, ()) = timed(cal.reps, || run(n));
+    telemetry::set_enabled(false);
+    let (off_s, ()) = timed(cal.reps, || run(n));
+    telemetry::set_enabled(true);
+    let enabled = on_s / n as f64 * 1e9;
+    let disabled = off_s / n as f64 * 1e9;
+    eprintln!("[perf] telemetry: enabled {enabled:.2} ns/op, disabled {disabled:.2} ns/op");
+    FamilyOut {
+        json: Json::obj()
+            .set("unit", "ns/op")
+            .set("enabled", enabled)
+            .set("disabled", disabled)
+            .set("speedup", enabled / disabled),
+        checks: Json::obj().set("ops", n),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run / validate / compare.
+// ---------------------------------------------------------------------
+
+fn run(cal: &Calib, out: Option<String>, checks_out: Option<String>) {
+    let t0 = Instant::now();
+    eprintln!(
+        "[perf] mode={} threads={} seed={SEED:#x}",
+        cal.mode,
+        netsim::par::threads()
+    );
+    let corpus = generate_corpus(&paper_sites(), cal.corpus_visits, SEED);
+    let defense_corpus = generate_corpus(&paper_sites(), cal.defense_visits, SEED ^ 1);
+
+    let features = bench_features(cal, &corpus);
+    let (fit, predict) = bench_forest(cal, &corpus);
+    let defenses = bench_defenses(cal, &defense_corpus);
+    let stack_net = bench_stack_net(cal);
+    let egress = bench_egress(cal);
+    let tele = bench_telemetry(cal);
+
+    let families = Json::obj()
+        .set("features", features.json)
+        .set("forest_fit", fit.json)
+        .set("forest_predict", predict.json)
+        .set("defenses", defenses.json)
+        .set("stack_net", stack_net.json)
+        .set("egress", egress.json)
+        .set("telemetry", tele.json);
+    // Checks are a pure function of (mode, seed): no timings, no thread
+    // counts — CI byte-compares this object across STOB_THREADS.
+    let checks = Json::obj()
+        .set("mode", cal.mode)
+        .set("seed", SEED)
+        .set("features", features.checks)
+        .set("forest_fit", fit.checks)
+        .set("forest_predict", predict.checks)
+        .set("defenses", defenses.checks)
+        .set("stack_net", stack_net.checks)
+        .set("egress", egress.checks)
+        .set("telemetry", tele.checks);
+    let report = Json::obj()
+        .set("schema", SCHEMA)
+        .set("bench_id", BENCH_ID)
+        .set("mode", cal.mode)
+        .set("families", families)
+        .set("checks", checks.clone());
+
+    if let Some(path) = &checks_out {
+        std::fs::write(path, checks.to_string_pretty()).expect("write checks file");
+        eprintln!("[perf] wrote checks to {path}");
+    }
+    match &out {
+        Some(path) => {
+            std::fs::write(path, report.to_string_pretty()).expect("write perf report");
+            eprintln!("[perf] wrote {path}");
+        }
+        None => println!("{}", report.to_string_pretty()),
+    }
+    eprintln!("[perf] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Families whose headline number is per-unit latency (lower is
+/// better), with the field holding it.
+const LATENCY_FAMILIES: [(&str, &str); 3] = [
+    ("features", "current"),
+    ("forest_predict", "current"),
+    ("telemetry", "enabled"),
+];
+/// Families whose headline number is a rate (higher is better).
+const RATE_FAMILIES: [&str; 3] = ["forest_fit", "stack_net", "egress"];
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: invalid JSON: {e:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("[perf] FAIL: {msg}");
+    std::process::exit(1)
+}
+
+fn family<'a>(j: &'a Json, name: &str) -> &'a Json {
+    j.get("families")
+        .and_then(|f| f.get(name))
+        .unwrap_or_else(|| die(&format!("missing family \"{name}\"")))
+}
+
+fn req_num(j: &Json, fam: &str, key: &str) -> f64 {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| die(&format!("family \"{fam}\" missing numeric \"{key}\"")))
+}
+
+/// Schema validation: every family present with its unit and headline
+/// fields, plus the committed speedup floor on the two rewritten paths.
+fn validate(path: &str) {
+    let j = load(path);
+    match j.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        other => die(&format!("schema {other:?}, want {SCHEMA:?}")),
+    }
+    for (fam, key) in LATENCY_FAMILIES {
+        let f = family(&j, fam);
+        req_num(f, fam, key);
+        f.get("unit")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die(&format!("family \"{fam}\" missing unit")));
+    }
+    for fam in RATE_FAMILIES {
+        req_num(family(&j, fam), fam, "current");
+    }
+    let d = family(&j, "defenses");
+    let cells = d
+        .get("cells")
+        .unwrap_or_else(|| die("defenses family missing cells"));
+    for kind in DefenseKind::ALL {
+        let cell = cells
+            .get(kind.key())
+            .unwrap_or_else(|| die(&format!("defenses missing cell \"{}\"", kind.key())));
+        req_num(cell, kind.key(), "emulate");
+        req_num(cell, kind.key(), "enforce");
+    }
+    if j.get("checks").is_none() {
+        die("missing checks object");
+    }
+    for fam in ["features", "forest_predict"] {
+        let s = req_num(family(&j, fam), fam, "speedup");
+        if s < 1.5 {
+            die(&format!("family \"{fam}\" speedup {s:.2} < 1.5"));
+        }
+    }
+    println!("[perf] {path}: schema OK ({SCHEMA}, all families present)");
+}
+
+/// Regression gate: fresh numbers may be at most `tol`× worse than the
+/// committed baseline, per headline metric. Generous by design — CI
+/// runners are noisy; the committed file is refreshed locally per PR.
+fn compare(committed: &str, fresh: &str, tol: f64) {
+    let base = load(committed);
+    let new = load(fresh);
+    let mut failures = Vec::new();
+    let mut check = |name: String, ratio: f64| {
+        let verdict = if ratio > tol { "FAIL" } else { "ok" };
+        println!("  {name:<28} {ratio:>6.2}x worse-ratio  {verdict}");
+        if ratio > tol {
+            failures.push(name);
+        }
+    };
+    for (fam, key) in LATENCY_FAMILIES {
+        let b = req_num(family(&base, fam), fam, key);
+        let n = req_num(family(&new, fam), fam, key);
+        check(fam.to_string(), n / b);
+    }
+    for fam in RATE_FAMILIES {
+        let b = req_num(family(&base, fam), fam, "current");
+        let n = req_num(family(&new, fam), fam, "current");
+        check(fam.to_string(), b / n);
+    }
+    // Defense cells get an absolute slack on top of the ratio: the
+    // cheapest cells run at a few ns/packet, where fixed fan-out
+    // overheads (not per-packet work) dominate a quick run — a pure
+    // ratio there gates on noise, not regressions.
+    const CELL_SLACK_NS: f64 = 100.0;
+    let bcells = family(&base, "defenses").get("cells").unwrap();
+    let ncells = family(&new, "defenses").get("cells").unwrap();
+    for kind in DefenseKind::ALL {
+        for p in ["emulate", "enforce"] {
+            let b = bcells
+                .get(kind.key())
+                .map(|c| req_num(c, kind.key(), p))
+                .unwrap_or_else(|| die(&format!("baseline missing {}", kind.key())));
+            let n = ncells
+                .get(kind.key())
+                .map(|c| req_num(c, kind.key(), p))
+                .unwrap_or_else(|| die(&format!("fresh run missing {}", kind.key())));
+            check(
+                format!("defenses.{}.{p}", kind.key()),
+                n / (b + CELL_SLACK_NS / tol),
+            );
+        }
+    }
+    if failures.is_empty() {
+        println!("[perf] compare OK: no metric more than {tol:.1}x worse than {committed}");
+    } else {
+        die(&format!(
+            "{} metric(s) regressed beyond {tol:.1}x: {}",
+            failures.len(),
+            failures.join(", ")
+        ));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = std::env::var("STOB_PERF_OUT").ok();
+    let mut checks_out = std::env::var("STOB_PERF_CHECKS_OUT").ok();
+    let mut mode: Option<&str> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = 2.5;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a path")),
+                );
+            }
+            "--checks-out" => {
+                i += 1;
+                checks_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--checks-out needs a path")),
+                );
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a number"));
+            }
+            "--validate" => mode = Some("validate"),
+            "--compare" => mode = Some("compare"),
+            p if !p.starts_with("--") => paths.push(p.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    match mode {
+        Some("validate") => {
+            let p = paths
+                .first()
+                .unwrap_or_else(|| die("--validate needs a file"));
+            validate(p);
+        }
+        Some("compare") => {
+            if paths.len() != 2 {
+                die("--compare needs COMMITTED and FRESH paths");
+            }
+            compare(&paths[0], &paths[1], tolerance);
+        }
+        _ => {
+            let cal = if quick { Calib::quick() } else { Calib::full() };
+            run(&cal, out, checks_out);
+        }
+    }
+}

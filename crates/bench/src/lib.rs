@@ -15,6 +15,7 @@
 //!   overheads for every implemented defense.
 
 pub mod micro;
+pub mod suite;
 
 use defenses::emulate::{self, CounterMeasure, EmulateConfig, Section3Defense};
 use defenses::overhead::{bandwidth_overhead, latency_overhead, Defended};

@@ -1,0 +1,132 @@
+//! The canonical defense suite: every implemented defense, each
+//! expressed as a placement-agnostic [`Defense`] spec.
+//!
+//! Shared by `defense_matrix` (the accuracy/overhead grid) and `perf`
+//! (the emulate-vs-enforce ns/packet families), so both always cover the
+//! same ten rows under the same display names — the names are part of
+//! the committed golden (`tests/golden/defense_matrix.json`) and the
+//! `BENCH_<n>.json` schema, so they must not drift between binaries.
+
+use defenses::buflo::{BufloConfig, TamarawConfig};
+use defenses::emulate::{CounterMeasure, EmulateConfig, Section3Defense};
+use defenses::front::{FrontConfig, FrontDefense};
+use defenses::regulator::{RegulatorConfig, RegulatorDefense};
+use defenses::surakav::{SurakavConfig, SurakavDefense};
+use defenses::wtfpad::{WtfPadConfig, WtfPadDefense};
+use defenses::{BufloDefense, TamarawDefense};
+use stob::defense::Defense;
+use stob::policy::ObfuscationPolicy;
+
+/// One row of the defense suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseKind {
+    None,
+    Split,
+    Delayed,
+    Combined,
+    WtfPad,
+    Front,
+    Regulator,
+    Surakav,
+    Tamaraw,
+    Buflo,
+}
+
+impl DefenseKind {
+    pub const ALL: [DefenseKind; 10] = [
+        DefenseKind::None,
+        DefenseKind::Split,
+        DefenseKind::Delayed,
+        DefenseKind::Combined,
+        DefenseKind::WtfPad,
+        DefenseKind::Front,
+        DefenseKind::Regulator,
+        DefenseKind::Surakav,
+        DefenseKind::Tamaraw,
+        DefenseKind::Buflo,
+    ];
+
+    /// Display name (stable: committed goldens and bench schemas use it).
+    pub fn name(self) -> &'static str {
+        match self {
+            DefenseKind::None => "none",
+            DefenseKind::Split => "split (§3)",
+            DefenseKind::Delayed => "delayed (§3)",
+            DefenseKind::Combined => "combined (§3)",
+            DefenseKind::WtfPad => "WTF-PAD (lite)",
+            DefenseKind::Front => "FRONT",
+            DefenseKind::Regulator => "RegulaTor (lite)",
+            DefenseKind::Surakav => "Surakav (lite)",
+            DefenseKind::Tamaraw => "Tamaraw",
+            DefenseKind::Buflo => "BuFLO",
+        }
+    }
+
+    /// ASCII identifier for machine-readable keys (`BENCH_<n>.json`).
+    pub fn key(self) -> &'static str {
+        match self {
+            DefenseKind::None => "none",
+            DefenseKind::Split => "split",
+            DefenseKind::Delayed => "delayed",
+            DefenseKind::Combined => "combined",
+            DefenseKind::WtfPad => "wtfpad",
+            DefenseKind::Front => "front",
+            DefenseKind::Regulator => "regulator",
+            DefenseKind::Surakav => "surakav",
+            DefenseKind::Tamaraw => "tamaraw",
+            DefenseKind::Buflo => "buflo",
+        }
+    }
+
+    /// The defense spec this row runs — one object, both placements.
+    pub fn spec(self) -> Box<dyn Defense> {
+        match self {
+            DefenseKind::None => Box::new(ObfuscationPolicy::passthrough("none")),
+            DefenseKind::Split => Box::new(Section3Defense::new(
+                CounterMeasure::Split,
+                EmulateConfig::default(),
+            )),
+            DefenseKind::Delayed => Box::new(Section3Defense::new(
+                CounterMeasure::Delayed,
+                EmulateConfig::default(),
+            )),
+            DefenseKind::Combined => Box::new(Section3Defense::new(
+                CounterMeasure::Combined,
+                EmulateConfig::default(),
+            )),
+            DefenseKind::WtfPad => Box::new(WtfPadDefense::new(WtfPadConfig::default())),
+            DefenseKind::Front => Box::new(FrontDefense::new(FrontConfig::default())),
+            DefenseKind::Regulator => Box::new(RegulatorDefense::new(RegulatorConfig::default())),
+            DefenseKind::Surakav => Box::new(SurakavDefense::new(SurakavConfig::default())),
+            DefenseKind::Tamaraw => Box::new(TamarawDefense::new(TamarawConfig::default())),
+            DefenseKind::Buflo => Box::new(BufloDefense::new(BufloConfig::default())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_and_keys_are_unique() {
+        let mut names: Vec<&str> = DefenseKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DefenseKind::ALL.len());
+        let mut keys: Vec<&str> = DefenseKind::ALL.iter().map(|k| k.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), DefenseKind::ALL.len());
+        assert!(keys
+            .iter()
+            .all(|k| k.chars().all(|c| c.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn every_spec_builds() {
+        for k in DefenseKind::ALL {
+            assert!(!k.spec().name().is_empty(), "{k:?}");
+        }
+    }
+}

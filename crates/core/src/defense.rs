@@ -347,24 +347,20 @@ fn size_pass(input: &[FlowPkt], fd: &FlowDefense, rng: &mut SimRng) -> Vec<FlowP
 /// inter-arrival times" loop. Each affected packet's inter-arrival time
 /// (measured against the *pre-shift* schedule) is stretched by a draw
 /// from the policy's delay spec, and the stretch accumulates.
-fn delay_pass(input: &[FlowPkt], fd: &FlowDefense, rng: &mut SimRng) -> Vec<FlowPkt> {
+fn delay_pass(stream: &mut [FlowPkt], fd: &FlowDefense, rng: &mut SimRng) {
     let p = &fd.policy;
-    let mut out = Vec::with_capacity(input.len());
     let mut shift = Nanos::ZERO;
     let mut prev_orig = Nanos::ZERO;
-    for (i, pkt) in input.iter().enumerate() {
-        let iat = pkt.ts.saturating_sub(prev_orig);
+    for (i, pkt) in stream.iter_mut().enumerate() {
+        let orig_ts = pkt.ts;
+        let iat = orig_ts.saturating_sub(prev_orig);
         if i > 0 && affects(p.first_n_pkts, fd.apply_dir, i, pkt.dir) {
             netsim::tm_counter!("defense.app.delayed_pkts").inc();
             shift += sample_delay(&p.delay, iat, rng);
         }
-        out.push(FlowPkt {
-            ts: pkt.ts + shift,
-            ..*pkt
-        });
-        prev_orig = pkt.ts;
+        pkt.ts = orig_ts + shift;
+        prev_orig = orig_ts;
     }
-    out
 }
 
 /// Run the padding schedule (if any) over the post-policy stream and
@@ -427,13 +423,17 @@ pub fn emulate_flow(
     netsim::tm_counter!("defense.app.flows").inc();
     let fd = defense.build(ctx, rng);
     let (size_active, delay_active) = checked_policy(&fd);
-    let mut stream: Vec<FlowPkt> = input.to_vec();
-    if size_active {
-        stream = size_pass(&stream, &fd, rng);
-        normalize_flow(&mut stream);
-    }
+    // The size pass produces a fresh stream; copy the input only when it
+    // is skipped. The delay pass re-times in place.
+    let mut stream: Vec<FlowPkt> = if size_active {
+        let mut s = size_pass(input, &fd, rng);
+        normalize_flow(&mut s);
+        s
+    } else {
+        input.to_vec()
+    };
     if delay_active {
-        stream = delay_pass(&stream, &fd, rng);
+        delay_pass(&mut stream, &fd, rng);
         normalize_flow(&mut stream);
     }
     run_padding(fd.padding, stream, rng, "defense.app.pad_pkts")

@@ -127,22 +127,42 @@ pub fn defend_all(
 }
 
 /// A slice of traces as a [`ReferenceBank`] for mimicry defenses.
-pub struct TraceBank<'a>(pub &'a [Trace]);
+///
+/// The inbound timestamp column of every candidate is extracted once at
+/// construction (a struct-of-arrays view of the bank), so the per-flow
+/// hot path — `defend_all` picks and reads a reference per defended
+/// trace — is a memcpy of a ready column instead of a filter walk over
+/// the full packet list.
+pub struct TraceBank<'a> {
+    traces: &'a [Trace],
+    in_cols: Vec<Vec<Nanos>>,
+}
+
+impl<'a> TraceBank<'a> {
+    pub fn new(traces: &'a [Trace]) -> Self {
+        let in_cols = traces
+            .iter()
+            .map(|t| {
+                t.packets
+                    .iter()
+                    .filter(|p| p.dir == Direction::In)
+                    .map(|p| p.ts)
+                    .collect()
+            })
+            .collect();
+        TraceBank { traces, in_cols }
+    }
+}
 
 impl ReferenceBank for TraceBank<'_> {
     fn len(&self) -> usize {
-        self.0.len()
+        self.traces.len()
     }
     fn label(&self, i: usize) -> usize {
-        self.0[i].label
+        self.traces[i].label
     }
     fn in_times(&self, i: usize) -> Vec<Nanos> {
-        self.0[i]
-            .packets
-            .iter()
-            .filter(|p| p.dir == Direction::In)
-            .map(|p| p.ts)
-            .collect()
+        self.in_cols[i].clone()
     }
 }
 
@@ -186,7 +206,7 @@ mod tests {
         let corpus: Vec<Trace> = (0..4)
             .map(|v| generate(&paper_sites()[v], v, 0, 2))
             .collect();
-        let bank = TraceBank(&corpus);
+        let bank = TraceBank::new(&corpus);
         assert_eq!(bank.len(), 4);
         for (i, t) in corpus.iter().enumerate() {
             assert_eq!(bank.label(i), t.label);

@@ -239,7 +239,7 @@ pub fn surakav_from_bank<'a>(
     cfg: &SurakavConfig,
     rng: &mut SimRng,
 ) -> (Defended, &'a Trace) {
-    let idx = pick_reference(&TraceBank(bank), trace.label, rng);
+    let idx = pick_reference(&TraceBank::new(bank), trace.label, rng);
     let reference = &bank[idx];
     (surakav(trace, reference, cfg), reference)
 }

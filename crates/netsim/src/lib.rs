@@ -43,6 +43,6 @@ pub use packet::{FlowId, Packet, PacketKind, PacketMeta};
 pub use par::{par_map, par_map_n, par_run, Timings};
 pub use queue::{DropTailQueue, QueueStats};
 pub use rng::SimRng;
-pub use stats::{percentile, Histogram, RunningStats};
+pub use stats::{percentile, percentile_sorted, Histogram, RunningStats};
 pub use telemetry::{FlowEvent, FlowTrace, Tracer};
 pub use time::Nanos;

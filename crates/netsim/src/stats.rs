@@ -99,18 +99,24 @@ impl RunningStats {
 /// Exact percentile by sorting a copy. `p` in [0, 100], linear
 /// interpolation between ranks (the same convention as numpy's default).
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    assert!(!samples.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p));
     let mut v: Vec<f64> = samples.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    let rank = p / 100.0 * (v.len() - 1) as f64;
+    percentile_sorted(&v, p)
+}
+
+/// [`percentile`] over samples the caller has already sorted ascending —
+/// lets hot paths that need several percentiles of one buffer sort once.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        v[lo]
+        sorted[lo]
     } else {
         let w = rank - lo as f64;
-        v[lo] * (1.0 - w) + v[hi] * w
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
     }
 }
 
@@ -274,6 +280,19 @@ mod tests {
     #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[42.0], 50.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let v: Vec<f64> = (0..57).map(|i| ((i * 37) % 57) as f64).collect();
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 12.5, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(
+                percentile(&v, p).to_bits(),
+                percentile_sorted(&sorted, p).to_bits()
+            );
+        }
     }
 
     #[test]

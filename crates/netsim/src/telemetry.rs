@@ -59,9 +59,33 @@ use crate::json::Json;
 use crate::time::Nanos;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Global enable switch
+// ---------------------------------------------------------------------
+
+/// Process-wide metric switch. Recording is on by default; perf-critical
+/// callers (the `perf` bench bin measuring instrumentation overhead, or
+/// an operator who wants the last few ns/packet back) can turn every
+/// counter/gauge/histogram write into a single relaxed load + branch.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is metric recording currently enabled? One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable all metric recording. Handles stay valid and
+/// readable either way; only the write paths ([`Counter::add`],
+/// [`Gauge::set_max`], [`Histo::record`]) become no-ops while disabled.
+/// Spans and flow traces are opt-in at the call site and unaffected.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
 
 // ---------------------------------------------------------------------
 // Metric primitives
@@ -80,6 +104,9 @@ impl Counter {
         self.add(1);
     }
     pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
         self.v.fetch_add(n, Ordering::Relaxed);
     }
     pub fn get(&self) -> u64 {
@@ -100,6 +127,9 @@ pub struct Gauge {
 
 impl Gauge {
     pub fn set_max(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
         self.v.fetch_max(n, Ordering::Relaxed);
     }
     pub fn get(&self) -> u64 {
@@ -159,6 +189,9 @@ fn bucket_bounds(i: usize) -> (u64, u64) {
 
 impl Histo {
     pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -662,6 +695,39 @@ pub fn summary_enabled() -> bool {
 mod tests {
     use super::*;
 
+    /// Tests that record metrics and assert exact values must not overlap
+    /// with the test that flips the global enable switch — serialize them
+    /// on one mutex (poisoning is irrelevant, recover the guard).
+    fn recording_guard() -> MutexGuard<'static, ()> {
+        static M: Mutex<()> = Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_fast_path_drops_writes_and_restores() {
+        let _g = recording_guard();
+        let c = counter("telemetry.test.switch_counter");
+        let h = histo("telemetry.test.switch_histo");
+        let g = gauge("telemetry.test.switch_gauge");
+        c.add(2);
+        assert!(enabled(), "recording is on by default");
+        set_enabled(false);
+        c.add(40);
+        c.inc();
+        h.record(9);
+        g.set_max(77);
+        assert_eq!(c.get(), 2, "disabled counter writes are dropped");
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0);
+        set_enabled(true);
+        c.inc();
+        h.record(9);
+        g.set_max(77);
+        assert_eq!(c.get(), 3, "re-enabling restores recording");
+        assert_eq!(h.count(), 1);
+        assert_eq!(g.get(), 77);
+    }
+
     #[test]
     fn ring_bounds_memory_drops_oldest_and_counts() {
         let mut ring = FlowTrace::new(4);
@@ -723,6 +789,7 @@ mod tests {
 
     #[test]
     fn histo_buckets_cover_u64() {
+        let _g = recording_guard();
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 1);
         assert_eq!(bucket_index(2), 2);
@@ -746,6 +813,7 @@ mod tests {
 
     #[test]
     fn registry_handles_are_stable_and_resettable() {
+        let _g = recording_guard();
         let c = counter("telemetry.test.stable_counter");
         c.add(5);
         // Same name resolves to the same leaked handle.
@@ -780,6 +848,7 @@ mod tests {
 
     #[test]
     fn macros_cache_the_same_handle() {
+        let _g = recording_guard();
         let a = tm_counter!("telemetry.test.macro_counter");
         let b = tm_counter!("telemetry.test.macro_counter");
         a.inc();

@@ -32,6 +32,6 @@ pub mod sites;
 pub mod statgen;
 
 pub use dataset::Dataset;
-pub use model::{Trace, TracePacket};
+pub use model::{Trace, TraceCols, TracePacket};
 pub use sanitize::{sanitize, SanitizeReport};
 pub use sites::{paper_sites, SiteProfile};

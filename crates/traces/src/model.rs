@@ -189,6 +189,104 @@ impl Trace {
     }
 }
 
+/// Struct-of-arrays view of a [`Trace`]: parallel `ts`/`dir`/`size`
+/// columns with the same accessor surface as the row form.
+///
+/// The row layout ([`Trace`], `Vec<TracePacket>`) is what the defenses
+/// and the stack naturally produce; the hot readers (feature extraction,
+/// emulate-path reference banks) scan one column at a time, where a
+/// columnar layout is cache-friendly — scanning `ts` touches 8 bytes per
+/// packet instead of a 16-byte struct with padding. Conversion is
+/// lossless in both directions ([`TraceCols::from_trace`] /
+/// [`TraceCols::to_trace`]), and `fill_from` reuses the column buffers so
+/// a batch consumer allocates once, not per trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCols {
+    pub label: usize,
+    pub visit: usize,
+    ts: Vec<Nanos>,
+    dir: Vec<Direction>,
+    size: Vec<u32>,
+}
+
+impl TraceCols {
+    pub fn new() -> Self {
+        TraceCols::default()
+    }
+
+    pub fn from_trace(t: &Trace) -> Self {
+        let mut c = TraceCols::new();
+        c.fill_from(t);
+        c
+    }
+
+    /// Refill the columns from `t`, reusing the existing allocations.
+    pub fn fill_from(&mut self, t: &Trace) {
+        self.label = t.label;
+        self.visit = t.visit;
+        self.ts.clear();
+        self.dir.clear();
+        self.size.clear();
+        self.ts.reserve(t.len());
+        self.dir.reserve(t.len());
+        self.size.reserve(t.len());
+        for p in &t.packets {
+            self.ts.push(p.ts);
+            self.dir.push(p.dir);
+            self.size.push(p.size);
+        }
+    }
+
+    /// Back to the row representation (exact inverse of `from_trace`).
+    pub fn to_trace(&self) -> Trace {
+        Trace {
+            packets: (0..self.len()).map(|i| self.packet(i)).collect(),
+            label: self.label,
+            visit: self.visit,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    pub fn ts(&self) -> &[Nanos] {
+        &self.ts
+    }
+    pub fn dirs(&self) -> &[Direction] {
+        &self.dir
+    }
+    pub fn sizes(&self) -> &[u32] {
+        &self.size
+    }
+
+    /// Row view of packet `i`.
+    pub fn packet(&self, i: usize) -> TracePacket {
+        TracePacket::new(self.ts[i], self.dir[i], self.size[i])
+    }
+
+    /// Total bytes in a direction (same as [`Trace::bytes`]).
+    pub fn bytes(&self, dir: Direction) -> u64 {
+        self.dir
+            .iter()
+            .zip(&self.size)
+            .filter(|(d, _)| **d == dir)
+            .map(|(_, s)| *s as u64)
+            .sum()
+    }
+
+    /// Same as [`Trace::duration`].
+    pub fn duration(&self) -> Nanos {
+        match (self.ts.first(), self.ts.last()) {
+            (Some(a), Some(b)) => *b - *a,
+            _ => Nanos::ZERO,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +368,38 @@ mod tests {
         let iats = t.iats();
         assert_eq!(iats.len(), 3);
         assert!((iats[0] - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soa_round_trips_losslessly_and_matches_accessors() {
+        let t = trace();
+        let c = TraceCols::from_trace(&t);
+        assert_eq!(c.len(), t.len());
+        assert_eq!(c.to_trace(), t, "row -> columns -> row is lossless");
+        assert_eq!(c.bytes(Direction::Out), t.bytes(Direction::Out));
+        assert_eq!(c.bytes(Direction::In), t.bytes(Direction::In));
+        assert_eq!(c.duration(), t.duration());
+        for i in 0..t.len() {
+            assert_eq!(c.packet(i), t.packets[i]);
+            assert_eq!(c.ts()[i], t.packets[i].ts);
+            assert_eq!(c.dirs()[i], t.packets[i].dir);
+            assert_eq!(c.sizes()[i], t.packets[i].size);
+        }
+    }
+
+    #[test]
+    fn soa_fill_from_reuses_and_replaces() {
+        let t = trace();
+        let mut c = TraceCols::from_trace(&t);
+        let small = t.truncated(1);
+        c.fill_from(&small);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.to_trace(), small);
+        let empty = Trace::new(7, 3, vec![]);
+        c.fill_from(&empty);
+        assert!(c.is_empty());
+        assert_eq!(c.to_trace(), empty);
+        assert_eq!(c.duration(), Nanos::ZERO);
     }
 
     #[test]

@@ -83,10 +83,8 @@ pub fn evaluate(dataset: &Dataset, cfg: &EvalConfig) -> EvalResult {
         let pred: Vec<usize> = match cfg.attack {
             AttackKind::RandomForest => {
                 let forest = Forest::fit(&x_train, &y_train, k, &cfg.forest, &mut rng);
-                test_idx
-                    .iter()
-                    .map(|&i| forest.predict(&features[i]))
-                    .collect()
+                let rows: Vec<&[f64]> = test_idx.iter().map(|&i| features[i].as_slice()).collect();
+                forest.predict_rows(&rows)
             }
             AttackKind::KfpLeafKnn => {
                 let forest = Forest::fit(&x_train, &y_train, k, &cfg.forest, &mut rng);

@@ -3,7 +3,7 @@
 //! Forest accuracy rates"); it also emits the per-tree leaf vectors that
 //! k-FP's k-NN stage fingerprints with.
 
-use crate::tree::{Tree, TreeConfig};
+use crate::tree::{CompactNode, Tree, TreeConfig};
 use netsim::{par, SimRng};
 
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +22,28 @@ impl Default for ForestConfig {
             bootstrap_frac: 1.0,
         }
     }
+}
+
+/// Samples per parallel work item in the batched predictors. Small
+/// enough that one block's vote table lives in L1, big enough to
+/// amortize each tree's node array staying cache-hot across the block.
+const PREDICT_BLOCK: usize = 128;
+
+/// Samples advanced through one tree in lockstep (see
+/// [`Forest::predict_batch_flat`]).
+const WALKERS: usize = 16;
+
+/// Index of the maximum vote, preferring the *last* maximum on ties —
+/// exactly `iter().enumerate().max_by_key(...)` semantics, which the
+/// scalar [`Forest::predict`] relies on.
+fn argmax_last(votes: &[u32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in votes.iter().enumerate() {
+        if v >= votes[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// A trained forest.
@@ -94,9 +116,103 @@ impl Forest {
             .collect()
     }
 
+    /// Batched majority vote, same result as per-sample [`predict`]
+    /// (pinned by `tests/perf_equivalence.rs` and `tests/determinism.rs`).
+    ///
+    /// [`predict`]: Forest::predict
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        let rows: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+        self.predict_rows(&rows)
+    }
+
+    /// [`predict_batch`](Forest::predict_batch) over borrowed rows —
+    /// avoids cloning feature vectors just to batch them.
+    pub fn predict_rows(&self, rows: &[&[f64]]) -> Vec<usize> {
+        let d = rows.first().map(|r| r.len()).unwrap_or(0);
+        if d == 0 {
+            // Zero-width rows can't be packed into a matrix; the scalar
+            // path handles them (every tree is necessarily a single leaf).
+            return rows.iter().map(|r| self.predict(r)).collect();
+        }
+        let mut x = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            assert_eq!(r.len(), d, "ragged feature rows");
+            x.extend_from_slice(r);
+        }
+        self.predict_batch_flat(&x, d)
+    }
+
+    /// Majority vote over a flat row-major `n x d` feature matrix.
+    ///
+    /// Iterates trees-outer / samples-inner within fixed-size sample
+    /// blocks: one tree's nodes stay hot in cache while it classifies
+    /// the whole block, instead of re-walking every tree's scattered
+    /// node arrays per sample. Each tree is flattened to the 24-byte
+    /// [`CompactNode`] layout once per call, and the inner loop advances
+    /// `WALKERS` samples through the tree in lockstep — a tree walk is
+    /// a chain of dependent loads, so interleaving independent walkers
+    /// is what actually fills the memory pipeline. Blocks are mapped in
+    /// parallel; votes are per-sample totals, so the result is identical
+    /// at any thread count and to the scalar path.
+    pub fn predict_batch_flat(&self, x: &[f64], d: usize) -> Vec<usize> {
         let _sp = netsim::telemetry::span("wf.forest.predict_batch");
-        par::par_map(xs, |_, s| self.predict(s))
+        assert!(d > 0 && x.len().is_multiple_of(d), "flat matrix shape");
+        let n = x.len() / d;
+        let nc = self.n_classes;
+        let compact: Vec<(Vec<CompactNode>, u32)> =
+            self.trees.iter().map(|t| t.compact()).collect();
+        let blocks: Vec<usize> = (0..n).step_by(PREDICT_BLOCK).collect();
+        let per_block = par::par_map(&blocks, |_, &lo| {
+            let hi = (lo + PREDICT_BLOCK).min(n);
+            let m = hi - lo;
+            let mut votes = vec![0u32; m * nc];
+            for (nodes, depth) in &compact {
+                // Leaves self-loop (see [`CompactNode`]), so running
+                // every walk for exactly `depth` steps parks each lane
+                // at its leaf with a branchless step: the constant
+                // `WALKERS` trip count unrolls, keeping `WALKERS` independent
+                // load chains in flight per cycle of the depth loop.
+                let mut s = 0;
+                while s + WALKERS <= m {
+                    let mut idx = [0u32; WALKERS];
+                    let base: [usize; WALKERS] = std::array::from_fn(|l| (lo + s + l) * d);
+                    for _ in 0..*depth {
+                        for l in 0..WALKERS {
+                            let nd = nodes[idx[l] as usize];
+                            idx[l] = if x[base[l] + nd.feature as usize] <= nd.threshold {
+                                nd.left
+                            } else {
+                                nd.right
+                            };
+                        }
+                    }
+                    for l in 0..WALKERS {
+                        let class = nodes[idx[l] as usize].class as usize;
+                        votes[(s + l) * nc + class] += 1;
+                    }
+                    s += WALKERS;
+                }
+                // Tail lanes (< WALKERS left): same fixed-depth walk,
+                // one sample at a time.
+                for t in s..m {
+                    let base = (lo + t) * d;
+                    let mut i = 0u32;
+                    for _ in 0..*depth {
+                        let nd = nodes[i as usize];
+                        i = if x[base + nd.feature as usize] <= nd.threshold {
+                            nd.left
+                        } else {
+                            nd.right
+                        };
+                    }
+                    votes[t * nc + nodes[i as usize].class as usize] += 1;
+                }
+            }
+            (0..m)
+                .map(|s| argmax_last(&votes[s * nc..(s + 1) * nc]))
+                .collect::<Vec<usize>>()
+        });
+        per_block.into_iter().flatten().collect()
     }
 
     /// Mean Gini importance per feature across the forest — "which
@@ -214,6 +330,61 @@ mod tests {
         assert_eq!(imp.len(), 3);
         // Dims 0 and 1 carry the blob structure; dim 2 is noise.
         assert!(imp[0] + imp[1] > imp[2] * 5.0, "importances {imp:?}");
+    }
+
+    #[test]
+    fn argmax_last_matches_max_by_key() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![3, 1, 2],
+            vec![1, 3, 3],
+            vec![2, 2, 2],
+            vec![0, 0, 5, 5, 1],
+            vec![7],
+        ];
+        for votes in cases {
+            let want = votes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &v)| v)
+                .expect("nonempty")
+                .0;
+            assert_eq!(argmax_last(&votes), want, "votes {votes:?}");
+        }
+    }
+
+    #[test]
+    fn batched_prediction_matches_scalar() {
+        // Overlapping blobs force vote ties, exercising the tie-break.
+        for seed in [1u64, 2, 3] {
+            let (x, y) = blobs(150, 4, 2.5, seed);
+            let cfg = ForestConfig {
+                n_trees: 24,
+                ..ForestConfig::default()
+            };
+            let f = Forest::fit(&x, &y, 4, &cfg, &mut SimRng::new(seed + 50));
+            let (xt, _) = blobs(300, 4, 2.5, seed + 100);
+            let scalar: Vec<usize> = xt.iter().map(|s| f.predict(s)).collect();
+            assert_eq!(f.predict_batch(&xt), scalar, "seed {seed}");
+            let rows: Vec<&[f64]> = xt.iter().map(|v| v.as_slice()).collect();
+            assert_eq!(f.predict_rows(&rows), scalar);
+            let flat: Vec<f64> = xt.iter().flatten().copied().collect();
+            assert_eq!(f.predict_batch_flat(&flat, 3), scalar);
+        }
+    }
+
+    #[test]
+    fn batched_prediction_handles_empty_and_zero_width() {
+        let (x, y) = blobs(40, 2, 0.4, 21);
+        let f = Forest::fit(&x, &y, 2, &ForestConfig::default(), &mut SimRng::new(22));
+        assert!(f.predict_batch(&[]).is_empty());
+        // Zero-width rows: every tree degenerates to one leaf.
+        let z: Vec<Vec<f64>> = vec![vec![]; 3];
+        let zx = vec![vec![0.0; 3]; 8];
+        let zy: Vec<usize> = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let fz = Forest::fit(&zx, &zy, 2, &ForestConfig::default(), &mut SimRng::new(23));
+        let z0: Vec<Vec<f64>> = vec![vec![0.0; 3]; 3];
+        assert_eq!(fz.predict_batch(&z0).len(), 3);
+        assert_eq!(fz.predict_batch(&z).len(), 3, "zero-width fallback");
     }
 
     #[test]

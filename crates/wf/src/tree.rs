@@ -48,6 +48,27 @@ pub struct Tree {
     pub importances: Vec<f64>,
 }
 
+/// A prediction-only node: 24 bytes instead of the 48-byte `Node`
+/// enum variant, so a whole tree stays resident while it classifies a
+/// sample block.
+///
+/// Leaves are encoded as *self-loops*: `left == right == own index`,
+/// `feature == 0`, `threshold == +∞`. A walk that runs for the tree's
+/// max depth therefore parks at its leaf with **zero** leaf-test
+/// branches in the step — `next = if x[f] <= t { left } else { right }`
+/// is the whole kernel, and it takes exactly the branches
+/// [`Tree::predict`] takes (NaN compares false on both encodings, so
+/// even NaN inputs walk identically).
+#[derive(Debug, Clone, Copy)]
+pub struct CompactNode {
+    pub threshold: f64,
+    pub feature: u32,
+    pub left: u32,
+    pub right: u32,
+    /// Majority class (leaves; 0 on split nodes).
+    pub class: u32,
+}
+
 fn gini(counts: &[usize], total: usize) -> f64 {
     if total == 0 {
         return 0.0;
@@ -246,6 +267,50 @@ impl Tree {
 
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Flatten into the prediction-only layout, returning the node
+    /// array and the tree's max leaf depth (the exact number of
+    /// branchless steps after which every walk has parked at its leaf).
+    pub fn compact(&self) -> (Vec<CompactNode>, u32) {
+        let nodes: Vec<CompactNode> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match n {
+                Node::Leaf { class, .. } => CompactNode {
+                    threshold: f64::INFINITY,
+                    feature: 0,
+                    left: i as u32,
+                    right: i as u32,
+                    class: *class as u32,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => CompactNode {
+                    threshold: *threshold,
+                    feature: *feature as u32,
+                    left: *left as u32,
+                    right: *right as u32,
+                    class: 0,
+                },
+            })
+            .collect();
+        let mut max_depth = 0u32;
+        let mut stack = vec![(0usize, 0u32)];
+        while let Some((i, depth)) = stack.pop() {
+            match &self.nodes[i] {
+                Node::Leaf { .. } => max_depth = max_depth.max(depth),
+                Node::Split { left, right, .. } => {
+                    stack.push((*left, depth + 1));
+                    stack.push((*right, depth + 1));
+                }
+            }
+        }
+        (nodes, max_depth)
     }
 }
 

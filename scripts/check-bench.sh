@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check-bench: hold the committed perf trajectory.
+#
+#   1. Schema-validate the committed BENCH file (perf --validate):
+#      all five metric families present, speedup floors intact.
+#   2. Run `perf --quick` at STOB_THREADS=1 and =4 and byte-compare the
+#      deterministic `checks` output (work counts + value checksums),
+#      so the SoA/batching rewrites cannot silently change results.
+#   3. Gate fresh quick numbers against the committed baseline:
+#      any headline metric more than TOLERANCE x worse fails
+#      (generous bound — CI runners are noisy; exact numbers are
+#      refreshed locally per PR, see PERF.md).
+#
+# Usage: scripts/check-bench.sh [BENCH_FILE] [TOLERANCE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-BENCH_6.json}"
+TOLERANCE="${2:-2.5}"
+BIN=target/release/perf
+
+cargo build --release -q -p stob-bench --bin perf
+
+"$BIN" --validate "$BENCH"
+echo "check-bench: $BENCH schema and speedup floors OK"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+STOB_THREADS=1 "$BIN" --quick \
+    --out "$tmp/fresh.json" --checks-out "$tmp/checks_t1.json" 2>/dev/null
+STOB_THREADS=4 "$BIN" --quick \
+    --out "$tmp/fresh_t4.json" --checks-out "$tmp/checks_t4.json" 2>/dev/null
+if ! cmp -s "$tmp/checks_t1.json" "$tmp/checks_t4.json"; then
+    echo "check-bench: FAIL — perf checks differ between 1 and 4 threads" >&2
+    diff "$tmp/checks_t1.json" "$tmp/checks_t4.json" >&2 || true
+    exit 1
+fi
+echo "check-bench: perf checks byte-identical at 1 and 4 threads"
+
+"$BIN" --compare "$BENCH" "$tmp/fresh.json" --tolerance "$TOLERANCE" >/dev/null
+echo "check-bench: no metric more than ${TOLERANCE}x worse than $BENCH"

@@ -27,6 +27,10 @@ run cmp "$fault_t1" "$fault_t4"
 
 run scripts/check-golden.sh
 
+# Perf smoke: committed BENCH schema + speedup floors, deterministic
+# perf checks at 1 vs 4 threads, and the >2.5x regression gate.
+run scripts/check-bench.sh
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --locked -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked

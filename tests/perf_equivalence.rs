@@ -1,0 +1,94 @@
+//! The hot-path rewrites' equivalence suite: every speed-motivated
+//! rewrite (single-pass feature extraction, SoA trace columns, batched
+//! forest prediction) must be **bit-identical** to the code it
+//! replaced. The goldens pin end-to-end behavior; these tests pin each
+//! rewrite in isolation, on the full nine-site dataset, so a divergence
+//! points at the exact layer that drifted.
+
+use stob_bench::collect_dataset;
+use traces::sites::paper_sites;
+use traces::statgen::generate_corpus;
+use traces::{Trace, TraceCols};
+use wf::features::{extract_features, FeatureConfig, FeatureExtractor};
+use wf::forest::{Forest, ForestConfig};
+
+/// Seed for every workload below. Feature equivalence runs on the §3
+/// collection pipeline's real output — sanitized stack traces, not
+/// statistical synthetics — so it is proven on exactly the
+/// distribution the benchmarks feed the rewritten code.
+const EQ_SEED: u64 = 0x0E9;
+
+#[test]
+fn single_pass_features_match_reference_on_full_dataset() {
+    let traces = collect_dataset(8, EQ_SEED).dataset.traces;
+    for cfg in [FeatureConfig::paper(), FeatureConfig::with_sizes()] {
+        let mut ex = FeatureExtractor::new(&cfg);
+        for (i, t) in traces.iter().enumerate() {
+            let reference = extract_features(t, &cfg);
+            let fast = ex.extract(t);
+            assert_eq!(reference.len(), fast.len());
+            for (j, (a, b)) in reference.iter().zip(&fast).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "trace {i} feature {j} diverged (use_sizes={})",
+                    cfg.use_sizes
+                );
+            }
+            // Truncated prefixes hit the empty/degenerate stat paths.
+            for keep in [0, 1, 2, t.len() / 2] {
+                let prefix = Trace::new(t.label, t.visit, t.packets[..keep].to_vec());
+                let reference = extract_features(&prefix, &cfg);
+                let fast = ex.extract(&prefix);
+                let same = reference
+                    .iter()
+                    .zip(&fast)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "trace {i} prefix {keep} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn soa_columns_round_trip_traces_losslessly() {
+    let traces = collect_dataset(4, EQ_SEED ^ 1).dataset.traces;
+    let mut cols = TraceCols::default();
+    for t in &traces {
+        assert_eq!(TraceCols::from_trace(t).to_trace(), *t);
+        // The reusable fill path must behave like a fresh conversion.
+        cols.fill_from(t);
+        assert_eq!(cols.to_trace(), *t);
+        assert_eq!(cols.len(), t.len());
+        for (i, p) in t.packets.iter().enumerate() {
+            assert_eq!(cols.packet(i), *p);
+        }
+    }
+}
+
+#[test]
+fn batched_prediction_matches_scalar_for_every_seed() {
+    let corpus = generate_corpus(&paper_sites(), 6, EQ_SEED ^ 2);
+    let cfg = FeatureConfig::paper();
+    let x = wf::features::extract_all(&corpus, &cfg);
+    let y: Vec<usize> = corpus.iter().map(|t| t.label).collect();
+    // Every forest seed the committed experiments use: the table2 /
+    // defense_matrix harness seeds plus the perf bin's.
+    for seed in [7, 0xDEF, 0xBE6C, 0, 1, 2] {
+        let fcfg = ForestConfig {
+            n_trees: 60,
+            ..ForestConfig::default()
+        };
+        let mut rng = netsim::SimRng::new(seed);
+        let forest = Forest::fit(&x, &y, 9, &fcfg, &mut rng);
+        let rows: Vec<&[f64]> = x.iter().map(|r| r.as_slice()).collect();
+        let batched = forest.predict_rows(&rows);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                forest.predict(row),
+                "seed {seed:#x} sample {i} diverged"
+            );
+        }
+    }
+}
