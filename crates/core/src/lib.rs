@@ -27,7 +27,10 @@
 //!   decided. [`guard::CcaPhaseGuard`] additionally stands the policy
 //!   down in CCA phases where pacing is load-bearing (§5.1, BBR).
 //! * **The control surface** ([`sockopt`]) is the `setsockopt`-style API
-//!   (§5.3) apps use to attach a policy to a connection.
+//!   (§5.3) apps use to attach a policy to a connection. An optional
+//!   [`breaker::CircuitBreaker`] guards its checked path: a policy key
+//!   that keeps failing validation is shed to pass-through for a
+//!   deterministic cooldown instead of being re-validated per flow.
 //!
 //! Padding is deliberately *not* a Stob primitive: §4.2 leaves padding to
 //! the application (TLS record padding and app-specific schemes), because
@@ -42,6 +45,7 @@
 //! backend ([`defense::enforce_flow`]) so the *same* decision logic can be
 //! evaluated at either placement, which is the paper's central comparison.
 
+pub mod breaker;
 pub mod defense;
 pub mod fit;
 pub mod guard;
@@ -51,6 +55,7 @@ pub mod safety;
 pub mod sockopt;
 pub mod strategies;
 
+pub use breaker::{Admission, BreakerConfig, BreakerStats, CircuitBreaker};
 pub use defense::{
     emulate_flow, enforce_flow, DefendedFlow, Defense, DefenseCtx, FlowDefense, FlowPkt,
     PadderCore, Placement, ReferenceBank, StackParams,

@@ -8,12 +8,13 @@
 //! `Arc<ObfuscationPolicy>` so a resolved policy never blocks behind a
 //! writer.
 
+use crate::breaker::{Admission, BreakerConfig, BreakerStats, CircuitBreaker};
 use crate::defense::{Defense, Placement};
 use crate::policy::ObfuscationPolicy;
 use netsim::json::{Json, JsonError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// What a policy is keyed on. Destination-scoped entries let many flows
 /// to the same server share one instance (§4.1).
@@ -56,6 +57,11 @@ pub struct PolicyRegistry {
     /// because it failed validation (shared across clones, like the
     /// table itself — it is the host's degradation counter).
     degraded: Arc<AtomicU64>,
+    /// Optional circuit breaker over the checked attach path, keyed by
+    /// resolved [`PolicyKey`] (shared across clones; `None` = disabled,
+    /// which is the default so plain registries behave exactly as
+    /// before).
+    breaker: Arc<Mutex<Option<CircuitBreaker>>>,
 }
 
 impl PolicyKey {
@@ -129,13 +135,29 @@ impl PolicyRegistry {
     /// Resolve the policy for a flow: exact flow match, then its
     /// destination, then the default.
     pub fn resolve(&self, flow: u32, destination: u32) -> Option<Arc<ObfuscationPolicy>> {
+        self.resolve_with_key(flow, destination).map(|(_, p)| p)
+    }
+
+    /// Like [`resolve`](Self::resolve), but also reports *which* key the
+    /// policy was found under — the flow class the circuit breaker
+    /// tracks failures against.
+    pub fn resolve_with_key(
+        &self,
+        flow: u32,
+        destination: u32,
+    ) -> Option<(PolicyKey, Arc<ObfuscationPolicy>)> {
         netsim::tm_counter!("stob.registry.resolutions").inc();
         let g = self.read();
-        g.table
-            .get(&PolicyKey::Flow(flow))
-            .or_else(|| g.table.get(&PolicyKey::Destination(destination)))
-            .or_else(|| g.table.get(&PolicyKey::Default))
-            .cloned()
+        for key in [
+            PolicyKey::Flow(flow),
+            PolicyKey::Destination(destination),
+            PolicyKey::Default,
+        ] {
+            if let Some(p) = g.table.get(&key) {
+                return Some((key, Arc::clone(p)));
+            }
+        }
+        None
     }
 
     /// Bind a defense (with its enforcement placement) under `key`.
@@ -200,6 +222,48 @@ impl PolicyRegistry {
     /// How many attachments fell back to pass-through so far.
     pub fn degraded_count(&self) -> u64 {
         self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Install a circuit breaker over the checked attach path (see
+    /// [`crate::breaker`]). Disabled by default; installing replaces any
+    /// previous breaker and clears its state.
+    pub fn set_breaker(&self, cfg: BreakerConfig) {
+        *self.breaker.lock().unwrap_or_else(|e| e.into_inner()) = Some(CircuitBreaker::new(cfg));
+    }
+
+    /// Lifetime breaker totals, if a breaker is installed.
+    pub fn breaker_stats(&self) -> Option<BreakerStats> {
+        self.breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(CircuitBreaker::stats)
+    }
+
+    /// Ask the breaker (if any) whether an attach attempt on `key` may
+    /// proceed. `None` means no breaker is installed — always proceed.
+    pub(crate) fn breaker_admit(&self, key: PolicyKey) -> Option<Admission> {
+        self.breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+            .map(|b| b.admit(key))
+    }
+
+    /// Report an admitted attempt's outcome to the breaker, if any.
+    pub(crate) fn breaker_record(&self, key: PolicyKey, ok: bool) {
+        if let Some(b) = self
+            .breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            if ok {
+                b.record_success(key);
+            } else {
+                b.record_failure(key);
+            }
+        }
     }
 
     pub fn len(&self) -> usize {

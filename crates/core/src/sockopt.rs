@@ -97,6 +97,11 @@ pub enum AttachResolution {
     ///
     /// [`ObfuscationPolicy::validate`]: crate::policy::ObfuscationPolicy::validate
     Degraded { policy_name: String, reason: String },
+    /// The registry's circuit breaker is open for the resolved key
+    /// (see [`crate::breaker`]): repeated failures tripped it, and this
+    /// attempt was shed to pass-through without resolving or validating
+    /// the policy again.
+    Shed { key: crate::registry::PolicyKey },
 }
 
 impl AttachResolution {
@@ -115,28 +120,39 @@ impl AttachResolution {
 /// reported as [`AttachResolution::Degraded`] instead of driving a
 /// shaper with inconsistent parameters. This is the §4.2-spirited
 /// failure mode: the stack must never let obfuscation break delivery.
+///
+/// When the registry carries a circuit breaker
+/// ([`PolicyRegistry::set_breaker`]), this is the guarded path: a run of
+/// consecutive degradations on one resolved key opens its circuit and
+/// later attempts come back as [`AttachResolution::Shed`] without
+/// re-validating the broken policy.
 pub fn attach_policy_checked(
     registry: &PolicyRegistry,
     flow: u32,
     destination: u32,
     seed: u64,
 ) -> AttachResolution {
-    let Some(policy) = registry.resolve(flow, destination) else {
+    let Some((key, policy)) = registry.resolve_with_key(flow, destination) else {
         return AttachResolution::NoPolicy;
     };
+    if registry.breaker_admit(key) == Some(crate::breaker::Admission::Shed) {
+        return AttachResolution::Shed { key };
+    }
     if let Err(reason) = policy.validate() {
         registry.note_degraded();
+        registry.breaker_record(key, false);
         return AttachResolution::Degraded {
             policy_name: policy.name.clone(),
             reason,
         };
     }
-    match attach_policy(registry, flow, destination, seed) {
-        Some(shaper) => AttachResolution::Attached(shaper),
-        // The table changed between resolve and attach (another thread
-        // withdrew the policy): that is pass-through, not degradation.
-        None => AttachResolution::NoPolicy,
-    }
+    registry.breaker_record(key, true);
+    let (guarded, audit) = assemble_policy_shaper(&policy, seed, flow as u64);
+    AttachResolution::Attached(AttachedShaper {
+        inner: guarded,
+        policy_name: policy.name.clone(),
+        audit,
+    })
 }
 
 /// Outcome of [`attach_defense`]: what the *stack* should do for a flow
@@ -288,6 +304,81 @@ mod tests {
             .into_shaper()
             .is_none());
         assert_eq!(reg.degraded_count(), 2);
+    }
+
+    #[test]
+    fn breaker_sheds_attachments_on_a_repeatedly_failing_key() {
+        use crate::breaker::BreakerConfig;
+        use crate::policy::DelaySpec;
+        let reg = PolicyRegistry::new();
+        reg.set_breaker(BreakerConfig {
+            threshold: 3,
+            cooldown: 4,
+            max_cooldown: 16,
+        });
+        let mut bad = ObfuscationPolicy::split_and_delay("bad");
+        bad.delay = DelaySpec::UniformFraction {
+            lo_frac: 0.30,
+            hi_frac: 0.10, // inverted: fails validation
+        };
+        reg.publish(PolicyKey::Destination(5), bad);
+        // First three flows degrade normally and trip the circuit.
+        for flow in 0..3 {
+            assert!(matches!(
+                attach_policy_checked(&reg, flow, 5, 42),
+                AttachResolution::Degraded { .. }
+            ));
+        }
+        assert_eq!(reg.degraded_count(), 3);
+        // Cooldown of 4: three shed flows, then the half-open trial —
+        // which degrades again (nothing was republished) and re-opens
+        // the circuit with a doubled cooldown.
+        for flow in 3..6 {
+            match attach_policy_checked(&reg, flow, 5, 42) {
+                AttachResolution::Shed { key } => assert_eq!(key, PolicyKey::Destination(5)),
+                _ => panic!("open circuit must shed"),
+            }
+        }
+        assert!(matches!(
+            attach_policy_checked(&reg, 6, 5, 42),
+            AttachResolution::Degraded { .. }
+        ));
+        // Shed flows never touched validation: degradations counted
+        // only the admitted attempts.
+        assert_eq!(reg.degraded_count(), 4);
+        let s = reg.breaker_stats().expect("breaker installed");
+        assert_eq!((s.trips, s.shed, s.trials), (2, 3, 1));
+        // Republishing a fixed policy heals the key at the next trial.
+        reg.publish(
+            PolicyKey::Destination(5),
+            ObfuscationPolicy::split_and_delay("fixed"),
+        );
+        let mut last = AttachResolution::NoPolicy;
+        for flow in 7..30 {
+            last = attach_policy_checked(&reg, flow, 5, 42);
+            if matches!(last, AttachResolution::Attached(_)) {
+                break;
+            }
+        }
+        match last {
+            AttachResolution::Attached(s) => assert_eq!(s.policy_name, "fixed"),
+            _ => panic!("trial with the fixed policy must close the circuit"),
+        }
+        assert_eq!(reg.breaker_stats().unwrap().closes, 1);
+        // Closed circuit: everything attaches again.
+        assert!(matches!(
+            attach_policy_checked(&reg, 40, 5, 42),
+            AttachResolution::Attached(_)
+        ));
+        // Other keys were never affected.
+        reg.publish(
+            PolicyKey::Destination(9),
+            ObfuscationPolicy::split_and_delay("ok"),
+        );
+        assert!(matches!(
+            attach_policy_checked(&reg, 41, 9, 42),
+            AttachResolution::Attached(_)
+        ));
     }
 
     #[test]

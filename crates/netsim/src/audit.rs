@@ -45,6 +45,10 @@ pub enum Invariant {
     PacingRelease,
     SafetyRule,
     Conservation,
+    /// A watched flow must be re-examined within a bounded multiple of its
+    /// idle timeout: a stall watchdog that fires far past its deadline
+    /// means the recovery runtime lost track of the flow.
+    ForwardProgress,
 }
 
 impl Invariant {
@@ -54,6 +58,7 @@ impl Invariant {
             Invariant::PacingRelease => "pacing-release",
             Invariant::SafetyRule => "safety-rule",
             Invariant::Conservation => "conservation",
+            Invariant::ForwardProgress => "forward-progress",
         }
     }
 }
@@ -115,9 +120,7 @@ impl AuditReport {
 
 /// Reads the opt-in environment switch for release builds.
 fn env_enabled() -> bool {
-    std::env::var("STOB_AUDIT")
-        .map(|v| v.trim() == "1")
-        .unwrap_or(false)
+    crate::env::flag("STOB_AUDIT", false)
 }
 
 /// The invariant checker. One per simulation; checks are O(1) and the
@@ -230,6 +233,29 @@ impl Auditor {
         }
     }
 
+    /// Forward progress: when a stall watchdog examines a watched flow it
+    /// must do so within `bound` of the flow's last observed progress
+    /// (`idle` is `now - last_progress`). A larger gap means watchdog
+    /// events were lost or scheduled wrong — the recovery runtime itself
+    /// stalled, which would silently disable every retry above it.
+    pub fn check_progress(&mut self, now: Nanos, flow: u64, idle: Nanos, bound: Nanos) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
+        if idle > bound {
+            self.record(
+                Invariant::ForwardProgress,
+                now,
+                format!(
+                    "flow {flow}: watchdog examined the flow {idle} after its last \
+                     progress, past the {bound} forward-progress bound"
+                ),
+            );
+        }
+    }
+
     /// Path conservation: packets injected must equal delivered plus
     /// dropped plus still-in-transit. Checked whenever the caller's
     /// ledgers are supposed to balance (typically every delivery and at
@@ -330,6 +356,38 @@ mod tests {
         let r = a.report();
         assert_eq!(r.violations[0].invariant, Invariant::SafetyRule);
         assert!(!r.clean());
+    }
+
+    #[test]
+    fn progress_within_bound_is_clean() {
+        let mut a = on();
+        a.check_progress(
+            Nanos::from_millis(100),
+            4,
+            Nanos::from_millis(50),
+            Nanos::from_millis(100),
+        );
+        assert!(a.report().clean());
+        assert_eq!(a.report().checks, 1);
+    }
+
+    #[test]
+    fn late_watchdog_is_reported_as_forward_progress_violation() {
+        let mut a = on();
+        a.check_progress(
+            Nanos::from_millis(500),
+            4,
+            Nanos::from_millis(450),
+            Nanos::from_millis(100),
+        );
+        let r = a.report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, Invariant::ForwardProgress);
+        assert!(
+            r.violations[0].detail.contains("flow 4"),
+            "{}",
+            r.violations[0].detail
+        );
     }
 
     #[test]

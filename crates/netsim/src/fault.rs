@@ -153,8 +153,95 @@ impl FaultSchedule {
                 at: horizon.mul_f64(0.25),
                 new_mtu_ip: 1200,
             }),
+            // ---- outage-heavy scenarios for the chaos soak ----
+            // A hard outage covering the connection-establishment phase and
+            // most of the deadline. Without recovery, TCP's exponentially
+            // backed-off SYN retransmits (1 s, 3 s, 7 s, 15 s, 31 s
+            // cumulative) all land inside the window once it extends past
+            // half the horizon, and the next attempt overshoots the
+            // deadline entirely — the canonical "stack idles to the
+            // deadline" failure this subsystem exists to fix.
+            "blackout-early" => s.push(FaultKind::LinkFlap {
+                down_at: Nanos::ZERO,
+                up_at: horizon.mul_f64(0.54),
+                drop: true,
+            }),
+            // Repeated hard outages separated by short good windows: each
+            // window re-stalls in-flight transfers whose RTOs have already
+            // backed off, compounding the recovery debt.
+            "outage-storm" => s
+                .push(FaultKind::LinkFlap {
+                    down_at: Nanos::ZERO,
+                    up_at: horizon.mul_f64(0.22),
+                    drop: true,
+                })
+                .push(FaultKind::LinkFlap {
+                    down_at: horizon.mul_f64(0.26),
+                    up_at: horizon.mul_f64(0.48),
+                    drop: true,
+                })
+                .push(FaultKind::LinkFlap {
+                    down_at: horizon.mul_f64(0.52),
+                    up_at: horizon.mul_f64(0.70),
+                    drop: true,
+                }),
+            // Repeated buffering flaps (no loss): transfers survive without
+            // recovery, so this scenario checks the recovery runtime does
+            // no harm when the network heals on its own.
+            "flap-storm" => s
+                .push(FaultKind::LinkFlap {
+                    down_at: horizon.mul_f64(0.05),
+                    up_at: horizon.mul_f64(0.12),
+                    drop: false,
+                })
+                .push(FaultKind::LinkFlap {
+                    down_at: horizon.mul_f64(0.20),
+                    up_at: horizon.mul_f64(0.28),
+                    drop: false,
+                })
+                .push(FaultKind::LinkFlap {
+                    down_at: horizon.mul_f64(0.40),
+                    up_at: horizon.mul_f64(0.46),
+                    drop: false,
+                }),
+            "chaos-mix" => return Some(FaultSchedule::chaos(seed, horizon)),
             _ => return None,
         })
+    }
+
+    /// A randomized outage-heavy schedule for soak testing: 2–4 link-down
+    /// windows (hard drops or buffering flaps) at random offsets, plus
+    /// burst loss and an RTT spike. Fully determined by `(seed, horizon)` —
+    /// the window layout is drawn from a dedicated fork of the seed, so the
+    /// same seed always soaks the same schedule regardless of what the
+    /// per-item runtime streams consume later.
+    pub fn chaos(seed: u64, horizon: Nanos) -> FaultSchedule {
+        let mut layout = SimRng::new(seed).fork(0x000C_4A05);
+        let mut s = FaultSchedule::new(seed);
+        let windows = layout.range_u64(2, 4);
+        for _ in 0..windows {
+            let start = layout.range_f64(0.0, 0.55);
+            let len = layout.range_f64(0.06, 0.22);
+            s = s.push(FaultKind::LinkFlap {
+                down_at: horizon.mul_f64(start),
+                up_at: horizon.mul_f64((start + len).min(0.75)),
+                drop: layout.chance(0.7),
+            });
+        }
+        s = s.push(FaultKind::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 0.3,
+        });
+        if layout.chance(0.5) {
+            s = s.push(FaultKind::RttSpike {
+                at: horizon.mul_f64(layout.range_f64(0.1, 0.6)),
+                duration: horizon.mul_f64(0.1),
+                extra: Nanos::from_millis(layout.range_u64(5, 40)),
+            });
+        }
+        s
     }
 
     /// All scenario names [`FaultSchedule::scenario`] understands, in
@@ -169,11 +256,29 @@ impl FaultSchedule {
         "rtt-spike",
     ];
 
+    /// The outage-heavy scenarios the `chaos` soak sweeps, in sweep order.
+    /// These are deliberately harsher than [`FaultSchedule::SCENARIOS`]:
+    /// without recovery, page loads are expected to miss their deadline
+    /// under the first two.
+    pub const CHAOS_SCENARIOS: [&'static str; 4] =
+        ["blackout-early", "outage-storm", "flap-storm", "chaos-mix"];
+
     /// Build the schedule named by the `STOB_FAULTS` environment variable,
-    /// if set and recognised.
+    /// if set and recognised. An unknown scenario name warns once on
+    /// stderr and runs un-faulted — previously it was silently ignored,
+    /// which is indistinguishable from the faults not firing.
     pub fn from_env(seed: u64, horizon: Nanos) -> Option<FaultSchedule> {
-        let name = std::env::var("STOB_FAULTS").ok()?;
-        FaultSchedule::scenario(name.trim(), seed, horizon)
+        let name = crate::env::string("STOB_FAULTS")?;
+        let sched = FaultSchedule::scenario(&name, seed, horizon);
+        if sched.is_none() {
+            crate::env::warn_once(
+                "STOB_FAULTS",
+                &format!(
+                    "STOB_FAULTS={name:?} is not a known fault scenario; running without faults"
+                ),
+            );
+        }
+        sched
     }
 }
 
@@ -510,6 +615,62 @@ mod tests {
         }
         assert!(FaultSchedule::scenario("mtu-drop", 1, Nanos::from_secs(1)).is_some());
         assert!(FaultSchedule::scenario("bogus", 1, Nanos::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn chaos_scenarios_build_and_are_outage_heavy() {
+        for name in FaultSchedule::CHAOS_SCENARIOS {
+            let s = FaultSchedule::scenario(name, 3, Nanos::from_secs(30))
+                .unwrap_or_else(|| panic!("scenario {name}"));
+            assert!(!s.is_empty(), "{name}");
+            let flaps = s
+                .items
+                .iter()
+                .filter(|i| matches!(i.kind, FaultKind::LinkFlap { .. }))
+                .count();
+            assert!(flaps >= 1, "{name} has no link-down window");
+        }
+    }
+
+    #[test]
+    fn blackout_early_covers_the_connect_phase() {
+        let s = FaultSchedule::scenario("blackout-early", 1, Nanos::from_secs(30)).expect("known");
+        let FaultKind::LinkFlap {
+            down_at,
+            up_at,
+            drop,
+        } = s.items[0].kind
+        else {
+            panic!("blackout-early must be a link flap");
+        };
+        assert_eq!(down_at, Nanos::ZERO);
+        assert!(drop, "blackout must drop, not buffer");
+        // The window must swallow TCP's first four SYN retransmits
+        // (cumulative backoff reaches 15 s) so an unrecovered connect
+        // cannot succeed before 31 s.
+        assert!(up_at > Nanos::from_secs(15), "window too short: {up_at}");
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_per_seed() {
+        let h = Nanos::from_secs(20);
+        let a = FaultSchedule::chaos(11, h);
+        let b = FaultSchedule::chaos(11, h);
+        assert_eq!(a.items.len(), b.items.len());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.kind, y.kind);
+        }
+        let c = FaultSchedule::chaos(12, h);
+        let same = a.items.len() == c.items.len()
+            && a.items.iter().zip(&c.items).all(|(x, y)| x.kind == y.kind);
+        assert!(!same, "different seeds must lay out different chaos");
+        // Windows stay inside the horizon so they can actually bite.
+        for it in &a.items {
+            if let FaultKind::LinkFlap { down_at, up_at, .. } = it.kind {
+                assert!(down_at < up_at);
+                assert!(up_at <= h, "window past horizon: {up_at}");
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod audit;
 pub mod capture;
+pub mod env;
 pub mod event;
 pub mod fault;
 pub mod json;
@@ -40,7 +41,7 @@ pub use fault::{FaultInjector, FaultKind, FaultSchedule, FaultStats};
 pub use json::{Json, JsonError};
 pub use link::Link;
 pub use packet::{FlowId, Packet, PacketKind, PacketMeta};
-pub use par::{par_map, par_map_n, par_run, Timings};
+pub use par::{par_map, par_map_catch, par_map_n, par_run, Timings};
 pub use queue::{DropTailQueue, QueueStats};
 pub use rng::SimRng;
 pub use stats::{percentile, percentile_sorted, Histogram, RunningStats};

@@ -53,12 +53,15 @@ pub fn threads() -> usize {
     if o > 0 {
         return o;
     }
-    if let Ok(v) = std::env::var("STOB_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    match crate::env::parse::<usize>("STOB_THREADS") {
+        Some(0) => {
+            crate::env::warn_once(
+                "STOB_THREADS=0",
+                "STOB_THREADS=0 is not a valid thread count; using automatic resolution",
+            );
         }
+        Some(n) => return n,
+        None => {}
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -118,6 +121,38 @@ where
         }
     });
     out.into_iter().flatten().collect()
+}
+
+/// Render a caught panic payload as a message string.
+pub fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`] with per-item panic containment: a panicking item yields
+/// `Err(message)` in its slot instead of tearing down the whole fan-out.
+///
+/// The worker threads themselves never die — each closure call is wrapped
+/// in `catch_unwind` — so one poisoned item cannot take the rest of its
+/// chunk (or the run) with it. The determinism contract is unchanged:
+/// which items panic, and with what message, is a pure function of the
+/// items. Note the default panic hook still prints to stderr; callers
+/// soaking known-panicking inputs see the backtrace noise but keep their
+/// results.
+pub fn par_map_catch<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(items, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t))).map_err(panic_message)
+    })
 }
 
 /// Run `n` independent jobs in parallel, preserving order — the
@@ -252,6 +287,26 @@ mod tests {
         let one = run(1);
         for workers in [2, 4, 8] {
             assert_eq!(run(workers), one, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn par_map_catch_contains_poisoned_items() {
+        let items: Vec<u32> = (0..20).collect();
+        let results = par_map_catch(&items, |_, &x| {
+            if x % 7 == 3 {
+                panic!("poisoned item {x}");
+            }
+            x * 2
+        });
+        assert_eq!(results.len(), items.len());
+        for (i, r) in results.iter().enumerate() {
+            if i % 7 == 3 {
+                let msg = r.as_ref().expect_err("item should have panicked");
+                assert!(msg.contains(&format!("poisoned item {i}")), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), 2 * i as u32);
+            }
         }
     }
 

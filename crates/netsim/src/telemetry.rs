@@ -678,17 +678,14 @@ impl Tracer {
 /// `STOB_TRACE_OUT=<path>`: where the bench binaries should write the
 /// JSONL flow trace (`None` when unset or empty).
 pub fn trace_out() -> Option<String> {
-    std::env::var("STOB_TRACE_OUT")
-        .ok()
-        .filter(|s| !s.is_empty())
+    crate::env::string("STOB_TRACE_OUT")
 }
 
 /// `STOB_TELEMETRY=1`: ask the bench binaries for their telemetry
 /// summary section without passing `--telemetry` explicitly.
+/// Unrecognised values warn once on stderr and leave the summary off.
 pub fn summary_enabled() -> bool {
-    std::env::var("STOB_TELEMETRY")
-        .map(|v| !v.is_empty() && v != "0")
-        .unwrap_or(false)
+    crate::env::flag("STOB_TELEMETRY", false)
 }
 
 #[cfg(test)]

@@ -21,6 +21,8 @@ pub struct BulkSender {
     written: u64,
     flow: Option<FlowId>,
     closed: bool,
+    /// Open the connection over QUIC instead of TCP.
+    quic: bool,
 }
 
 impl BulkSender {
@@ -30,6 +32,17 @@ impl BulkSender {
             written: 0,
             flow: None,
             closed: false,
+            quic: false,
+        }
+    }
+
+    /// A bulk sender that transfers over QUIC instead of TCP. QUIC-lite
+    /// models no CONNECTION_CLOSE, so the transfer simply goes idle once
+    /// everything is delivered.
+    pub fn quic(total: u64) -> Self {
+        BulkSender {
+            quic: true,
+            ..BulkSender::new(total)
         }
     }
 
@@ -40,6 +53,7 @@ impl BulkSender {
             written: 0,
             flow: None,
             closed: false,
+            quic: false,
         }
     }
 
@@ -71,7 +85,12 @@ impl BulkSender {
 
 impl App for BulkSender {
     fn on_start(&mut self, api: &mut Api) {
-        self.flow = Some(api.connect());
+        self.flow = Some(if self.quic {
+            let cfg = crate::config::StackConfig::default();
+            api.connect_quic(cfg, None)
+        } else {
+            api.connect()
+        });
     }
     fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
         self.pump(api, flow);

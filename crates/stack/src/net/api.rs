@@ -163,6 +163,65 @@ impl<'a> Api<'a> {
         self.net.q.schedule_in(delay, Ev::AppTimer { host, token });
     }
 
+    /// Arm (or re-arm) a stall watchdog on `flow`: if no packet arrives
+    /// for the flow within `idle_timeout`, the app's
+    /// [`on_stall`](super::App::on_stall) callback fires and the watch
+    /// disarms. The forward-progress clock restarts now; every arrival
+    /// for the flow pushes it forward.
+    pub fn watch(&mut self, flow: FlowId, idle_timeout: Nanos) {
+        assert!(
+            !idle_timeout.is_zero(),
+            "a zero idle timeout would fire the watchdog unconditionally"
+        );
+        let now = self.net.q.now();
+        let host = self.host;
+        let h = &mut self.net.hosts[host];
+        h.watch_gen += 1;
+        let gen = h.watch_gen;
+        h.watch.insert(
+            flow,
+            super::host::Watch {
+                timeout: idle_timeout,
+                last_progress: now,
+                gen,
+            },
+        );
+        self.net
+            .q
+            .schedule_at(now + idle_timeout, Ev::Watchdog { host, flow, gen });
+    }
+
+    /// Disarm the stall watchdog on `flow`, if armed.
+    pub fn unwatch(&mut self, flow: FlowId) {
+        self.net.hosts[self.host].watch.remove(&flow);
+    }
+
+    /// Abort `flow` locally and immediately: the connection state is
+    /// discarded (no FIN/close handshake — this models an application
+    /// giving up on a stalled connection), its watchdog is disarmed, and
+    /// packets still arriving for the flow are ignored as stray. The
+    /// peer's half keeps retransmitting into the void until its own
+    /// timers give up, exactly like a real half-dead TCP connection.
+    pub fn abort(&mut self, flow: FlowId) {
+        let h = &mut self.net.hosts[self.host];
+        h.watch.remove(&flow);
+        if h.conns.remove(&flow).is_some() {
+            netsim::tm_counter!("stack.recovery.aborts").inc();
+            if let Some(tr) = &self.net.tracer {
+                let now = self.net.q.now();
+                tr.rec(
+                    now,
+                    u64::from(flow.0),
+                    "net",
+                    "abort",
+                    0,
+                    0,
+                    "recovery-abort",
+                );
+            }
+        }
+    }
+
     /// Transport-agnostic stats of one of this host's connections.
     pub fn flow_stats(&self, flow: FlowId) -> Option<FlowStats> {
         self.net.flow_stats(self.host, flow)

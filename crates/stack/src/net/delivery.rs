@@ -64,7 +64,51 @@ impl Network {
             }
             Ev::FlapRelease { dir } => self.flap_release(dir),
             Ev::MtuChange { new_mtu_ip } => self.mtu_change(new_mtu_ip),
+            Ev::Watchdog { host, flow, gen } => self.watchdog(host, flow, gen),
         }
+    }
+
+    /// A stall watchdog's deadline arrived. If the flow made progress
+    /// since the event was scheduled, push the deadline forward; if not,
+    /// audit the forward-progress invariant, disarm, and tell the app.
+    fn watchdog(&mut self, host: usize, flow: FlowId, gen: u64) {
+        let now = self.q.now();
+        let (idle, timeout) = {
+            let Some(w) = self.hosts[host].watch.get(&flow) else {
+                return; // disarmed (unwatch/abort) since scheduling
+            };
+            if w.gen != gen {
+                return; // stale event from a previous arm
+            }
+            let due = w.last_progress + w.timeout;
+            if due > now {
+                // Progress since the event was scheduled: re-examine at
+                // the pushed-forward deadline, same generation.
+                self.q.schedule_at(due, Ev::Watchdog { host, flow, gen });
+                return;
+            }
+            (now.saturating_sub(w.last_progress), w.timeout)
+        };
+        // The watchdog must examine a stalled flow within a small multiple
+        // of its timeout of the stall beginning; 2x allows for one full
+        // reschedule of slack. Beyond that the recovery runtime itself
+        // lost track of the flow.
+        self.auditor
+            .check_progress(now, u64::from(flow.0), idle, timeout * 2);
+        self.hosts[host].watch.remove(&flow);
+        netsim::tm_counter!("stack.recovery.stalls").inc();
+        if let Some(tr) = &self.tracer {
+            tr.rec(
+                now,
+                u64::from(flow.0),
+                "net",
+                "stall",
+                idle.as_nanos(),
+                timeout.as_nanos(),
+                "watchdog-idle-timeout",
+            );
+        }
+        self.with_app(host, |app, api| app.on_stall(api, flow, idle));
     }
 
     /// Apply a scheduled path-MTU reduction to every live connection on
@@ -395,6 +439,14 @@ impl Network {
             _ => self.server_capture.observe(now, Direction::In, &pkt),
         }
         let flow = pkt.flow;
+        // Any arrival for a watched flow is forward progress: the stall
+        // watchdog's clock restarts (the pending event re-schedules itself
+        // lazily when it fires).
+        if !self.hosts[host].watch.is_empty() {
+            if let Some(w) = self.hosts[host].watch.get_mut(&flow) {
+                w.last_progress = now;
+            }
+        }
         // Passive open: a SYN (TCP) or Initial (QUIC) for an unknown
         // flow creates the server connection.
         if !self.hosts[host].conns.contains_key(&flow) {

@@ -55,6 +55,16 @@ impl Transport {
     }
 }
 
+/// Stall-watchdog state for one watched flow: the forward-progress clock
+/// (`last_progress` advances on every arrival for the flow) plus the idle
+/// timeout after which the application is told the flow stalled.
+pub(super) struct Watch {
+    pub(super) timeout: Nanos,
+    pub(super) last_progress: Nanos,
+    /// Arm generation; watchdog events from an earlier arm are stale.
+    pub(super) gen: u64,
+}
+
 pub(super) struct Host {
     pub(super) cfg: HostConfig,
     pub(super) cpu: Cpu,
@@ -63,6 +73,10 @@ pub(super) struct Host {
     pub(super) conns: BTreeMap<FlowId, Transport>,
     /// Earliest pending QdiscCheck, to avoid event storms.
     pub(super) next_check: Option<Nanos>,
+    /// Armed stall watchdogs, per flow (see `Api::watch`).
+    pub(super) watch: BTreeMap<FlowId, Watch>,
+    /// Monotonic arm counter feeding `Watch::gen`.
+    pub(super) watch_gen: u64,
 }
 
 impl Host {
@@ -73,6 +87,8 @@ impl Host {
             qdisc: FqQdisc::new(),
             conns: BTreeMap::new(),
             next_check: None,
+            watch: BTreeMap::new(),
+            watch_gen: 0,
             cfg,
         }
     }

@@ -58,6 +58,11 @@ pub trait App {
     fn on_peer_closed(&mut self, _api: &mut Api, _flow: FlowId) {}
     /// An application timer set via [`Api::set_timer`] fired.
     fn on_timer(&mut self, _api: &mut Api, _token: u64) {}
+    /// A stall watchdog armed via [`Api::watch`] fired: `flow` made no
+    /// forward progress (no packet arrived for it) for `idle`. The watch
+    /// is disarmed before this callback; re-arm with [`Api::watch`] (or
+    /// tear the flow down with [`Api::abort`]) to keep supervising.
+    fn on_stall(&mut self, _api: &mut Api, _flow: FlowId, _idle: Nanos) {}
 }
 
 /// Events flowing through the simulator.
@@ -90,6 +95,9 @@ enum Ev {
     FlapRelease { dir: usize },
     /// Scheduled mid-flow path-MTU reduction from the fault schedule.
     MtuChange { new_mtu_ip: u32 },
+    /// Stall-watchdog deadline for a watched flow. `gen` invalidates
+    /// events from a previous arm of the same flow's watch.
+    Watchdog { host: usize, flow: FlowId, gen: u64 },
 }
 
 /// Counters for the path between the hosts.

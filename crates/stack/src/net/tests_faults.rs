@@ -4,11 +4,12 @@
 
 use super::{Api, App, Network, CLIENT, SERVER};
 use crate::apps::{BulkSender, NullApp, Sink};
-use crate::config::{HostConfig, PathConfig};
+use crate::config::{HostConfig, PathConfig, StackConfig};
 use crate::cpu::CpuModel;
 use crate::qdisc::SegDesc;
 use crate::tcp::TcpAction;
 use netsim::{Direction, FaultSchedule, FlowId, Nanos, Packet, PacketKind};
+use std::sync::{Arc, Mutex};
 
 fn fast_hosts() -> (HostConfig, HostConfig) {
     let h = HostConfig {
@@ -189,6 +190,434 @@ fn mid_flow_mtu_drop_shrinks_packets() {
         late.iter().all(|&w| w <= 1214),
         "oversized post-change packet: {late:?}"
     );
+    assert!(net.audit_report().clean());
+}
+
+// ---------------------------------------------------------------------
+// QUIC under faults (the suite above is TCP through `BulkSender::new`;
+// QUIC shares everything below the transport, but its loss recovery and
+// packetization are its own code paths).
+// ---------------------------------------------------------------------
+
+#[test]
+fn quic_buffering_flap_stalls_then_completes() {
+    let (hc, hs) = fast_hosts();
+    let total = 1_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::quic(total)),
+        Box::new(Sink::default()),
+        50,
+    );
+    let sched = FaultSchedule::new(7).push(netsim::FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_millis(250),
+        drop: false,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(30));
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total,
+        "QUIC must ride out a buffering flap"
+    );
+    assert!(net.fault_stats().unwrap().flap_held > 0);
+    let rep = net.audit_report();
+    assert!(rep.clean(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn quic_hard_outage_forces_recovery() {
+    let (hc, hs) = fast_hosts();
+    let total = 1_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::quic(total)),
+        Box::new(Sink::default()),
+        51,
+    );
+    let sched = FaultSchedule::new(9).push(netsim::FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_millis(220),
+        drop: true,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(30));
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total,
+        "QUIC transfer must complete after the outage"
+    );
+    assert!(net.fault_stats().unwrap().flap_drops > 0);
+    let cs = net.flow_stats(CLIENT, FlowId(1)).unwrap();
+    assert!(
+        cs.retransmits + cs.timeouts > 0,
+        "an outage must trigger QUIC loss recovery"
+    );
+    assert!(net.audit_report().clean());
+}
+
+#[test]
+fn quic_mid_flow_mtu_drop_shrinks_datagrams() {
+    let (hc, hs) = fast_hosts();
+    let total = 3_000_000;
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(BulkSender::quic(total)),
+        Box::new(Sink::default()),
+        52,
+    );
+    let at = Nanos::from_millis(150);
+    let sched = FaultSchedule::new(1).push(netsim::FaultKind::MtuDrop {
+        at,
+        new_mtu_ip: 1200,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(30));
+    assert_eq!(
+        net.flow_stats(SERVER, FlowId(1)).unwrap().bytes_delivered,
+        total
+    );
+    assert_eq!(net.fault_stats().unwrap().mtu_changes, 1);
+    let slack = Nanos::from_millis(200);
+    let late: Vec<u32> = net
+        .client_capture
+        .records
+        .iter()
+        .filter(|r| r.kind == PacketKind::QuicData && r.dir == Direction::Out && r.ts > at + slack)
+        .map(|r| r.wire_len)
+        .collect();
+    assert!(!late.is_empty(), "transfer ended before the MTU change");
+    assert!(
+        late.iter().all(|&w| w <= 1214),
+        "oversized post-change datagram: {late:?}"
+    );
+    assert!(net.audit_report().clean());
+}
+
+// ---------------------------------------------------------------------
+// Stall watchdogs + reconnect-with-resumption (the recovery runtime's
+// stack-level substrate).
+// ---------------------------------------------------------------------
+
+/// What a supervised fetcher observed, for assertions after the run.
+#[derive(Default)]
+struct RecoveryLog {
+    stalls: Vec<(FlowId, Nanos)>,
+    reconnects: u64,
+    received: u64,
+    completed: bool,
+}
+
+/// Size of the fetcher's request "message".
+const REQ: u64 = 100;
+
+/// A download client supervised by a stall watchdog: it requests `total`
+/// response bytes, counts what actually arrives, and on stall aborts the
+/// connection, opens a fresh one (same transport), and re-requests
+/// exactly the bytes still missing — the recovery loop the loader's
+/// browser runs per page object, distilled to one flow.
+struct RecoveringFetcher {
+    total: u64,
+    flow: Option<FlowId>,
+    timeout: Nanos,
+    quic: bool,
+    reconnect: bool,
+    log: Arc<Mutex<RecoveryLog>>,
+    /// Out-of-band channel telling the responder how much to serve for
+    /// the next request (the loader shares state the same way).
+    serve: Arc<Mutex<u64>>,
+}
+
+impl RecoveringFetcher {
+    fn open(&mut self, api: &mut Api) {
+        let flow = if self.quic {
+            api.connect_quic(StackConfig::default(), None)
+        } else {
+            api.connect()
+        };
+        api.watch(flow, self.timeout);
+        self.flow = Some(flow);
+    }
+}
+
+impl App for RecoveringFetcher {
+    fn on_start(&mut self, api: &mut Api) {
+        self.open(api);
+    }
+    fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+        if Some(flow) != self.flow {
+            return;
+        }
+        let remaining = self.total - self.log.lock().unwrap().received;
+        *self.serve.lock().unwrap() = remaining;
+        api.send(flow, REQ);
+    }
+    fn on_data(&mut self, api: &mut Api, flow: FlowId, bytes: u64) {
+        if Some(flow) != self.flow {
+            return;
+        }
+        let mut log = self.log.lock().unwrap();
+        log.received += bytes;
+        if log.received >= self.total && !log.completed {
+            log.completed = true;
+            drop(log);
+            api.unwatch(flow);
+            if !self.quic {
+                api.close(flow);
+            }
+        }
+    }
+    fn on_stall(&mut self, api: &mut Api, flow: FlowId, idle: Nanos) {
+        self.log.lock().unwrap().stalls.push((flow, idle));
+        api.abort(flow);
+        if self.reconnect {
+            self.log.lock().unwrap().reconnects += 1;
+            self.open(api);
+        }
+    }
+}
+
+/// The matching server: any request bytes trigger a response of whatever
+/// size the shared `serve` cell currently asks for.
+#[derive(Default)]
+struct Responder {
+    serve: Arc<Mutex<u64>>,
+    remaining: std::collections::BTreeMap<FlowId, u64>,
+}
+
+impl Responder {
+    fn pump(&mut self, api: &mut Api, flow: FlowId) {
+        let Some(rem) = self.remaining.get_mut(&flow) else {
+            return;
+        };
+        while *rem > 0 {
+            let accepted = api.send(flow, *rem);
+            *rem -= accepted;
+            if accepted == 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl App for Responder {
+    fn on_data(&mut self, api: &mut Api, flow: FlowId, _bytes: u64) {
+        let want = *self.serve.lock().unwrap();
+        let entry = self.remaining.entry(flow).or_insert(0);
+        if *entry == 0 && want > 0 {
+            *entry = want;
+        }
+        self.pump(api, flow);
+    }
+    fn on_sendable(&mut self, api: &mut Api, flow: FlowId) {
+        self.pump(api, flow);
+    }
+    fn on_peer_closed(&mut self, api: &mut Api, flow: FlowId) {
+        api.close(flow);
+    }
+}
+
+fn recovering_net(
+    total: u64,
+    quic: bool,
+    reconnect: bool,
+    seed: u64,
+) -> (Network, Arc<Mutex<RecoveryLog>>) {
+    let (hc, hs) = fast_hosts();
+    let log = Arc::new(Mutex::new(RecoveryLog::default()));
+    let serve = Arc::new(Mutex::new(0u64));
+    let app = RecoveringFetcher {
+        total,
+        flow: None,
+        timeout: Nanos::from_millis(300),
+        quic,
+        reconnect,
+        log: Arc::clone(&log),
+        serve: Arc::clone(&serve),
+    };
+    let server = Responder {
+        serve,
+        remaining: Default::default(),
+    };
+    let net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(app),
+        Box::new(server),
+        seed,
+    );
+    (net, log)
+}
+
+#[test]
+fn watchdog_stays_quiet_on_a_healthy_transfer() {
+    let (mut net, log) = recovering_net(1_000_000, false, false, 53);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(30));
+    let log = log.lock().unwrap();
+    assert!(log.completed, "transfer should finish");
+    assert!(
+        log.stalls.is_empty(),
+        "no stall on a healthy path: {:?}",
+        log.stalls
+    );
+    assert!(net.audit_report().clean());
+}
+
+#[test]
+fn watchdog_fires_once_during_a_long_outage() {
+    let (mut net, log) = recovering_net(5_000_000, false, false, 54);
+    // Outage long past the watchdog timeout; no reconnect, so the
+    // transfer stays dead after the abort.
+    let sched = FaultSchedule::new(3).push(netsim::FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_secs(20),
+        drop: true,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(5));
+    let log = log.lock().unwrap();
+    assert_eq!(log.stalls.len(), 1, "exactly one stall: {:?}", log.stalls);
+    let (flow, idle) = log.stalls[0];
+    assert_eq!(flow, FlowId(1));
+    // The reported idle is at least the timeout and well under 2x (the
+    // forward-progress bound), because arrivals stopped abruptly.
+    assert!(idle >= Nanos::from_millis(300), "idle {idle}");
+    assert!(idle <= Nanos::from_millis(600), "idle {idle}");
+    assert!(!log.completed);
+    let rep = net.audit_report();
+    assert!(rep.clean(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn tcp_reconnect_resumes_remaining_bytes_after_outage() {
+    let total = 2_000_000;
+    let (mut net, log) = recovering_net(total, false, true, 55);
+    let sched = FaultSchedule::new(4).push(netsim::FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_millis(1600),
+        drop: true,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(30));
+    let log = log.lock().unwrap();
+    assert!(!log.stalls.is_empty(), "outage must stall the flow");
+    assert!(log.reconnects >= 1);
+    assert!(log.completed, "resumed transfer must finish");
+    // Every re-request asks for exactly the bytes still missing, so the
+    // client ends up with the total and not a byte more.
+    assert_eq!(log.received, total, "client byte accounting");
+    assert!(net.audit_report().clean());
+}
+
+#[test]
+fn quic_reconnect_resumes_remaining_bytes_after_outage() {
+    let total = 2_000_000;
+    let (mut net, log) = recovering_net(total, true, true, 56);
+    let sched = FaultSchedule::new(4).push(netsim::FaultKind::LinkFlap {
+        down_at: Nanos::from_millis(100),
+        up_at: Nanos::from_millis(1600),
+        drop: true,
+    });
+    net.set_faults(&sched);
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(30));
+    let log = log.lock().unwrap();
+    assert!(!log.stalls.is_empty(), "outage must stall the flow");
+    assert!(log.reconnects >= 1);
+    assert!(log.completed, "resumed QUIC transfer must finish");
+    assert_eq!(log.received, total, "client byte accounting");
+    assert!(net.audit_report().clean());
+}
+
+#[test]
+fn abort_discards_the_connection_and_disarms_the_watch() {
+    struct Aborter;
+    impl App for Aborter {
+        fn on_start(&mut self, api: &mut Api) {
+            let flow = api.connect();
+            api.watch(flow, Nanos::from_millis(100));
+        }
+        fn on_connected(&mut self, api: &mut Api, flow: FlowId) {
+            api.send(flow, 100_000);
+            api.abort(flow);
+        }
+        fn on_stall(&mut self, _api: &mut Api, _flow: FlowId, _idle: Nanos) {
+            panic!("watch must be disarmed by abort");
+        }
+    }
+    let (hc, hs) = fast_hosts();
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(Aborter),
+        Box::new(Sink::default()),
+        57,
+    );
+    net.set_audit(true);
+    net.run_until(Nanos::from_secs(90));
+    assert!(
+        net.hosts[CLIENT].conns.is_empty(),
+        "aborted conn still present"
+    );
+    assert!(net.hosts[CLIENT].watch.is_empty(), "watch still armed");
+    // The server half was created by the handshake and now retransmits
+    // into the void; that is expected and must not break conservation.
+    let rep = net.audit_report();
+    assert!(rep.clean(), "violations: {:?}", rep.violations);
+}
+
+#[test]
+fn rearmed_watchdog_ignores_stale_generation_events() {
+    // Arm, then immediately re-arm with a longer timeout: the first
+    // arm's queued event must not fire a stall at its earlier deadline.
+    struct Rearm {
+        log: Arc<Mutex<RecoveryLog>>,
+    }
+    impl App for Rearm {
+        fn on_start(&mut self, api: &mut Api) {
+            let flow = api.connect();
+            api.watch(flow, Nanos::from_millis(100));
+            api.watch(flow, Nanos::from_secs(5));
+        }
+        fn on_stall(&mut self, api: &mut Api, flow: FlowId, idle: Nanos) {
+            self.log.lock().unwrap().stalls.push((flow, idle));
+            api.abort(flow);
+        }
+    }
+    let (hc, hs) = fast_hosts();
+    let log = Arc::new(Mutex::new(RecoveryLog::default()));
+    let mut net = Network::new(
+        hc,
+        hs,
+        PathConfig::internet(50, 20),
+        Box::new(Rearm {
+            log: Arc::clone(&log),
+        }),
+        Box::new(Sink::default()),
+        58,
+    );
+    net.set_audit(true);
+    // Idle connection: the 5 s watch eventually fires, the stale 100 ms
+    // one must not.
+    net.run_until(Nanos::from_secs(10));
+    let log = log.lock().unwrap();
+    assert_eq!(log.stalls.len(), 1, "{:?}", log.stalls);
+    assert!(log.stalls[0].1 >= Nanos::from_secs(5), "{:?}", log.stalls);
     assert!(net.audit_report().clean());
 }
 

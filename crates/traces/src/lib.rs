@@ -32,6 +32,10 @@ pub mod sites;
 pub mod statgen;
 
 pub use dataset::Dataset;
+pub use loader::{
+    load_page, load_page_supervised, LoaderConfig, RecoveryConfig, TransportKind, VisitError,
+    VisitOutcome, VisitProgress,
+};
 pub use model::{Trace, TraceCols, TracePacket};
 pub use sanitize::{sanitize, SanitizeReport};
 pub use sites::{paper_sites, SiteProfile};

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# check-chaos: hold the recovery-runtime robustness gate.
+#
+#   1. Run the chaos soak (`chaos --quick`) at STOB_THREADS=1. The bin
+#      itself exits 1 if any audit invariant is violated, any visit
+#      panics, the recovery-off blackout baseline stops failing (which
+#      would make the gate vacuous), or recovery-on completion drops
+#      below the committed floor.
+#   2. Re-run at STOB_THREADS=4 and byte-compare the deterministic JSON
+#      reports, so the watchdog/backoff/breaker machinery cannot become
+#      thread-count-dependent.
+#
+# Usage: scripts/check-chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/chaos
+
+cargo build --release -q -p stob-bench --bin chaos
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+STOB_THREADS=1 STOB_JSON_OUT="$tmp/chaos_t1.json" "$BIN" --quick >/dev/null
+STOB_THREADS=4 STOB_JSON_OUT="$tmp/chaos_t4.json" "$BIN" --quick >/dev/null
+if ! cmp -s "$tmp/chaos_t1.json" "$tmp/chaos_t4.json"; then
+    echo "check-chaos: FAIL — chaos reports differ between 1 and 4 threads" >&2
+    diff "$tmp/chaos_t1.json" "$tmp/chaos_t4.json" >&2 || true
+    exit 1
+fi
+echo "check-chaos: chaos soak passed, report byte-identical at 1 and 4 threads"

@@ -31,6 +31,11 @@ run scripts/check-golden.sh
 # perf checks at 1 vs 4 threads, and the >2.5x regression gate.
 run scripts/check-bench.sh
 
+# Chaos soak: recovery runtime must rescue the fault grid (and the
+# recovery-off blackout baseline must still fail, or the gate is
+# vacuous), with the report byte-identical at 1 vs 4 threads.
+run scripts/check-chaos.sh
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --locked -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked
