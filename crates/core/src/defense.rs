@@ -238,7 +238,7 @@ fn affects(first_n: u64, apply_dir: Option<Direction>, index: usize, dir: Direct
 
 /// Validate the built policy; an inconsistent one degrades the flow to
 /// pass-through rules (counted) rather than shaping wrongly.
-fn checked_policy(fd: &FlowDefense) -> (bool, bool) {
+pub(crate) fn checked_policy(fd: &FlowDefense) -> (bool, bool) {
     if fd.policy.validate().is_err() {
         netsim::tm_counter!("stob.registry.degraded").inc();
         return (false, false);
@@ -261,7 +261,7 @@ const MIN_PIECE: u32 = 64;
 const MTU_WIRE: u32 = 1514;
 
 /// Serialization gap between consecutive pieces of one split packet.
-fn piece_gap(split_link_mbps: u64, piece: u32) -> Nanos {
+pub(crate) fn piece_gap(split_link_mbps: u64, piece: u32) -> Nanos {
     if split_link_mbps > 0 {
         Nanos::for_bytes_at_rate(u64::from(piece), split_link_mbps * 1_000_000)
     } else {
@@ -482,7 +482,12 @@ impl StackParams {
 /// Shape context for one replayed packet. Replay assumes steady state
 /// (`in_slow_start = false`): a recorded trace carries no live CCA
 /// phase, so slow-start-respecting policies shape the whole flow.
-fn replay_ctx(params: &StackParams, pkts_sent: u64, now: Nanos, rate: Option<u64>) -> ShapeCtx {
+pub(crate) fn replay_ctx(
+    params: &StackParams,
+    pkts_sent: u64,
+    now: Nanos,
+    rate: Option<u64>,
+) -> ShapeCtx {
     ShapeCtx {
         flow: FlowId(1),
         now,
@@ -501,7 +506,7 @@ fn replay_ctx(params: &StackParams, pkts_sent: u64, now: Nanos, rate: Option<u64
 /// time serializes exactly `2 * mss` bytes — the inverse of
 /// `DelayJitter`'s nominal-gap rule, so the in-stack jitter stretches
 /// recorded gaps by the same fractions the app-layer pass draws.
-fn rate_for_iat(mss: u32, iat: Nanos) -> u64 {
+pub(crate) fn rate_for_iat(mss: u32, iat: Nanos) -> u64 {
     if iat.is_zero() {
         // Zero gap: infinite rate. `u64::MAX - 1` keeps DelayJitter on
         // its `for_bytes_at_rate` path (nominal rounds to zero) while

@@ -48,6 +48,7 @@
 pub mod breaker;
 pub mod defense;
 pub mod fit;
+pub mod fleet;
 pub mod guard;
 pub mod policy;
 pub mod registry;
@@ -61,6 +62,7 @@ pub use defense::{
     PadderCore, Placement, ReferenceBank, StackParams,
 };
 pub use fit::{fit_delay_policy, fit_morphing_policy, fit_size_policy};
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use guard::CcaPhaseGuard;
 pub use policy::{DelaySpec, ObfuscationPolicy, SizeSpec};
 pub use registry::{DefenseBinding, PolicyKey, PolicyRegistry};

@@ -470,4 +470,81 @@ mod tests {
         writer.join().expect("writer panicked");
         assert_eq!(r.len(), 101);
     }
+
+    /// The fleet regime: many threads resolving defenses through one
+    /// registry while bindings are concurrently attached and replaced.
+    /// Every resolution must observe a coherent binding (never a torn
+    /// one), and the version counter must end exactly at the mutation
+    /// count.
+    #[test]
+    fn concurrent_attach_and_resolve_defense() {
+        use std::thread;
+        let r = PolicyRegistry::new();
+        let v0 = r.version();
+        r.bind_defense(
+            PolicyKey::Default,
+            Arc::new(ObfuscationPolicy::passthrough("default")),
+            Placement::Stack,
+        );
+        let resolvers: Vec<_> = (0..4)
+            .map(|t| {
+                let rr = r.clone();
+                thread::spawn(move || {
+                    for i in 0..2_000u32 {
+                        let b = rr
+                            .resolve_defense(t * 10_000 + i, i % 16)
+                            .expect("default binding always present");
+                        // A coherent binding: name readable, placement
+                        // one of the two variants.
+                        let name = b.defense.name().to_string();
+                        assert!(name == "default" || name.starts_with("site-"), "{name}");
+                        let _ = b.placement;
+                    }
+                })
+            })
+            .collect();
+        let attachers: Vec<_> = (0..2)
+            .map(|a| {
+                let rw = r.clone();
+                thread::spawn(move || {
+                    for i in 0..500u32 {
+                        // Repeatedly attach and replace destination-
+                        // scoped defenses, as a control plane rolling
+                        // out policy updates across a fleet would.
+                        rw.bind_defense(
+                            PolicyKey::Destination(i % 16),
+                            Arc::new(ObfuscationPolicy::passthrough(&format!(
+                                "site-{}-{a}",
+                                i % 16
+                            ))),
+                            if i % 2 == 0 {
+                                Placement::Stack
+                            } else {
+                                Placement::App
+                            },
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in resolvers {
+            h.join().expect("resolver panicked");
+        }
+        for h in attachers {
+            h.join().expect("attacher panicked");
+        }
+        // 1 default bind + 2 × 500 attacher binds, each bumping once.
+        assert_eq!(r.version(), v0 + 1 + 1_000);
+        // All 16 destinations end bound; resolution prefers them over
+        // the default.
+        for d in 0..16u32 {
+            let name = r
+                .resolve_defense(999_999, d)
+                .unwrap()
+                .defense
+                .name()
+                .to_string();
+            assert!(name.starts_with(&format!("site-{d}-")), "{name}");
+        }
+    }
 }

@@ -1,45 +1,24 @@
 //! The discrete-event queue.
 //!
-//! A classic calendar queue over a binary heap. Determinism matters more
-//! than raw speed here: events scheduled for the same instant are delivered
-//! in scheduling order (FIFO tie-break via a monotone sequence number), so
-//! a simulation never depends on heap-internal ordering.
+//! Determinism matters more than raw speed here: events scheduled for
+//! the same instant are delivered in scheduling order (FIFO tie-break
+//! via a monotone sequence number), so a simulation never depends on
+//! container-internal ordering. Since the fleet-scale rework the queue
+//! is backed by the hierarchical timer wheel in [`crate::wheel`] —
+//! amortized O(1) schedule/pop instead of the original binary heap's
+//! O(log n) — but the contract is unchanged and this module's tests
+//! predate the swap.
 
 use crate::time::Nanos;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-struct Entry<E> {
-    at: Nanos,
-    seq: u64,
-    ev: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+use crate::wheel::TimerWheel;
 
 /// Time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// A thin clock-keeping wrapper over [`TimerWheel`]: it tracks `now`
+/// (the timestamp of the last popped event), clamps past-scheduling,
+/// and asserts pop monotonicity. All ordering logic lives in the wheel.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
+    wheel: TimerWheel<E>,
     now: Nanos,
 }
 
@@ -52,8 +31,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            wheel: TimerWheel::new(),
             now: Nanos::ZERO,
         }
     }
@@ -69,12 +47,7 @@ impl<E> EventQueue<E> {
     pub fn schedule_at(&mut self, at: Nanos, ev: E) {
         debug_assert!(at >= self.now, "event scheduled in the past");
         let at = at.max(self.now);
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            ev,
-        });
-        self.seq += 1;
+        self.wheel.push(at, ev);
     }
 
     /// Schedule `ev` after a delay relative to `now`.
@@ -84,29 +57,29 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        self.heap.pop().map(|e| {
+        self.wheel.pop().map(|(at, ev)| {
             debug_assert!(
-                e.at >= self.now,
+                at >= self.now,
                 "pop time went backwards: {} after {}",
-                e.at,
+                at,
                 self.now
             );
-            self.now = e.at;
-            (e.at, e.ev)
+            self.now = at;
+            (at, ev)
         })
     }
 
     /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|e| e.at)
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.wheel.peek_time()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 }
 
@@ -234,5 +207,77 @@ mod tests {
             let expected: Vec<u64> = (0..100).map(|k| s * 1000 + k).collect();
             assert_eq!(order[1..], expected, "shard {s}: FIFO interleaving");
         }
+    }
+
+    // ----- wheel-backing regression tests (ISSUE 8 satellite) -----
+
+    #[test]
+    fn fifo_tie_break_at_wheel_granularity_boundaries() {
+        // Same-instant bursts scheduled exactly at level-boundary ticks
+        // of the backing wheel (64 = level 0→1, 4096 = level 1→2, …)
+        // must still pop in scheduling order: boundary entries live one
+        // level up from their neighbours and reach level 0 by cascade,
+        // a path that could plausibly lose the sequence ordering.
+        let boundaries = [64u64, 4096, 1 << 18, 1 << 24, 1 << 30];
+        for &b in &boundaries {
+            let mut q = EventQueue::new();
+            // Straddle the boundary: events just before, exactly on,
+            // and just after, with interleaved scheduling order.
+            for i in 0..20u64 {
+                q.schedule_at(Nanos(b), 3 * i); // on the boundary
+                q.schedule_at(Nanos(b - 1), 3 * i + 1);
+                q.schedule_at(Nanos(b + 1), 3 * i + 2);
+            }
+            let mut before = Vec::new();
+            let mut on = Vec::new();
+            let mut after = Vec::new();
+            while let Some((at, e)) = q.pop() {
+                match at.as_nanos() {
+                    t if t == b - 1 => before.push(e),
+                    t if t == b => on.push(e),
+                    _ => after.push(e),
+                }
+            }
+            let expect = |r: u64| -> Vec<u64> { (0..20).map(|i| 3 * i + r).collect() };
+            assert_eq!(before, expect(1), "boundary {b}: t-1 FIFO");
+            assert_eq!(on, expect(0), "boundary {b}: on-tick FIFO");
+            assert_eq!(after, expect(2), "boundary {b}: t+1 FIFO");
+        }
+    }
+
+    #[test]
+    fn timer_on_exact_rollover_tick_is_not_lost_or_early() {
+        // Timers scheduled exactly on a wheel-level rollover tick (the
+        // first tick of a new level-k rotation, relative to a non-zero
+        // clock) are the classic off-by-one spot for wheel cursors.
+        let mut q = EventQueue::new();
+        // Advance the clock to just before a level-1 rotation boundary.
+        q.schedule_at(Nanos(4095), "pre");
+        assert_eq!(q.pop(), Some((Nanos(4095), "pre")));
+        // Now schedule exactly on the rollover tick and beyond it.
+        q.schedule_at(Nanos(4096), "rollover");
+        q.schedule_at(Nanos(4096), "rollover-2");
+        q.schedule_at(Nanos(8192), "next-rotation");
+        assert_eq!(q.pop(), Some((Nanos(4096), "rollover")));
+        assert_eq!(q.pop(), Some((Nanos(4096), "rollover-2")));
+        assert_eq!(q.pop(), Some((Nanos(8192), "next-rotation")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), Nanos(8192));
+    }
+
+    #[test]
+    fn far_future_timers_take_the_overflow_level_and_return() {
+        // Beyond the wheel span (~68.7 simulated seconds) timers live in
+        // the sorted overflow level; they must deliver at the exact tick
+        // with FIFO ordering intact, interleaved with near timers.
+        let span = 1u64 << 36;
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(2 * span + 7), "far-a");
+        q.schedule_at(Nanos(2 * span + 7), "far-b");
+        q.schedule_at(Nanos(10), "near");
+        assert_eq!(q.pop(), Some((Nanos(10), "near")));
+        assert_eq!(q.pop(), Some((Nanos(2 * span + 7), "far-a")));
+        assert_eq!(q.pop(), Some((Nanos(2 * span + 7), "far-b")));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -28,11 +28,13 @@ pub mod json;
 pub mod link;
 pub mod packet;
 pub mod par;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod wheel;
 
 pub use audit::{AuditReport, Auditor, Invariant, Violation};
 pub use capture::{Capture, CaptureRecord, Direction};
@@ -42,6 +44,7 @@ pub use json::{Json, JsonError};
 pub use link::Link;
 pub use packet::{FlowId, Packet, PacketKind, PacketMeta};
 pub use par::{par_map, par_map_catch, par_map_n, par_run, Timings};
+pub use pool::{Arena, ArenaHandle, VecPool};
 pub use queue::{DropTailQueue, QueueStats};
 pub use rng::SimRng;
 pub use stats::{percentile, percentile_sorted, Histogram, RunningStats};

@@ -1,0 +1,476 @@
+//! A hierarchical timer wheel — the many-event backbone of the
+//! discrete-event queue.
+//!
+//! The original [`crate::EventQueue`] sat on a binary heap: `O(log n)`
+//! per operation with a constant that grows with queue depth. At fleet
+//! scale (one shard interleaving tens of thousands of flows, millions of
+//! timer events per simulated second) the heap's comparison-and-swap
+//! churn dominates the event loop. A timer wheel makes both `push` and
+//! `pop` amortized `O(1)`: an event at time `t` lands in the slot
+//! `t >> (SLOT_BITS · level)` of the shallowest level whose span covers
+//! its distance from the cursor *and* whose slot is unambiguous from the
+//! cursor's rotation (an event almost a full rotation ahead can hash
+//! into the cursor's own slot — it goes one level coarser), and expiry
+//! walks occupancy bitmaps instead of rebalancing a heap.
+//!
+//! Layout: [`LEVELS`] levels of [`SLOTS`] slots each. Level 0 resolves
+//! single nanosecond ticks; each higher level is `SLOTS`× coarser. The
+//! whole wheel spans `SLOTS^LEVELS` ns (≈ 68.7 simulated seconds) ahead
+//! of the cursor; timers beyond that go to a *sorted overflow level*
+//! (a `Vec` ordered by `(time, seq)`) and migrate into the wheel when
+//! the cursor approaches them. Coarse slots *cascade*: when the cursor
+//! reaches a level-`k` slot, its entries redistribute into lower levels,
+//! so every event is ultimately delivered from level 0 at exact-tick
+//! resolution.
+//!
+//! # Determinism
+//!
+//! Delivery order is `(time, seq)` — identical to the heap it replaced.
+//! Same-instant events pop in scheduling order (FIFO) regardless of the
+//! path they took through the wheel: a level-0 slot holds exactly one
+//! tick's worth of entries and is sorted by sequence number at drain
+//! time, so entries that arrived by cascade, by overflow migration, or
+//! by direct scheduling interleave correctly. The simulator's committed
+//! goldens byte-depend on this property.
+//!
+//! ```
+//! use netsim::wheel::TimerWheel;
+//! use netsim::Nanos;
+//!
+//! let mut w = TimerWheel::new();
+//! // Two events at the same instant — on a level-0/level-1 boundary
+//! // tick (64 = SLOTS), where cascade order could plausibly leak.
+//! w.push(Nanos(64), "first");
+//! w.push(Nanos(64), "second");
+//! w.push(Nanos(10), "earliest");
+//! assert_eq!(w.pop(), Some((Nanos(10), "earliest")));
+//! // FIFO tie-break: scheduling order survives the wheel.
+//! assert_eq!(w.pop(), Some((Nanos(64), "first")));
+//! assert_eq!(w.pop(), Some((Nanos(64), "second")));
+//! assert_eq!(w.pop(), None);
+//! ```
+#![deny(missing_docs)]
+
+use crate::time::Nanos;
+use std::collections::VecDeque;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level (64 — one occupancy bit per `u64` word bit).
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; deeper timers spill into the overflow list.
+pub const LEVELS: usize = 6;
+/// Ticks (ns) the wheel proper spans ahead of the cursor: `64^6`.
+pub const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    ev: E,
+}
+
+/// Hierarchical timer wheel with deterministic `(time, seq)` delivery.
+///
+/// The wheel assigns sequence numbers internally on [`push`](Self::push);
+/// [`crate::EventQueue`] wraps it with the clock bookkeeping
+/// (`now`, past-scheduling clamps) the simulator API exposes.
+pub struct TimerWheel<E> {
+    /// `LEVELS × SLOTS` buckets, indexed `level * SLOTS + slot`.
+    slots: Vec<Vec<Entry<E>>>,
+    /// One occupancy bitmap per level (bit `s` = slot `s` non-empty).
+    occ: [u64; LEVELS],
+    /// Far-future timers (beyond [`SPAN`]), sorted by `(at, seq)`.
+    overflow: Vec<Entry<E>>,
+    /// Settled entries ready for delivery, sorted by `(at, seq)`. Also
+    /// absorbs entries scheduled behind the cursor (the cursor may run
+    /// ahead of the caller's clock after a peek).
+    near: VecDeque<Entry<E>>,
+    /// Wheel position: every entry in `slots`/`overflow` is `>= cursor`.
+    cursor: u64,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// An empty wheel with its cursor at t = 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            overflow: Vec::new(),
+            near: VecDeque::new(),
+            cursor: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `ev` at absolute time `at`, assigning the next sequence
+    /// number (FIFO among same-instant events).
+    pub fn push(&mut self, at: Nanos, ev: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let e = Entry {
+            at: at.as_nanos(),
+            seq,
+            ev,
+        };
+        if e.at < self.cursor {
+            // Behind the settled cursor (legal when the caller's clock
+            // lags a peek): keep it in the sorted near list.
+            let pos = self.near.partition_point(|n| (n.at, n.seq) < (e.at, e.seq));
+            self.near.insert(pos, e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Timestamp of the next event, settling the wheel (cascades and
+    /// overflow migration) so the answer is exact.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.settle().map(Nanos)
+    }
+
+    /// Pop the earliest event in `(time, seq)` order.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.settle()?;
+        let e = self.near.pop_front()?;
+        self.len -= 1;
+        Some((Nanos(e.at), e.ev))
+    }
+
+    /// Insert an entry at or ahead of the cursor into the wheel proper
+    /// or the overflow list.
+    fn place(&mut self, e: Entry<E>) {
+        debug_assert!(e.at >= self.cursor);
+        let d = e.at - self.cursor;
+        if d >= SPAN {
+            let pos = self
+                .overflow
+                .partition_point(|o| (o.at, o.seq) < (e.at, e.seq));
+            self.overflow.insert(pos, e);
+            return;
+        }
+        let mut level = level_for(d);
+        loop {
+            if level >= LEVELS {
+                // Rotation-ambiguous even at the top level (distance just
+                // under SPAN landing in the cursor's own slot): park it in
+                // the sorted overflow list instead.
+                let pos = self
+                    .overflow
+                    .partition_point(|o| (o.at, o.seq) < (e.at, e.seq));
+                self.overflow.insert(pos, e);
+                return;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let slot = ((e.at >> shift) & (SLOTS as u64 - 1)) as usize;
+            let cur_slot = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as usize;
+            let ent_rot = e.at >> (shift + SLOT_BITS);
+            let cur_rot = self.cursor >> (shift + SLOT_BITS);
+            // The occupancy bitmap cannot distinguish rotations, so an
+            // entry may only occupy a slot `next_candidate` will read at
+            // the entry's true time: either the cursor's own rotation, or
+            // the next rotation in a slot the cursor has already passed
+            // (the `wrapped` branch). Anything else — most notably an
+            // entry almost a full rotation ahead that hashes into the
+            // cursor's *current* slot — would read a rotation early and
+            // livelock the cascade; push it one level coarser instead.
+            if ent_rot == cur_rot || (ent_rot == cur_rot + 1 && slot < cur_slot) {
+                self.slots[level * SLOTS + slot].push(e);
+                self.occ[level] |= 1 << slot;
+                return;
+            }
+            level += 1;
+        }
+    }
+
+    /// Earliest occupied wheel position as `(slot_start_time, level,
+    /// slot)`. Slot starts under-estimate their entries' times at coarse
+    /// levels; `settle` refines by cascading. Ties prefer the coarser
+    /// level so same-time entries merge before delivery.
+    fn next_candidate(&self) -> Option<(u64, usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for level in 0..LEVELS {
+            let occ = self.occ[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let cur_slot = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+            // First occupied slot at/after the cursor's slot in this
+            // rotation, else the first occupied slot of the next one.
+            let ahead = occ & (u64::MAX << cur_slot);
+            let (slot, wrapped) = if ahead != 0 {
+                (ahead.trailing_zeros(), false)
+            } else {
+                (occ.trailing_zeros(), true)
+            };
+            let rotation = 1u64 << (shift + SLOT_BITS);
+            let base = self.cursor & !(rotation - 1);
+            let mut time = base + ((slot as u64) << shift);
+            if wrapped {
+                time += rotation;
+            }
+            // The slot containing the cursor starts at or before it.
+            let time = time.max(self.cursor);
+            match best {
+                // `>=`: on equal times the coarser (later-visited) level
+                // wins, so cascades run before level-0 delivery.
+                Some((t, _, _)) if t >= time => best = Some((time, level, slot as usize)),
+                None => best = Some((time, level, slot as usize)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Drive cascades and overflow migration until the earliest pending
+    /// event sits at the front of `near`; returns its timestamp.
+    fn settle(&mut self) -> Option<u64> {
+        loop {
+            let near_t = self.near.front().map(|e| e.at);
+            let wheel = self.next_candidate();
+            let over_t = self.overflow.first().map(|e| e.at);
+
+            // Near wins only strictly: a wheel slot or overflow entry
+            // due at the same instant may hold lower sequence numbers
+            // and must merge in first.
+            if let Some(nt) = near_t {
+                let wheel_due = wheel.is_some_and(|(t, _, _)| t <= nt);
+                let over_due = over_t.is_some_and(|t| t <= nt);
+                if !wheel_due && !over_due {
+                    return Some(nt);
+                }
+            } else if wheel.is_none() && over_t.is_none() {
+                return None;
+            }
+
+            // Overflow head due before (or at) the wheel's earliest
+            // slot: advance the cursor to it — safe, nothing in the
+            // wheel is earlier — and migrate everything now in span.
+            let over_first = match (over_t, wheel) {
+                (Some(o), Some((w, _, _))) => o <= w,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if over_first {
+                crate::tm_counter!("netsim.wheel.overflow_migrations").inc();
+                self.cursor = self.cursor.max(self.overflow[0].at);
+                let n = self.overflow.partition_point(|o| o.at - self.cursor < SPAN);
+                let moved: Vec<Entry<E>> = self.overflow.drain(..n).collect();
+                for e in moved {
+                    self.place(e);
+                }
+                continue;
+            }
+
+            let (time, level, slot) = wheel.expect("candidate exists past the guards");
+            self.cursor = self.cursor.max(time);
+            let batch = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            self.occ[level] &= !(1 << slot);
+            if level == 0 {
+                // One exact tick: sort by seq and merge into `near`.
+                self.merge_near(batch);
+            } else {
+                // Cascade: with the cursor at the slot start, every
+                // entry re-maps strictly below `level`.
+                crate::tm_counter!("netsim.wheel.cascades").inc();
+                for e in batch {
+                    self.place(e);
+                }
+            }
+        }
+    }
+
+    /// Merge a drained batch into the sorted near list by `(at, seq)`.
+    fn merge_near(&mut self, mut batch: Vec<Entry<E>>) {
+        batch.sort_by_key(|e| e.seq);
+        if self.near.is_empty() {
+            self.near.extend(batch);
+            return;
+        }
+        let old = std::mem::take(&mut self.near);
+        let mut a = old.into_iter().peekable();
+        let mut b = batch.into_iter().peekable();
+        while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+            if (x.at, x.seq) <= (y.at, y.seq) {
+                self.near.push_back(a.next().expect("peeked"));
+            } else {
+                self.near.push_back(b.next().expect("peeked"));
+            }
+        }
+        self.near.extend(a);
+        self.near.extend(b);
+    }
+}
+
+/// Level whose span covers a distance of `d` ticks from the cursor.
+fn level_for(d: u64) -> usize {
+    if d < SLOTS as u64 {
+        0
+    } else {
+        ((63 - d.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_mapping_covers_the_span() {
+        assert_eq!(level_for(0), 0);
+        assert_eq!(level_for(63), 0);
+        assert_eq!(level_for(64), 1);
+        assert_eq!(level_for((1 << 12) - 1), 1);
+        assert_eq!(level_for(1 << 12), 2);
+        assert_eq!(level_for(SPAN - 1), LEVELS - 1);
+    }
+
+    #[test]
+    fn delivers_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        // A spread that hits every level plus the overflow list.
+        let times: Vec<u64> = vec![
+            5,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 18,
+            (1 << 18) + 1,
+            SPAN - 1,
+            SPAN,
+            SPAN + 12345,
+            3 * SPAN,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(Nanos(t), i);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((at, _)) = w.pop() {
+            got.push(at.as_nanos());
+        }
+        assert_eq!(got, sorted);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fifo_across_cascade_and_direct_insert() {
+        // An entry cascading down from level 1 must still deliver before
+        // a later-scheduled entry at the same instant that was inserted
+        // directly into level 0.
+        let mut w = TimerWheel::new();
+        w.push(Nanos(100), "early-seq-far-insert"); // level 1 at cursor 0
+        w.push(Nanos(99), "advance");
+        assert_eq!(w.pop().unwrap().1, "advance"); // cursor near 100
+        w.push(Nanos(100), "late-seq-near-insert"); // level 0 directly
+        assert_eq!(w.pop().unwrap().1, "early-seq-far-insert");
+        assert_eq!(w.pop().unwrap().1, "late-seq-near-insert");
+    }
+
+    #[test]
+    fn fifo_across_overflow_and_wheel() {
+        // Overflow migration must not reorder same-instant entries: the
+        // overflow entry has the older sequence number and pops first.
+        let t = SPAN + 500;
+        let mut w = TimerWheel::new();
+        w.push(Nanos(t), "from-overflow");
+        w.push(Nanos(t - 10), "mover");
+        assert_eq!(w.pop().unwrap().1, "mover"); // cursor now in range
+        w.push(Nanos(t), "from-wheel");
+        assert_eq!(w.pop().unwrap().1, "from-overflow");
+        assert_eq!(w.pop().unwrap().1, "from-wheel");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_behind_cursor_after_peek() {
+        let mut w = TimerWheel::new();
+        w.push(Nanos(1_000_000), 1u32);
+        // Peek settles the cursor forward to the event.
+        assert_eq!(w.peek_time(), Some(Nanos(1_000_000)));
+        // Scheduling before the settled cursor must still deliver in
+        // time order.
+        w.push(Nanos(500), 2);
+        w.push(Nanos(400), 3);
+        assert_eq!(w.pop(), Some((Nanos(400), 3)));
+        assert_eq!(w.pop(), Some((Nanos(500), 2)));
+        assert_eq!(w.pop(), Some((Nanos(1_000_000), 1)));
+    }
+
+    #[test]
+    fn dense_same_instant_burst_is_fifo() {
+        let mut w = TimerWheel::new();
+        for i in 0..500u64 {
+            w.push(Nanos(4096), i); // exactly a level-1→2 boundary tick
+        }
+        for i in 0..500u64 {
+            assert_eq!(w.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn randomized_against_reference_sort() {
+        let mut rng = crate::SimRng::new(0x77EE1);
+        let mut w = TimerWheel::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (at, seq)
+        let mut cursor_floor = 0u64;
+        let mut popped = Vec::new();
+        for (seq, round) in (0..2_000u64).enumerate() {
+            let seq = seq as u64;
+            // Mixed horizon: same-tick, near, far, beyond-span.
+            let spread = match round % 4 {
+                0 => rng.range_u64(0, 64),
+                1 => rng.range_u64(0, 5_000),
+                2 => rng.range_u64(0, SPAN / 2),
+                _ => rng.range_u64(0, 2 * SPAN),
+            };
+            let at = cursor_floor + spread;
+            w.push(Nanos(at), seq);
+            reference.push((at, seq));
+            if round % 3 == 0 {
+                if let Some((t, s)) = w.pop() {
+                    popped.push((t.as_nanos(), s));
+                    cursor_floor = t.as_nanos();
+                }
+            }
+        }
+        while let Some((t, s)) = w.pop() {
+            popped.push((t.as_nanos(), s));
+        }
+        // Every event delivered exactly once, in (time, seq) order
+        // among the still-pending set at each step; the end-to-end
+        // check: the popped multiset equals the scheduled multiset and
+        // times never decrease.
+        let mut sched = reference.clone();
+        sched.sort_unstable();
+        let mut got = popped.clone();
+        got.sort_unstable();
+        assert_eq!(got, sched);
+        for pair in popped.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "time went backwards: {pair:?}");
+        }
+    }
+}

@@ -253,6 +253,18 @@ impl EgressLabels {
         delay_histo: "stack.replay.extra_delay_ns",
         retransmit_counter: None,
     };
+
+    /// Labels for the fleet engine (`stob::fleet`): many concurrent
+    /// defended flows each drive their own pipeline, interleaved on a
+    /// per-shard timer wheel instead of live transport state.
+    pub const FLEET: EgressLabels = EgressLabels {
+        layer: "fleet",
+        reseg_event: "fleet-pkts",
+        reseg_counter: "stack.fleet.resegmented",
+        resize_counter: "stack.fleet.pkts_resized",
+        delay_histo: "stack.fleet.extra_delay_ns",
+        retransmit_counter: None,
+    };
 }
 
 /// A counter handle resolved from the registry on first use, so merely

@@ -38,5 +38,5 @@ pub mod tls;
 pub use config::{HostConfig, PathConfig, StackConfig};
 pub use cpu::{Cpu, CpuModel};
 pub use egress::{EgressLabels, EgressPipeline, FlowStats, TransportCore};
-pub use net::{Api, App, AppEvent, Network, CLIENT, SERVER};
+pub use net::{Api, App, AppEvent, FlowTable, Network, CLIENT, SERVER};
 pub use shaper::{NoopShaper, ShapeCtx, Shaper};

@@ -2,6 +2,7 @@
 //! model, the qdisc, and the NIC — everything below the application on
 //! one side of the path.
 
+use super::table::FlowTable;
 use crate::config::HostConfig;
 use crate::cpu::Cpu;
 use crate::egress::TransportCore;
@@ -9,8 +10,7 @@ use crate::nic::Nic;
 use crate::qdisc::FqQdisc;
 use crate::quic::QuicConn;
 use crate::tcp::TcpConn;
-use netsim::{FlowId, Nanos};
-use std::collections::BTreeMap;
+use netsim::Nanos;
 
 /// A transport endpoint: the stack supports TCP and QUIC side by side
 /// (Figure 1's columns share everything below the transport layer), plus
@@ -70,11 +70,11 @@ pub(super) struct Host {
     pub(super) cpu: Cpu,
     pub(super) nic: Nic,
     pub(super) qdisc: FqQdisc,
-    pub(super) conns: BTreeMap<FlowId, Transport>,
+    pub(super) conns: FlowTable<Transport>,
     /// Earliest pending QdiscCheck, to avoid event storms.
     pub(super) next_check: Option<Nanos>,
     /// Armed stall watchdogs, per flow (see `Api::watch`).
-    pub(super) watch: BTreeMap<FlowId, Watch>,
+    pub(super) watch: FlowTable<Watch>,
     /// Monotonic arm counter feeding `Watch::gen`.
     pub(super) watch_gen: u64,
 }
@@ -85,9 +85,9 @@ impl Host {
             cpu: Cpu::new(cfg.cpu),
             nic: Nic::new(cfg.nic_rate_bps),
             qdisc: FqQdisc::new(),
-            conns: BTreeMap::new(),
+            conns: FlowTable::new(),
             next_check: None,
-            watch: BTreeMap::new(),
+            watch: FlowTable::new(),
             watch_gen: 0,
             cfg,
         }

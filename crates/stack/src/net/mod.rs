@@ -15,17 +15,21 @@
 //!   NIC);
 //! * `delivery` — event handlers and the path datapath (qdisc→NIC,
 //!   bottleneck, faults, arrival/passive open);
+//! * [`table`] — the dense [`FlowTable`] keying per-flow state (shared
+//!   with the fleet engine's per-shard tables);
 //! * `api` — the application-facing [`Api`] handle.
 
 mod api;
 mod delivery;
 mod host;
+pub mod table;
 #[cfg(test)]
 mod tests;
 #[cfg(test)]
 mod tests_faults;
 
 pub use api::{Api, AppEvent};
+pub use table::FlowTable;
 
 use crate::config::{HostConfig, PathConfig};
 use crate::cpu::Cpu;

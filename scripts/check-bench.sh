@@ -10,16 +10,22 @@
 #      any headline metric more than TOLERANCE x worse fails
 #      (generous bound — CI runners are noisy; exact numbers are
 #      refreshed locally per PR, see PERF.md).
+#   4. Same three steps for the fleet campaign (`fleet --quick`,
+#      BENCH_8.json): the quick run itself exits non-zero on any
+#      auditor violation or a peak residency below 100k flows, and its
+#      deterministic checks must byte-match at 1 vs 4 threads.
 #
-# Usage: scripts/check-bench.sh [BENCH_FILE] [TOLERANCE]
+# Usage: scripts/check-bench.sh [BENCH_FILE] [TOLERANCE] [FLEET_BENCH_FILE]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${1:-BENCH_6.json}"
 TOLERANCE="${2:-2.5}"
+FLEET_BENCH="${3:-BENCH_8.json}"
 BIN=target/release/perf
+FLEET_BIN=target/release/fleet
 
-cargo build --release -q -p stob-bench --bin perf
+cargo build --release -q -p stob-bench --bin perf --bin fleet
 
 "$BIN" --validate "$BENCH"
 echo "check-bench: $BENCH schema and speedup floors OK"
@@ -40,3 +46,20 @@ echo "check-bench: perf checks byte-identical at 1 and 4 threads"
 
 "$BIN" --compare "$BENCH" "$tmp/fresh.json" --tolerance "$TOLERANCE" >/dev/null
 echo "check-bench: no metric more than ${TOLERANCE}x worse than $BENCH"
+
+"$FLEET_BIN" --validate "$FLEET_BENCH"
+echo "check-bench: $FLEET_BENCH schema, residency floor, zero violations OK"
+
+STOB_THREADS=1 "$FLEET_BIN" --quick \
+    --out "$tmp/fleet_fresh.json" --checks-out "$tmp/fleet_checks_t1.json" 2>/dev/null
+STOB_THREADS=4 "$FLEET_BIN" --quick \
+    --out "$tmp/fleet_fresh_t4.json" --checks-out "$tmp/fleet_checks_t4.json" 2>/dev/null
+if ! cmp -s "$tmp/fleet_checks_t1.json" "$tmp/fleet_checks_t4.json"; then
+    echo "check-bench: FAIL — fleet checks differ between 1 and 4 threads" >&2
+    diff "$tmp/fleet_checks_t1.json" "$tmp/fleet_checks_t4.json" >&2 || true
+    exit 1
+fi
+echo "check-bench: fleet checks byte-identical at 1 and 4 threads"
+
+"$FLEET_BIN" --compare "$FLEET_BENCH" "$tmp/fleet_fresh.json" --tolerance "$TOLERANCE" >/dev/null
+echo "check-bench: no fleet rate more than ${TOLERANCE}x worse than $FLEET_BENCH"

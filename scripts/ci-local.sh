@@ -27,8 +27,10 @@ run cmp "$fault_t1" "$fault_t4"
 
 run scripts/check-golden.sh
 
-# Perf smoke: committed BENCH schema + speedup floors, deterministic
-# perf checks at 1 vs 4 threads, and the >2.5x regression gate.
+# Perf + fleet smoke: committed BENCH schemas + speedup floors,
+# deterministic perf and fleet checks at 1 vs 4 threads (the fleet
+# quick run fails on any auditor violation or <100k peak residency),
+# and the >2.5x regression gates.
 run scripts/check-bench.sh
 
 # Chaos soak: recovery runtime must rescue the fault grid (and the
