@@ -70,7 +70,7 @@ fn main() {
 
     // Placement axis: every defense runs once per placement. The grid is
     // flattened so each (defense, placement) cell is one fan-out job.
-    let grid: Vec<(DefenseKind, Placement)> = DefenseKind::ALL
+    let grid: Vec<(DefenseKind, Placement)> = DefenseKind::WITH_MACHINES
         .iter()
         .flat_map(|&k| Placement::ALL.iter().map(move |&p| (k, p)))
         .collect();

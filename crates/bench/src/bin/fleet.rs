@@ -36,6 +36,10 @@
 //! flags), `STOB_FLEET_FLOWS` / `STOB_FLEET_SHARDS` (workload
 //! overrides — these change the checks object, so only use them for
 //! local exploration, never under `scripts/check-bench.sh`).
+//! `STOB_FLEET_MACHINE=<path>` additionally publishes a machine-spec
+//! JSON file (see `stob::machine`) as the host-wide default defense via
+//! the sockopt control plane — the defenses-as-data path at fleet
+//! scale. It also changes the checks object; local exploration only.
 
 use defenses::front::FrontConfig;
 use defenses::FrontDefense;
@@ -172,6 +176,16 @@ fn run(quick: bool, out: Option<String>, checks_out: Option<String>) {
         netsim::par::threads()
     );
     let reg = build_registry(cfg.sites);
+    // Operator-pushed machine defense: a JSON spec published through the
+    // same control plane any live host would use, overriding the default
+    // binding for this run. No recompile — the point of the exercise.
+    if let Ok(path) = std::env::var("STOB_FLEET_MACHINE") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read STOB_FLEET_MACHINE {path}: {e}")));
+        let name = stob::publish_machine_json(&reg, PolicyKey::Default, &text, Placement::Stack)
+            .unwrap_or_else(|e| die(&format!("STOB_FLEET_MACHINE rejected: {e}")));
+        eprintln!("[fleet] machine defense \"{name}\" bound as default from {path}");
+    }
     let t0 = Instant::now();
     let report = run_fleet(&cfg, &reg);
     let wall = t0.elapsed().as_secs_f64();

@@ -3,18 +3,26 @@
 //!
 //! Shared by `defense_matrix` (the accuracy/overhead grid) and `perf`
 //! (the emulate-vs-enforce ns/packet families), so both always cover the
-//! same ten rows under the same display names — the names are part of
+//! same rows under the same display names — the names are part of
 //! the committed golden (`tests/golden/defense_matrix.json`) and the
 //! `BENCH_<n>.json` schema, so they must not drift between binaries.
+//! `ALL` is the original ten-row suite (the `BENCH_<n>.json` schema);
+//! `WITH_MACHINES` appends the three machine-backed rows the defense
+//! matrix also covers.
 
 use defenses::buflo::{BufloConfig, TamarawConfig};
 use defenses::emulate::{CounterMeasure, EmulateConfig, Section3Defense};
 use defenses::front::{FrontConfig, FrontDefense};
+use defenses::machines::{
+    constant_machine, front_machine, scrambler_machine, ConstantConfig, ScramblerConfig,
+};
 use defenses::regulator::{RegulatorConfig, RegulatorDefense};
 use defenses::surakav::{SurakavConfig, SurakavDefense};
 use defenses::wtfpad::{WtfPadConfig, WtfPadDefense};
 use defenses::{BufloDefense, TamarawDefense};
+use netsim::json::Json;
 use stob::defense::Defense;
+use stob::machine::{MachineDefense, MachineSpec};
 use stob::policy::ObfuscationPolicy;
 
 /// One row of the defense suite.
@@ -30,6 +38,13 @@ pub enum DefenseKind {
     Surakav,
     Tamaraw,
     Buflo,
+    /// FRONT expressed as a data machine (proven to replay the native
+    /// adapter's rng draws — see `defenses::machines`).
+    MachineFront,
+    /// Constant-rate cover traffic as a data machine.
+    MachineConstant,
+    /// Reactive burst padding as a data machine.
+    MachineScrambler,
 }
 
 impl DefenseKind {
@@ -46,6 +61,33 @@ impl DefenseKind {
         DefenseKind::Buflo,
     ];
 
+    /// The machine-backed rows (defenses-as-data, JSON-round-tripped
+    /// through the wire codec before every run).
+    pub const MACHINES: [DefenseKind; 3] = [
+        DefenseKind::MachineFront,
+        DefenseKind::MachineConstant,
+        DefenseKind::MachineScrambler,
+    ];
+
+    /// `ALL` plus the machine rows, machines appended last so the
+    /// original rows keep their grid positions (and per-cell rng forks)
+    /// in the defense matrix.
+    pub const WITH_MACHINES: [DefenseKind; 13] = [
+        DefenseKind::None,
+        DefenseKind::Split,
+        DefenseKind::Delayed,
+        DefenseKind::Combined,
+        DefenseKind::WtfPad,
+        DefenseKind::Front,
+        DefenseKind::Regulator,
+        DefenseKind::Surakav,
+        DefenseKind::Tamaraw,
+        DefenseKind::Buflo,
+        DefenseKind::MachineFront,
+        DefenseKind::MachineConstant,
+        DefenseKind::MachineScrambler,
+    ];
+
     /// Display name (stable: committed goldens and bench schemas use it).
     pub fn name(self) -> &'static str {
         match self {
@@ -59,6 +101,9 @@ impl DefenseKind {
             DefenseKind::Surakav => "Surakav (lite)",
             DefenseKind::Tamaraw => "Tamaraw",
             DefenseKind::Buflo => "BuFLO",
+            DefenseKind::MachineFront => "FRONT (machine)",
+            DefenseKind::MachineConstant => "Constant (machine)",
+            DefenseKind::MachineScrambler => "Scrambler (machine)",
         }
     }
 
@@ -75,6 +120,9 @@ impl DefenseKind {
             DefenseKind::Surakav => "surakav",
             DefenseKind::Tamaraw => "tamaraw",
             DefenseKind::Buflo => "buflo",
+            DefenseKind::MachineFront => "mfront",
+            DefenseKind::MachineConstant => "mconstant",
+            DefenseKind::MachineScrambler => "mscrambler",
         }
     }
 
@@ -100,8 +148,28 @@ impl DefenseKind {
             DefenseKind::Surakav => Box::new(SurakavDefense::new(SurakavConfig::default())),
             DefenseKind::Tamaraw => Box::new(TamarawDefense::new(TamarawConfig::default())),
             DefenseKind::Buflo => Box::new(BufloDefense::new(BufloConfig::default())),
+            DefenseKind::MachineFront => machine_row(front_machine(&FrontConfig::default())),
+            DefenseKind::MachineConstant => {
+                machine_row(constant_machine(&ConstantConfig::default()))
+            }
+            DefenseKind::MachineScrambler => {
+                machine_row(scrambler_machine(&ScramblerConfig::default()))
+            }
         }
     }
+}
+
+/// Build a machine row the way an operator would ship it: serialize the
+/// generated spec to its JSON wire form and decode it back, so the
+/// matrix exercises the full defenses-as-data path, not an in-memory
+/// shortcut.
+fn machine_row(spec: MachineSpec) -> Box<dyn Defense> {
+    let text = spec.to_json().to_string_compact();
+    let decoded = Json::parse(&text)
+        .ok()
+        .and_then(|j| MachineSpec::from_json(&j).ok())
+        .expect("generated machine specs round-trip");
+    Box::new(MachineDefense::new(decoded))
 }
 
 #[cfg(test)]
@@ -110,14 +178,17 @@ mod tests {
 
     #[test]
     fn suite_names_and_keys_are_unique() {
-        let mut names: Vec<&str> = DefenseKind::ALL.iter().map(|k| k.name()).collect();
+        let mut names: Vec<&str> = DefenseKind::WITH_MACHINES
+            .iter()
+            .map(|k| k.name())
+            .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), DefenseKind::ALL.len());
-        let mut keys: Vec<&str> = DefenseKind::ALL.iter().map(|k| k.key()).collect();
+        assert_eq!(names.len(), DefenseKind::WITH_MACHINES.len());
+        let mut keys: Vec<&str> = DefenseKind::WITH_MACHINES.iter().map(|k| k.key()).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert_eq!(keys.len(), DefenseKind::ALL.len());
+        assert_eq!(keys.len(), DefenseKind::WITH_MACHINES.len());
         assert!(keys
             .iter()
             .all(|k| k.chars().all(|c| c.is_ascii_lowercase())));
@@ -125,8 +196,17 @@ mod tests {
 
     #[test]
     fn every_spec_builds() {
-        for k in DefenseKind::ALL {
+        for k in DefenseKind::WITH_MACHINES {
             assert!(!k.spec().name().is_empty(), "{k:?}");
         }
+    }
+
+    #[test]
+    fn with_machines_preserves_the_original_grid_prefix() {
+        assert_eq!(&DefenseKind::WITH_MACHINES[..10], &DefenseKind::ALL[..]);
+        assert_eq!(
+            &DefenseKind::WITH_MACHINES[10..],
+            &DefenseKind::MACHINES[..]
+        );
     }
 }

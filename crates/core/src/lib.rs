@@ -44,12 +44,16 @@
 //! with an app-layer backend ([`defense::emulate_flow`]) and a stack
 //! backend ([`defense::enforce_flow`]) so the *same* decision logic can be
 //! evaluated at either placement, which is the paper's central comparison.
+//! The [`machine`] layer takes the last step: defenses themselves become
+//! *data* — serializable probabilistic state machines pushed through the
+//! registry/sockopt control plane at runtime, no rebuild required.
 
 pub mod breaker;
 pub mod defense;
 pub mod fit;
 pub mod fleet;
 pub mod guard;
+pub mod machine;
 pub mod policy;
 pub mod registry;
 pub mod safety;
@@ -64,11 +68,15 @@ pub use defense::{
 pub use fit::{fit_delay_policy, fit_morphing_policy, fit_size_policy};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use guard::CcaPhaseGuard;
+pub use machine::{
+    Action, DistSpec, Machine, MachineCore, MachineDefense, MachineEvent, MachineSpec, State,
+    Target, Transition,
+};
 pub use policy::{DelaySpec, ObfuscationPolicy, SizeSpec};
 pub use registry::{DefenseBinding, PolicyKey, PolicyRegistry};
 pub use safety::{SafetyAudit, SafetyCap};
 pub use sockopt::{
-    assemble_policy_shaper, attach_defense, attach_policy, attach_policy_checked, AttachResolution,
-    DefenseAttachment,
+    assemble_policy_shaper, attach_defense, attach_policy, attach_policy_checked,
+    publish_machine_json, AttachResolution, DefenseAttachment,
 };
 pub use strategies::{Chain, DelayJitter, HistogramSampler, IncrementalReduce, SplitThreshold};

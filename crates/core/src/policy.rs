@@ -123,22 +123,6 @@ impl ObfuscationPolicy {
     /// back to pass-through — shaping wrongly is worse than not shaping,
     /// and crashing the stack is worse than both.
     pub fn validate(&self) -> Result<(), String> {
-        // A histogram deserialized from an external source can claim a
-        // mass (`total`) its bins don't back up; sampling such a
-        // histogram silently skews toward the edge bins.
-        fn histogram_ok(h: &netsim::Histogram, what: &str) -> Result<(), String> {
-            if h.total == 0 {
-                return Err(format!("{what} histogram has no samples"));
-            }
-            let binned: u64 = h.counts.iter().sum();
-            if binned != h.total {
-                return Err(format!(
-                    "{what} histogram mass {} disagrees with binned count {binned}",
-                    h.total
-                ));
-            }
-            Ok(())
-        }
         match &self.size {
             SizeSpec::Unchanged => {}
             SizeSpec::SplitAbove { threshold } => {
@@ -210,7 +194,24 @@ impl ObfuscationPolicy {
     }
 }
 
-fn bad(msg: impl Into<String>) -> JsonError {
+/// A histogram deserialized from an external source can claim a mass
+/// (`total`) its bins don't back up; sampling such a histogram silently
+/// skews toward the edge bins. Shared with the machine-spec codec.
+pub(crate) fn histogram_ok(h: &netsim::Histogram, what: &str) -> Result<(), String> {
+    if h.total == 0 {
+        return Err(format!("{what} histogram has no samples"));
+    }
+    let binned: u64 = h.counts.iter().sum();
+    if binned != h.total {
+        return Err(format!(
+            "{what} histogram mass {} disagrees with binned count {binned}",
+            h.total
+        ));
+    }
+    Ok(())
+}
+
+pub(crate) fn bad(msg: impl Into<String>) -> JsonError {
     JsonError {
         offset: 0,
         message: msg.into(),
@@ -220,7 +221,10 @@ fn bad(msg: impl Into<String>) -> JsonError {
 /// Externally-tagged enum encoding: unit variants are plain strings,
 /// struct variants are `{"Variant": {fields...}}` — the same shape a
 /// serde derive would have produced, so exports stay familiar.
-fn variant<'a>(v: &'a Json, what: &str) -> Result<(&'a str, Option<&'a Json>), JsonError> {
+pub(crate) fn variant<'a>(
+    v: &'a Json,
+    what: &str,
+) -> Result<(&'a str, Option<&'a Json>), JsonError> {
     match v {
         Json::Str(tag) => Ok((tag.as_str(), None)),
         Json::Obj(entries) if entries.len() == 1 => {
@@ -230,7 +234,7 @@ fn variant<'a>(v: &'a Json, what: &str) -> Result<(&'a str, Option<&'a Json>), J
     }
 }
 
-fn tagged(tag: &str, body: Json) -> Json {
+pub(crate) fn tagged(tag: &str, body: Json) -> Json {
     Json::obj().set(tag, body)
 }
 

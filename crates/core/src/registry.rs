@@ -187,25 +187,70 @@ impl PolicyRegistry {
     /// padding schedule), bound at the stack placement — the policy
     /// table is one instantiation of the defense table.
     pub fn resolve_defense(&self, flow: u32, destination: u32) -> Option<DefenseBinding> {
+        self.resolve_defense_with_key(flow, destination)
+            .map(|(_, b)| b)
+    }
+
+    /// Like [`resolve_defense`](Self::resolve_defense), but also reports
+    /// *which* key the binding was found under — the flow class the
+    /// circuit breaker tracks attach outcomes against. The plain-policy
+    /// fallback reports the key its policy was found under.
+    pub fn resolve_defense_with_key(
+        &self,
+        flow: u32,
+        destination: u32,
+    ) -> Option<(PolicyKey, DefenseBinding)> {
         netsim::tm_counter!("stob.registry.resolutions").inc();
         let g = self.read();
-        g.defenses
-            .get(&PolicyKey::Flow(flow))
-            .or_else(|| g.defenses.get(&PolicyKey::Destination(destination)))
-            .or_else(|| g.defenses.get(&PolicyKey::Default))
-            .cloned()
-            .or_else(|| {
-                let policy = g
-                    .table
-                    .get(&PolicyKey::Flow(flow))
-                    .or_else(|| g.table.get(&PolicyKey::Destination(destination)))
-                    .or_else(|| g.table.get(&PolicyKey::Default))
-                    .cloned()?;
-                Some(DefenseBinding {
-                    defense: policy as Arc<dyn Defense>,
-                    placement: Placement::Stack,
-                })
-            })
+        let keys = [
+            PolicyKey::Flow(flow),
+            PolicyKey::Destination(destination),
+            PolicyKey::Default,
+        ];
+        for key in keys {
+            if let Some(b) = g.defenses.get(&key) {
+                return Some((key, b.clone()));
+            }
+        }
+        for key in keys {
+            if let Some(policy) = g.table.get(&key) {
+                return Some((
+                    key,
+                    DefenseBinding {
+                        defense: Arc::clone(policy) as Arc<dyn Defense>,
+                        placement: Placement::Stack,
+                    },
+                ));
+            }
+        }
+        None
+    }
+
+    /// Publish a [`MachineSpec`](crate::machine::MachineSpec) under
+    /// `key`: the defenses-as-data control-plane entry point. The spec
+    /// is validated first — a hostile or malformed spec is rejected (and
+    /// counted as a degradation) rather than bound, so a resolved
+    /// machine binding is always runnable. Re-binding an existing key
+    /// hot-swaps the machine for subsequent flows, like any policy
+    /// update. Returns the bound spec's name.
+    pub fn bind_machine(
+        &self,
+        key: PolicyKey,
+        spec: crate::machine::MachineSpec,
+        placement: Placement,
+    ) -> Result<String, String> {
+        if let Err(e) = spec.validate() {
+            self.note_degraded();
+            return Err(e);
+        }
+        netsim::tm_counter!("stob.registry.machine_binds").inc();
+        let name = spec.name.clone();
+        self.bind_defense(
+            key,
+            Arc::new(crate::machine::MachineDefense::new(spec)),
+            placement,
+        );
+        Ok(name)
     }
 
     /// Current mutation counter (for cache invalidation on the datapath).

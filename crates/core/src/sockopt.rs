@@ -172,6 +172,13 @@ pub enum DefenseAttachment {
         defense_name: String,
         reason: String,
     },
+    /// The registry's circuit breaker is open for the resolved key:
+    /// repeated build/validation failures tripped it, and this attempt
+    /// was shed to pass-through without rebuilding the defense.
+    Shed {
+        /// The resolved key whose circuit is open.
+        key: crate::registry::PolicyKey,
+    },
 }
 
 /// Resolve a [`crate::defense::Defense`] binding for `(flow,
@@ -191,27 +198,57 @@ pub fn attach_defense(
     seed: u64,
     rng: &mut SimRng,
 ) -> DefenseAttachment {
-    let Some(binding) = registry.resolve_defense(flow, destination) else {
+    let Some((key, binding)) = registry.resolve_defense_with_key(flow, destination) else {
         return DefenseAttachment::Unbound;
     };
+    if registry.breaker_admit(key) == Some(crate::breaker::Admission::Shed) {
+        return DefenseAttachment::Shed { key };
+    }
     let name = binding.defense.name().to_string();
     if binding.placement == Placement::App {
+        registry.breaker_record(key, true);
         return DefenseAttachment::AppLayer { defense_name: name };
     }
     let fd = binding.defense.build(&DefenseCtx::default(), rng);
     if let Err(reason) = fd.policy.validate() {
         registry.note_degraded();
+        registry.breaker_record(key, false);
         return DefenseAttachment::Degraded {
             defense_name: name,
             reason,
         };
     }
+    registry.breaker_record(key, true);
     let (guarded, audit) = assemble_policy_shaper(&fd.policy, seed, flow as u64);
     DefenseAttachment::Attached(AttachedShaper {
         inner: guarded,
         policy_name: fd.policy.name.clone(),
         audit,
     })
+}
+
+/// Publish a machine defense from its JSON wire form: the full
+/// defenses-as-data path an operator exercises — parse, decode, validate
+/// via [`PolicyRegistry::bind_machine`], bind under `key` at `placement`.
+/// No recompile, hot-swappable like any policy. A spec that fails to
+/// parse, decode, or validate is rejected with the registry's
+/// degradation counter bumped; it never reaches the datapath. Returns
+/// the bound machine's name.
+pub fn publish_machine_json(
+    registry: &PolicyRegistry,
+    key: crate::registry::PolicyKey,
+    json_text: &str,
+    placement: Placement,
+) -> Result<String, String> {
+    let parsed = netsim::json::Json::parse(json_text).map_err(|e| {
+        registry.note_degraded();
+        format!("machine JSON parse error at {}: {}", e.offset, e.message)
+    })?;
+    let spec = crate::machine::MachineSpec::from_json(&parsed).map_err(|e| {
+        registry.note_degraded();
+        format!("machine spec decode error: {}", e.message)
+    })?;
+    registry.bind_machine(key, spec, placement)
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ pub mod backend;
 pub mod buflo;
 pub mod emulate;
 pub mod front;
+pub mod machines;
 pub mod overhead;
 pub mod regulator;
 pub mod surakav;
@@ -32,6 +33,9 @@ pub use backend::{defend_all, defend_trace, emulate_trace, enforce_trace, TraceB
 pub use buflo::{BufloDefense, TamarawDefense};
 pub use emulate::{CounterMeasure, EmulateConfig, Section3Defense};
 pub use front::FrontDefense;
+pub use machines::{
+    constant_machine, front_machine, scrambler_machine, ConstantConfig, ScramblerConfig,
+};
 pub use overhead::{bandwidth_overhead, latency_overhead, Defended};
 pub use regulator::RegulatorDefense;
 pub use surakav::SurakavDefense;

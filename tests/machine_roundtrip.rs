@@ -1,0 +1,328 @@
+//! Property tests for the machine-spec JSON codec (mirroring
+//! `policy_roundtrip.rs`): every representable [`MachineSpec`] must
+//! survive `from_json(to_json(s)) == s` through the *textual* wire form
+//! operators actually ship, and malformed or hostile specs must be
+//! rejected at the control plane — degrading to pass-through with the
+//! registry's `degraded` counter bumped, never panicking.
+
+use defenses::front::FrontConfig;
+use defenses::machines::{
+    constant_machine, front_machine, scrambler_machine, ConstantConfig, ScramblerConfig,
+};
+use netsim::json::Json;
+use netsim::{Direction, Histogram, Nanos, SimRng};
+use stob::defense::{emulate_flow, DefenseCtx, FlowPkt, Placement};
+use stob::machine::{
+    Action, DistSpec, Machine, MachineDefense, MachineEvent, MachineSpec, State, Target, Transition,
+};
+use stob::registry::{PolicyKey, PolicyRegistry};
+use stob::sockopt::publish_machine_json;
+
+fn rand_histogram(rng: &mut SimRng) -> Histogram {
+    let lo = rng.range_u64(0, 100) as f64;
+    let hi = lo + rng.range_u64(1, 2000) as f64;
+    let mut h = Histogram::new(lo, hi, rng.range_usize(1, 8));
+    for _ in 0..rng.range_usize(1, 40) {
+        h.push(rng.range_f64(lo, hi));
+    }
+    h
+}
+
+/// A random *valid* distribution. Integer-valued parameters where exact
+/// f64 round-tripping matters is not a concern — the codec prints
+/// shortest-round-trip floats — but keep values finite and in-range.
+fn rand_dist(rng: &mut SimRng) -> DistSpec {
+    match rng.range_usize(0, 7) {
+        0 => DistSpec::Fixed {
+            v: rng.range_f64(0.0, 2.0),
+        },
+        1 => {
+            let lo = rng.range_f64(0.0, 1.0);
+            DistSpec::Uniform {
+                lo,
+                hi: lo + rng.range_f64(0.0, 3.0),
+            }
+        }
+        2 => DistSpec::Normal {
+            mean: rng.range_f64(0.0, 1.0),
+            std: rng.range_f64(0.0, 0.5),
+        },
+        3 => DistSpec::LogNormal {
+            mu: rng.range_f64(-9.0, 0.0),
+            sigma: rng.range_f64(0.0, 2.0),
+        },
+        4 => DistSpec::Pareto {
+            scale: rng.range_f64(0.001, 1.0),
+            shape: rng.range_f64(0.5, 4.0),
+        },
+        5 => DistSpec::Geometric {
+            p: rng.range_f64(0.01, 1.0),
+        },
+        6 => {
+            let w_min = rng.range_f64(0.0, 2.0);
+            DistSpec::Rayleigh {
+                w_min,
+                w_max: w_min + rng.range_f64(0.0, 5.0),
+            }
+        }
+        _ => DistSpec::FromHistogram(rand_histogram(rng)),
+    }
+}
+
+fn rand_action(rng: &mut SimRng) -> Action {
+    match rng.range_usize(0, 3) {
+        0 => Action::Nop,
+        1 => Action::Pad {
+            dir: if rng.chance(0.5) {
+                Direction::Out
+            } else {
+                Direction::In
+            },
+            size: rand_dist(rng),
+            timing: rand_dist(rng),
+            absolute: rng.chance(0.3),
+        },
+        2 => Action::Timer {
+            timing: rand_dist(rng),
+        },
+        _ => Action::Block {
+            timing: rand_dist(rng),
+            duration: rand_dist(rng),
+        },
+    }
+}
+
+/// A random transition row over `n_states` whose probability mass sums
+/// to at most 1 (split across up to 3 targets).
+fn rand_transition(on: MachineEvent, n_states: usize, rng: &mut SimRng) -> Transition {
+    let n_targets = rng.range_usize(1, 3);
+    let mut remaining = 1.0;
+    let to = (0..n_targets)
+        .map(|_| {
+            let p = rng.range_f64(0.0, remaining);
+            remaining -= p;
+            let t = if rng.chance(0.2) {
+                Target::End
+            } else {
+                Target::State(rng.range_usize(0, n_states - 1) as u32)
+            };
+            (t, p)
+        })
+        .collect();
+    Transition { on, to }
+}
+
+fn rand_machine(rng: &mut SimRng) -> Machine {
+    let n_states = rng.range_usize(1, 5);
+    let states = (0..n_states)
+        .map(|_| {
+            // At most one row per event: pick a random subset of events.
+            let chosen: Vec<MachineEvent> = MachineEvent::ALL
+                .into_iter()
+                .filter(|_| rng.chance(0.4))
+                .collect();
+            let transitions = chosen
+                .into_iter()
+                .map(|ev| rand_transition(ev, n_states, rng))
+                .collect();
+            State {
+                action: rand_action(rng),
+                limit: if rng.chance(0.6) {
+                    Some(rand_dist(rng))
+                } else {
+                    None
+                },
+                transitions,
+            }
+        })
+        .collect();
+    Machine { states }
+}
+
+/// A random spec that passes [`MachineSpec::validate`] by construction.
+fn rand_spec(i: usize, rng: &mut SimRng) -> MachineSpec {
+    MachineSpec {
+        name: format!("machine-{i}"),
+        machines: (0..rng.range_usize(1, 3))
+            .map(|_| rand_machine(rng))
+            .collect(),
+        policy: if rng.chance(0.3) {
+            Some(stob::policy::ObfuscationPolicy::split_and_delay("inner"))
+        } else {
+            None
+        },
+        max_padding_pkts: rng.range_u64(0, 500),
+        max_blocking: Nanos(rng.range_u64(0, 1_000_000_000)),
+    }
+}
+
+#[test]
+fn random_specs_round_trip_exactly() {
+    let mut rng = SimRng::new(0x3A5E_5EED);
+    for i in 0..200 {
+        let s = rand_spec(i, &mut rng);
+        assert!(s.validate().is_ok(), "generator must emit valid specs: {i}");
+        let text = s.to_json().to_string_compact();
+        let back = MachineSpec::from_json(&Json::parse(&text).expect("parse"))
+            .unwrap_or_else(|e| panic!("spec {i} failed to deserialize: {e:?}\n{text}"));
+        assert_eq!(back, s, "round-trip drifted for spec {i}:\n{text}");
+    }
+}
+
+#[test]
+fn generator_specs_round_trip_exactly() {
+    for s in [
+        front_machine(&FrontConfig::default()),
+        constant_machine(&ConstantConfig::default()),
+        scrambler_machine(&ScramblerConfig::default()),
+    ] {
+        let text = s.to_json().to_string_pretty();
+        let back = MachineSpec::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(back, s);
+    }
+}
+
+#[test]
+fn unknown_variant_tags_are_rejected() {
+    let base = front_machine(&FrontConfig::default()).to_json();
+    let text = base.to_string_compact();
+    for (needle, replacement) in [
+        ("\"Rayleigh\"", "\"Weibull\""),
+        ("\"Uniform\"", "\"Zipf\""),
+        ("\"Pad\"", "\"Inject\""),
+        ("\"PaddingSent\"", "\"PaddingQueued\""),
+        ("\"State\"", "\"Goto\""),
+        ("\"End\"", "\"Halt\""),
+    ] {
+        let hostile = text.replacen(needle, replacement, 1);
+        assert_ne!(hostile, text, "replacement {needle} must apply");
+        let v = Json::parse(&hostile).expect("still syntactically valid");
+        assert!(
+            MachineSpec::from_json(&v).is_err(),
+            "unknown tag {replacement} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn missing_fields_and_truncation_are_rejected() {
+    let good = constant_machine(&ConstantConfig::default()).to_json();
+    let Json::Obj(entries) = good.clone() else {
+        panic!("spec must encode as an object")
+    };
+    for field in ["name", "machines", "max_padding_pkts", "max_blocking_ns"] {
+        let pruned = Json::Obj(
+            entries
+                .iter()
+                .filter(|(k, _)| k != field)
+                .cloned()
+                .collect(),
+        );
+        assert!(
+            MachineSpec::from_json(&pruned).is_err(),
+            "missing `{field}` must be rejected"
+        );
+    }
+    let text = good.to_string_compact();
+    for cut in [1, text.len() / 2, text.len() - 1] {
+        assert!(
+            Json::parse(&text[..cut]).is_err(),
+            "truncation at {cut} must not parse"
+        );
+    }
+}
+
+/// Shape-valid but semantically hostile specs decode fine, fail
+/// `validate()`, and are refused by every control-plane entry point with
+/// the degradation counter bumped — while a defense constructed from one
+/// anyway silently degrades each flow to pass-through.
+#[test]
+fn hostile_specs_degrade_never_panic() {
+    let mut hostile = front_machine(&FrontConfig::default());
+    hostile.machines[0].states[0].transitions[0].to = vec![(Target::State(99), 1.0)];
+    assert!(hostile.validate().is_err());
+    let text = hostile.to_json().to_string_compact();
+    let decoded =
+        MachineSpec::from_json(&Json::parse(&text).expect("parse")).expect("shape-valid decodes");
+    assert_eq!(decoded, hostile);
+
+    let reg = PolicyRegistry::new();
+    let d0 = reg.degraded_count();
+
+    // bind_machine refuses and counts.
+    assert!(reg
+        .bind_machine(PolicyKey::Default, hostile.clone(), Placement::App)
+        .is_err());
+    assert_eq!(reg.degraded_count(), d0 + 1);
+    assert!(reg.resolve_defense(1, 1).is_none(), "nothing was bound");
+
+    // publish_machine_json refuses decoded-but-invalid...
+    assert!(publish_machine_json(&reg, PolicyKey::Default, &text, Placement::App).is_err());
+    assert_eq!(reg.degraded_count(), d0 + 2);
+    // ...unparseable...
+    assert!(publish_machine_json(&reg, PolicyKey::Default, "{not json", Placement::App).is_err());
+    assert_eq!(reg.degraded_count(), d0 + 3);
+    // ...and undecodable input.
+    assert!(publish_machine_json(&reg, PolicyKey::Default, "{\"a\":1}", Placement::App).is_err());
+    assert_eq!(reg.degraded_count(), d0 + 4);
+
+    // A MachineDefense built around the hostile spec anyway (bypassing
+    // the control plane) degrades every flow to pass-through.
+    let d = MachineDefense::new(hostile);
+    assert!(!d.is_valid());
+    let flow = [
+        FlowPkt {
+            ts: Nanos::ZERO,
+            dir: Direction::Out,
+            size: 400,
+        },
+        FlowPkt {
+            ts: Nanos::from_millis(1),
+            dir: Direction::In,
+            size: 1200,
+        },
+    ];
+    let before = reg.degraded_count();
+    let out = emulate_flow(&d, &flow, &DefenseCtx::default(), &mut SimRng::new(1));
+    assert_eq!(out.pkts, flow);
+    assert_eq!(out.dummy_pkts, 0);
+    // The degradation is counted globally (telemetry), not on `reg`'s
+    // private counter; just confirm nothing panicked and reg is stable.
+    assert_eq!(reg.degraded_count(), before);
+}
+
+/// Fuzz the decoder with structural mutations of valid documents: every
+/// outcome must be a clean `Err` or an equal decode — never a panic.
+#[test]
+fn mutated_documents_never_panic_the_decoder() {
+    let mut rng = SimRng::new(0xFEED);
+    let texts: Vec<String> = (0..20)
+        .map(|i| rand_spec(i, &mut rng).to_json().to_string_compact())
+        .collect();
+    for (i, text) in texts.iter().enumerate() {
+        for j in 0..50usize {
+            let mut bytes = text.clone().into_bytes();
+            let pos = rng.range_usize(0, bytes.len() - 1);
+            let mutation = rng.range_usize(0, 2);
+            match mutation {
+                0 => bytes[pos] = b"0{}[],:\"xE-"[rng.range_usize(0, 10)],
+                1 => {
+                    bytes.remove(pos);
+                }
+                _ => bytes.insert(pos, b"9[{,"[rng.range_usize(0, 3)]),
+            }
+            let Ok(s) = String::from_utf8(bytes) else {
+                continue;
+            };
+            if let Ok(v) = Json::parse(&s) {
+                // Decode may succeed or fail; validate may reject; a
+                // defense over whatever decodes must still build.
+                if let Ok(spec) = MachineSpec::from_json(&v) {
+                    let _ = spec.validate();
+                    let _ = MachineDefense::new(spec);
+                }
+            }
+            let _ = (i, j);
+        }
+    }
+}
