@@ -697,7 +697,9 @@ impl Target {
         match variant(v, "Target")? {
             ("End", None) => Ok(Target::End),
             ("State", Some(b)) => Ok(Target::State(
-                b.as_u64().ok_or_else(|| bad("State index is not a u32"))? as u32,
+                b.as_u64()
+                    .and_then(|i| u32::try_from(i).ok())
+                    .ok_or_else(|| bad("State index is not a u32"))?,
             )),
             (tag, _) => Err(bad(format!("unknown Target variant `{tag}`"))),
         }
@@ -930,6 +932,24 @@ pub struct MachineCore {
     started: bool,
 }
 
+/// Pick a target from a transition row. A single certain target
+/// transitions without consuming randomness (part of the draw-order
+/// contract); `None` means "stay in the current state".
+fn pick_target(row: &Transition, rng: &mut SimRng) -> Option<Target> {
+    if row.to.len() == 1 && row.to[0].1 >= 1.0 - PROB_EPS {
+        return Some(row.to[0].0);
+    }
+    let u = rng.next_f64();
+    let mut acc = 0.0;
+    for (t, p) in &row.to {
+        acc += p;
+        if u < acc {
+            return Some(*t);
+        }
+    }
+    None
+}
+
 impl MachineCore {
     /// Build the runtime for one flow. The spec must have passed
     /// [`MachineSpec::validate`]; [`MachineDefense`] guarantees that.
@@ -982,25 +1002,68 @@ impl MachineCore {
 
     /// Enter `s` on machine `m`, sampling limit and entry scales (in
     /// that order), then arm the state's action.
+    ///
+    /// A limit that samples to 0 raises [`MachineEvent::LimitReached`]
+    /// before any action fires. That path is resolved iteratively *here*
+    /// — never by recursing through `deliver` back into `enter_state`,
+    /// which a hostile `Fixed {v: 0}` limit with a `LimitReached ->
+    /// State(..)` row would otherwise turn into a stack overflow — and
+    /// each such re-entry is charged against the action budget, so
+    /// zero-limit transition cycles terminate via [`Self::kill_all`].
     fn enter_state(&mut self, m: usize, s: usize, rng: &mut SimRng) {
-        self.rts[m].state = Some(s);
-        self.rts[m].pending = None;
-        let st = &self.spec.machines[m].states[s];
-        let limit = st
-            .limit
-            .as_ref()
-            .map(|d| d.sample_count(MAX_PADDING_CAP, rng));
-        let scales = EntryScales {
-            timing: st.action.timing().and_then(|d| d.entry_scale(rng)),
-            aux: st.action.aux().and_then(|d| d.entry_scale(rng)),
-        };
-        self.rts[m].limit = limit;
-        self.rts[m].scales = scales;
-        if limit == Some(0) {
-            self.limit_reached(m, rng);
-            return;
+        let mut s = s;
+        loop {
+            self.rts[m].state = Some(s);
+            self.rts[m].pending = None;
+            let st = &self.spec.machines[m].states[s];
+            let limit = st
+                .limit
+                .as_ref()
+                .map(|d| d.sample_count(MAX_PADDING_CAP, rng));
+            let scales = EntryScales {
+                timing: st.action.timing().and_then(|d| d.entry_scale(rng)),
+                aux: st.action.aux().and_then(|d| d.entry_scale(rng)),
+            };
+            self.rts[m].limit = limit;
+            self.rts[m].scales = scales;
+            if limit != Some(0) {
+                self.arm(m, rng);
+                return;
+            }
+            netsim::tm_counter!("defense.machine.limit_hits").inc();
+            self.actions += 1;
+            if self.actions > self.budget {
+                self.kill_all();
+                return;
+            }
+            let st = &self.spec.machines[m].states[s];
+            let Some(row) = st
+                .transitions
+                .iter()
+                .find(|t| t.on == MachineEvent::LimitReached)
+            else {
+                // No row: the machine ends (it can take no further
+                // action).
+                self.end_machine(m);
+                return;
+            };
+            match pick_target(row, rng) {
+                // Stayed by probability. An exhausted limit cannot stay.
+                None => {
+                    self.end_machine(m);
+                    return;
+                }
+                Some(Target::End) => {
+                    netsim::tm_counter!("defense.machine.transitions").inc();
+                    self.end_machine(m);
+                    return;
+                }
+                Some(Target::State(j)) => {
+                    netsim::tm_counter!("defense.machine.transitions").inc();
+                    s = j as usize;
+                }
+            }
         }
-        self.arm(m, rng);
     }
 
     /// Arm the current state's action (draws its timing).
@@ -1061,23 +1124,7 @@ impl MachineCore {
             }
             return;
         };
-        // A single certain target transitions without consuming
-        // randomness (part of the draw-order contract).
-        let target = if row.to.len() == 1 && row.to[0].1 >= 1.0 - PROB_EPS {
-            Some(row.to[0].0)
-        } else {
-            let u = rng.next_f64();
-            let mut acc = 0.0;
-            let mut hit = None;
-            for (t, p) in &row.to {
-                acc += p;
-                if u < acc {
-                    hit = Some(*t);
-                    break;
-                }
-            }
-            hit
-        };
+        let target = pick_target(row, rng);
         match target {
             None => {
                 // Stayed by probability. An exhausted limit cannot stay.
@@ -1521,6 +1568,53 @@ mod tests {
         let out = emulate_flow(&d, &flow(), &DefenseCtx::default(), &mut rng);
         // Terminates (budget) and pads nothing.
         assert_eq!(out.dummy_pkts, 0);
+    }
+
+    #[test]
+    fn zero_limit_transition_cycle_terminates() {
+        // A limit that samples to 0 with a LimitReached row pointing
+        // back at a state used to recurse enter_state -> limit_reached
+        // -> deliver -> enter_state without bound (stack overflow from
+        // hostile JSON). It must trip the action budget instead.
+        let zero_state = |next: u32| State {
+            action: Action::Nop,
+            limit: Some(DistSpec::Fixed { v: 0.0 }),
+            transitions: vec![Transition {
+                on: MachineEvent::LimitReached,
+                to: vec![(Target::State(next), 1.0)],
+            }],
+        };
+        for machine in [
+            // Self-loop (the reviewer's repro) and a 2-state cycle.
+            Machine {
+                states: vec![zero_state(0)],
+            },
+            Machine {
+                states: vec![zero_state(1), zero_state(0)],
+            },
+        ] {
+            let spec = MachineSpec::padding_only("zero-limit", vec![machine], 8);
+            assert!(spec.validate().is_ok(), "valid but hostile");
+            let d = MachineDefense::new(spec);
+            let before = netsim::tm_counter!("defense.machine.capped").get();
+            let mut rng = SimRng::new(9);
+            let input = flow();
+            let out = emulate_flow(&d, &input, &DefenseCtx::default(), &mut rng);
+            assert_eq!(out.pkts, input);
+            assert_eq!(out.dummy_pkts, 0);
+            assert!(netsim::tm_counter!("defense.machine.capped").get() > before);
+        }
+    }
+
+    #[test]
+    fn target_decode_rejects_out_of_range_state_index() {
+        let v = Json::parse(r#"{"State": 4294967296}"#).expect("parse");
+        assert!(Target::from_json(&v).is_err(), "u32 overflow must reject");
+        let v = Json::parse(r#"{"State": 4294967295}"#).expect("parse");
+        assert_eq!(
+            Target::from_json(&v).expect("u32::MAX decodes"),
+            Target::State(u32::MAX)
+        );
     }
 
     #[test]

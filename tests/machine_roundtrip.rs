@@ -291,6 +291,49 @@ fn hostile_specs_degrade_never_panic() {
     assert_eq!(reg.degraded_count(), before);
 }
 
+/// A spec that is shape- and semantics-valid but adversarially cyclic —
+/// a zero-sampled limit whose `LimitReached` row re-enters its own state
+/// — must be accepted by the control plane and then *terminate* when a
+/// flow runs it (action budget -> hard cap), not overflow the stack.
+#[test]
+fn hostile_zero_limit_cycle_from_json_terminates() {
+    let text = r#"{
+      "name": "zero-limit-cycle",
+      "machines": [ { "states": [
+        { "action": "Nop",
+          "limit": { "Fixed": { "v": 0 } },
+          "transitions": [ { "on": "LimitReached",
+                             "to": [[ {"State": 0}, 1.0 ]] } ] }
+      ] } ],
+      "max_padding_pkts": 8,
+      "max_blocking_ns": 0
+    }"#;
+    let reg = PolicyRegistry::new();
+    publish_machine_json(&reg, PolicyKey::Default, text, Placement::App)
+        .expect("spec is valid at the control plane");
+    let binding = reg.resolve_defense(1, 1).expect("machine resolves");
+    let flow = [
+        FlowPkt {
+            ts: Nanos::ZERO,
+            dir: Direction::Out,
+            size: 400,
+        },
+        FlowPkt {
+            ts: Nanos::from_millis(1),
+            dir: Direction::In,
+            size: 1200,
+        },
+    ];
+    let out = emulate_flow(
+        binding.defense.as_ref(),
+        &flow,
+        &DefenseCtx::default(),
+        &mut SimRng::new(1),
+    );
+    assert_eq!(out.pkts, flow, "hostile machine must degrade to no-op");
+    assert_eq!(out.dummy_pkts, 0);
+}
+
 /// Fuzz the decoder with structural mutations of valid documents: every
 /// outcome must be a clean `Err` or an equal decode — never a panic.
 #[test]
