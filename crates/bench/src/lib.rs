@@ -15,6 +15,7 @@
 //!   overheads for every implemented defense.
 
 pub mod micro;
+pub mod multipath;
 pub mod suite;
 
 use defenses::emulate::{self, CounterMeasure, EmulateConfig, Section3Defense};

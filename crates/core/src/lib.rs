@@ -58,6 +58,7 @@ pub mod policy;
 pub mod registry;
 pub mod safety;
 pub mod sockopt;
+pub mod splitter;
 pub mod strategies;
 
 pub use breaker::{Admission, BreakerConfig, BreakerStats, CircuitBreaker};
@@ -79,4 +80,5 @@ pub use sockopt::{
     assemble_policy_shaper, attach_defense, attach_policy, attach_policy_checked,
     publish_machine_json, AttachResolution, DefenseAttachment,
 };
+pub use splitter::{splitter_from_json, splitter_to_json, validate_splitter, SplitterSpec};
 pub use strategies::{Chain, DelayJitter, HistogramSampler, IncrementalReduce, SplitThreshold};

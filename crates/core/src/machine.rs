@@ -431,13 +431,35 @@ pub enum Action {
         /// Window length (seconds).
         duration: DistSpec,
     },
+    /// Re-emit the flow's `dir` packets on RegulaTor's decaying surge
+    /// schedule (Holland & Hopper, PETS 2022), filling empty slots with
+    /// fixed-size dummies up to a budget. The machine *owns* that
+    /// direction: the backend drops the original packets and keeps the
+    /// re-emitted schedule. Fully deterministic — a regulate state draws
+    /// no randomness, so it composes with other machines without
+    /// perturbing their streams. Must be the only state of its machine.
+    Regulate {
+        /// Direction whose real packets are re-emitted (normally `In`).
+        dir: Direction,
+        /// Fixed wire size of every re-emitted/dummy packet (bytes).
+        size: u32,
+        /// Initial surge rate, packets/second.
+        rate: f64,
+        /// Geometric rate decay per second of schedule age, in (0, 1].
+        decay: f64,
+        /// A backlog above this many queued real packets restarts the
+        /// surge schedule at full rate.
+        surge_threshold: u64,
+        /// Dummy budget as a fraction of real packets in `dir`.
+        budget_frac: f64,
+    },
 }
 
 impl Action {
     /// The action's timing distribution, if any.
     fn timing(&self) -> Option<&DistSpec> {
         match self {
-            Action::Nop => None,
+            Action::Nop | Action::Regulate { .. } => None,
             Action::Pad { timing, .. }
             | Action::Timer { timing }
             | Action::Block { timing, .. } => Some(timing),
@@ -533,6 +555,7 @@ impl MachineSpec {
                 self.max_blocking
             ));
         }
+        let mut regulated_dirs: Vec<Direction> = Vec::new();
         for (mi, m) in self.machines.iter().enumerate() {
             if m.states.is_empty() {
                 return Err(format!("machine {mi} has no states"));
@@ -545,6 +568,39 @@ impl MachineSpec {
             }
             for (si, st) in m.states.iter().enumerate() {
                 let what = format!("machine {mi} state {si}");
+                if let Action::Regulate {
+                    size,
+                    rate,
+                    decay,
+                    budget_frac,
+                    dir,
+                    ..
+                } = &st.action
+                {
+                    if m.states.len() != 1 || !st.transitions.is_empty() || st.limit.is_some() {
+                        return Err(format!(
+                            "{what}: a regulate state must be its machine's only state,                              with no limit and no transitions"
+                        ));
+                    }
+                    if *size == 0 || *size > 65_535 {
+                        return Err(format!("{what}: regulate size {size} out of range"));
+                    }
+                    if !rate.is_finite() || *rate <= 0.0 {
+                        return Err(format!("{what}: regulate rate must be positive"));
+                    }
+                    if !decay.is_finite() || *decay <= 0.0 || *decay > 1.0 {
+                        return Err(format!("{what}: regulate decay must be in (0, 1]"));
+                    }
+                    if !budget_frac.is_finite() || *budget_frac < 0.0 || *budget_frac > 100.0 {
+                        return Err(format!("{what}: regulate budget_frac out of range"));
+                    }
+                    if regulated_dirs.contains(dir) {
+                        return Err(format!(
+                            "{what}: direction already owned by another regulate machine"
+                        ));
+                    }
+                    regulated_dirs.push(*dir);
+                }
                 if let Some(d) = st.action.timing() {
                     d.validate(&format!("{what} timing"))?;
                 }
@@ -767,6 +823,23 @@ impl Action {
                     .set("timing", timing.to_json())
                     .set("duration", duration.to_json()),
             ),
+            Action::Regulate {
+                dir,
+                size,
+                rate,
+                decay,
+                surge_threshold,
+                budget_frac,
+            } => tagged(
+                "Regulate",
+                Json::obj()
+                    .set("dir", dir_to_json(*dir))
+                    .set("size", *size)
+                    .set("rate", *rate)
+                    .set("decay", *decay)
+                    .set("surge_threshold", *surge_threshold)
+                    .set("budget_frac", *budget_frac),
+            ),
         }
     }
 
@@ -786,6 +859,14 @@ impl Action {
             ("Block", Some(b)) => Ok(Action::Block {
                 timing: DistSpec::from_json(b.field("timing")?)?,
                 duration: DistSpec::from_json(b.field("duration")?)?,
+            }),
+            ("Regulate", Some(b)) => Ok(Action::Regulate {
+                dir: dir_from_json(b.field("dir")?)?,
+                size: b.req_u64("size")? as u32,
+                rate: b.req_f64("rate")?,
+                decay: b.req_f64("decay")?,
+                surge_threshold: b.req_u64("surge_threshold")?,
+                budget_frac: b.req_f64("budget_frac")?,
             }),
             (tag, _) => Err(bad(format!("unknown Action variant `{tag}`"))),
         }
@@ -930,6 +1011,12 @@ pub struct MachineCore {
     actions: u64,
     budget: u64,
     started: bool,
+    /// Directions owned by regulate machines (the backend drops their
+    /// original packets; the surge schedule re-emits them at close).
+    owned: &'static [Direction],
+    /// Buffered arrival times for regulated directions.
+    reg_in: Vec<Nanos>,
+    reg_out: Vec<Nanos>,
 }
 
 /// Pick a target from a transition row. A single certain target
@@ -960,6 +1047,28 @@ impl MachineCore {
         // does bounded bookkeeping around each pad; 4x + slack catches
         // valid-but-pathological event loops (timer ping-pong etc.).
         let budget = spec.max_padding_pkts.saturating_mul(4).saturating_add(4096);
+        let mut has_in = false;
+        let mut has_out = false;
+        for m in &spec.machines {
+            for st in &m.states {
+                if let Action::Regulate { dir, .. } = st.action {
+                    match dir {
+                        Direction::In => has_in = true,
+                        Direction::Out => has_out = true,
+                    }
+                }
+            }
+        }
+        const NONE: &[Direction] = &[];
+        const IN: &[Direction] = &[Direction::In];
+        const OUT: &[Direction] = &[Direction::Out];
+        const BOTH: &[Direction] = &[Direction::In, Direction::Out];
+        let owned = match (has_in, has_out) {
+            (false, false) => NONE,
+            (true, false) => IN,
+            (false, true) => OUT,
+            (true, true) => BOTH,
+        };
         MachineCore {
             spec,
             rts: (0..n)
@@ -978,7 +1087,80 @@ impl MachineCore {
             actions: 0,
             budget,
             started: false,
+            owned,
+            reg_in: Vec::new(),
+            reg_out: Vec::new(),
         }
+    }
+
+    /// Run every regulate machine's surge schedule over its buffered
+    /// arrivals, appending emissions; returns when the last re-emitted
+    /// real packet lands (`None` without regulate machines). The loop is
+    /// a faithful transcription of RegulaTor-lite (same float ops in the
+    /// same order), so a single-machine regulate spec reproduces the
+    /// native defense bit for bit. Dummy slots count against the spec's
+    /// global padding cap but not the action budget — a regulate run is
+    /// already bounded by `reals + budget_frac * reals` emissions.
+    fn run_regulate(&mut self) -> Option<Nanos> {
+        let spec = Arc::clone(&self.spec);
+        let mut done: Option<Nanos> = None;
+        for m in &spec.machines {
+            let Action::Regulate {
+                dir,
+                size,
+                rate,
+                decay,
+                surge_threshold,
+                budget_frac,
+            } = m.states[0].action
+            else {
+                continue;
+            };
+            let incoming: &[Nanos] = match dir {
+                Direction::In => &self.reg_in,
+                Direction::Out => &self.reg_out,
+            };
+            let mut dummy_pkts = 0u64;
+            let native_budget = (incoming.len() as f64 * budget_frac) as u64;
+            let dummy_budget = native_budget.min(spec.max_padding_pkts.saturating_sub(self.padded));
+            let mut next_real = 0usize;
+            let mut schedule_start = incoming.first().copied().unwrap_or(Nanos::ZERO);
+            let mut t = schedule_start;
+            let mut real_done = Nanos::ZERO;
+            let mut emits = Vec::new();
+            while next_real < incoming.len() {
+                let age = (t.saturating_sub(schedule_start)).as_secs_f64();
+                let cur_rate = (rate * decay.powf(age)).max(10.0);
+                let slot = Nanos::from_secs_f64(1.0 / cur_rate);
+                let backlog = incoming[next_real..]
+                    .iter()
+                    .take_while(|&&ts| ts <= t)
+                    .count();
+                if backlog as u64 > surge_threshold {
+                    schedule_start = t;
+                }
+                let emit_real = backlog > 0;
+                if emit_real {
+                    real_done = t;
+                    next_real += 1;
+                } else if dummy_pkts < dummy_budget {
+                    dummy_pkts += 1;
+                } else {
+                    t += slot;
+                    continue;
+                }
+                emits.push(Emit {
+                    pkt: FlowPkt { ts: t, dir, size },
+                    dummy: !emit_real,
+                });
+                t += slot;
+            }
+            self.padded += dummy_pkts;
+            netsim::tm_counter!("defense.machine.pads").add(dummy_pkts);
+            self.out.extend(emits);
+            done = Some(done.map_or(real_done, |d: Nanos| d.max(real_done)));
+        }
+        done
     }
 
     fn state_of(&self, m: usize) -> Option<&State> {
@@ -1071,7 +1253,7 @@ impl MachineCore {
         let Some(st) = self.state_of(m) else { return };
         let scales = self.rts[m].scales;
         let pending = match &st.action {
-            Action::Nop => None,
+            Action::Nop | Action::Regulate { .. } => None,
             Action::Pad {
                 timing, absolute, ..
             } => {
@@ -1290,8 +1472,18 @@ impl MachineCore {
 }
 
 impl PadderCore for MachineCore {
+    fn owned_dirs(&self) -> &'static [Direction] {
+        self.owned
+    }
+
     fn on_data(&mut self, pkt: FlowPkt, rng: &mut SimRng) {
         self.ensure_started(rng);
+        if self.owned.contains(&pkt.dir) {
+            match pkt.dir {
+                Direction::In => self.reg_in.push(pkt.ts),
+                Direction::Out => self.reg_out.push(pkt.ts),
+            }
+        }
         self.pump(Some(pkt.ts), rng);
         self.now = self.now.max(pkt.ts);
         let ev = match pkt.dir {
@@ -1304,9 +1496,10 @@ impl PadderCore for MachineCore {
     fn on_close(&mut self, rng: &mut SimRng) -> CloseOut {
         self.ensure_started(rng);
         self.pump(None, rng);
+        let real_done = self.run_regulate();
         CloseOut {
             emits: std::mem::take(&mut self.out),
-            real_done: None,
+            real_done,
         }
     }
 }

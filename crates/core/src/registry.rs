@@ -45,6 +45,10 @@ pub struct DefenseBinding {
 struct Inner {
     table: BTreeMap<PolicyKey, Arc<ObfuscationPolicy>>,
     defenses: BTreeMap<PolicyKey, DefenseBinding>,
+    /// Multipath splitting policies (see [`crate::splitter`]): which leg
+    /// carries each datagram, resolved with the same precedence as
+    /// policies and defenses.
+    splitters: BTreeMap<PolicyKey, crate::splitter::SplitterSpec>,
     /// Bumped on every mutation; lets the stack cache resolutions.
     version: u64,
 }
@@ -251,6 +255,69 @@ impl PolicyRegistry {
             placement,
         );
         Ok(name)
+    }
+
+    /// Bind a multipath splitting policy under `key`. The spec is
+    /// validated first (like [`bind_machine`](Self::bind_machine)): a
+    /// malformed spec is rejected and counted as a degradation rather
+    /// than bound, so a resolved splitter is always runnable.
+    pub fn bind_splitter(
+        &self,
+        key: PolicyKey,
+        spec: crate::splitter::SplitterSpec,
+    ) -> Result<(), String> {
+        if let Err(e) = crate::splitter::validate_splitter(&spec) {
+            self.note_degraded();
+            return Err(e);
+        }
+        netsim::tm_counter!("stob.registry.splitter_binds").inc();
+        let mut g = self.write();
+        g.splitters.insert(key, spec);
+        g.version += 1;
+        Ok(())
+    }
+
+    /// Remove a splitter binding. Returns true if something was removed.
+    pub fn unbind_splitter(&self, key: PolicyKey) -> bool {
+        let mut g = self.write();
+        let removed = g.splitters.remove(&key).is_some();
+        if removed {
+            g.version += 1;
+        }
+        removed
+    }
+
+    /// Resolve the splitting policy for a flow with the standard
+    /// precedence (flow, destination, default). `None` means the flow is
+    /// single-path (or the transport's built-in default applies).
+    pub fn resolve_splitter(
+        &self,
+        flow: u32,
+        destination: u32,
+    ) -> Option<crate::splitter::SplitterSpec> {
+        self.resolve_splitter_with_key(flow, destination)
+            .map(|(_, s)| s)
+    }
+
+    /// Like [`resolve_splitter`](Self::resolve_splitter), but also
+    /// reports which key matched.
+    pub fn resolve_splitter_with_key(
+        &self,
+        flow: u32,
+        destination: u32,
+    ) -> Option<(PolicyKey, crate::splitter::SplitterSpec)> {
+        netsim::tm_counter!("stob.registry.resolutions").inc();
+        let g = self.read();
+        for key in [
+            PolicyKey::Flow(flow),
+            PolicyKey::Destination(destination),
+            PolicyKey::Default,
+        ] {
+            if let Some(s) = g.splitters.get(&key) {
+                return Some((key, s.clone()));
+            }
+        }
+        None
     }
 
     /// Current mutation counter (for cache invalidation on the datapath).

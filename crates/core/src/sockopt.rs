@@ -251,6 +251,30 @@ pub fn publish_machine_json(
     registry.bind_machine(key, spec, placement)
 }
 
+/// Publish a multipath splitting policy from its JSON wire form: parse,
+/// decode, validate via [`PolicyRegistry::bind_splitter`], bind under
+/// `key`. The splitter is resolved at multipath flow setup the same way
+/// policies are (flow, destination, default precedence) and handed to
+/// the `Multiplex` transport. Rejections bump the degradation counter
+/// and never reach the datapath. Returns the bound spec's stable name.
+pub fn publish_splitter_json(
+    registry: &PolicyRegistry,
+    key: crate::registry::PolicyKey,
+    json_text: &str,
+) -> Result<String, String> {
+    let parsed = netsim::json::Json::parse(json_text).map_err(|e| {
+        registry.note_degraded();
+        format!("splitter JSON parse error at {}: {}", e.offset, e.message)
+    })?;
+    let spec = crate::splitter::splitter_from_json(&parsed).map_err(|e| {
+        registry.note_degraded();
+        format!("splitter decode error: {}", e.message)
+    })?;
+    let name = spec.name().to_string();
+    registry.bind_splitter(key, spec)?;
+    Ok(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

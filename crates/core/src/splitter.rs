@@ -1,0 +1,119 @@
+//! Multipath splitting policies in the control-plane vocabulary.
+//!
+//! The splitting policy — *which leg carries the next datagram* — is a
+//! traffic-shaping decision exactly like padding or delay, so it lives
+//! in the same place: published into the [`crate::PolicyRegistry`] under
+//! a [`crate::PolicyKey`], resolved per flow, and deployable as data through the
+//! JSON sockopt path ([`crate::sockopt::publish_splitter_json`]). The
+//! runtime itself ([`stack::mux::Splitter`]) stays in the stack; this
+//! module owns validation and the wire codec.
+
+use crate::policy::{bad, tagged, variant};
+use netsim::json::{Json, JsonError};
+pub use stack::mux::SplitterSpec;
+
+/// Pipe-count ceiling a published splitter may assume (matches the
+/// `Multiplex` transport's `n_pipes` cap).
+pub const MAX_SPLITTER_PIPES: usize = 16;
+
+/// Encode a splitter spec as externally-tagged JSON, the same shape the
+/// policy vocabulary uses (`"RoundRobin"`, `{"Weighted":{"weights":[..]}}`,
+/// `"PaddedRandom"`).
+pub fn splitter_to_json(spec: &SplitterSpec) -> Json {
+    match spec {
+        SplitterSpec::RoundRobin => Json::from("RoundRobin"),
+        SplitterSpec::Weighted { weights } => {
+            let ws = weights.iter().map(|&w| Json::from(w)).collect::<Vec<_>>();
+            tagged("Weighted", Json::obj().set("weights", Json::Arr(ws)))
+        }
+        SplitterSpec::PaddedRandom => Json::from("PaddedRandom"),
+    }
+}
+
+/// Decode a splitter spec from its externally-tagged JSON form. The
+/// result is syntactically valid but not yet checked against a concrete
+/// pipe count — use [`validate_splitter`] at bind time.
+pub fn splitter_from_json(v: &Json) -> Result<SplitterSpec, JsonError> {
+    let (tag, body) = variant(v, "splitter")?;
+    match (tag, body) {
+        ("RoundRobin", None) => Ok(SplitterSpec::RoundRobin),
+        ("PaddedRandom", None) => Ok(SplitterSpec::PaddedRandom),
+        ("Weighted", Some(b)) => {
+            let ws = b
+                .get("weights")
+                .and_then(|w| w.as_arr())
+                .ok_or_else(|| bad("Weighted: missing weights array"))?;
+            let weights = ws
+                .iter()
+                .map(|w| {
+                    w.as_u64()
+                        .ok_or_else(|| bad("Weighted: weights must be unsigned integers"))
+                })
+                .collect::<Result<Vec<u64>, JsonError>>()?;
+            Ok(SplitterSpec::Weighted { weights })
+        }
+        (other, _) => Err(bad(format!("splitter: unknown variant {other:?}"))),
+    }
+}
+
+/// Control-plane validation: a hostile or malformed spec must be
+/// rejected at publish time, never at flow setup on the datapath.
+pub fn validate_splitter(spec: &SplitterSpec) -> Result<(), String> {
+    if let SplitterSpec::Weighted { weights } = spec {
+        if weights.is_empty() {
+            return Err("weighted splitter needs at least one weight".to_string());
+        }
+        if weights.len() > MAX_SPLITTER_PIPES {
+            return Err(format!(
+                "weighted splitter has {} weights, cap is {MAX_SPLITTER_PIPES}",
+                weights.len()
+            ));
+        }
+        if weights.contains(&0) {
+            return Err("weighted splitter weights must be positive".to_string());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_variants() {
+        for spec in [
+            SplitterSpec::RoundRobin,
+            SplitterSpec::PaddedRandom,
+            SplitterSpec::Weighted {
+                weights: vec![3, 1, 2],
+            },
+        ] {
+            let j = splitter_to_json(&spec);
+            let back = splitter_from_json(&j).expect("decode");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_specs() {
+        assert!(validate_splitter(&SplitterSpec::Weighted { weights: vec![] }).is_err());
+        assert!(validate_splitter(&SplitterSpec::Weighted {
+            weights: vec![1, 0]
+        })
+        .is_err());
+        assert!(validate_splitter(&SplitterSpec::Weighted {
+            weights: vec![1; 17]
+        })
+        .is_err());
+        assert!(validate_splitter(&SplitterSpec::RoundRobin).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_variant() {
+        let j = Json::from("ZigZag");
+        assert!(splitter_from_json(&j).is_err());
+        let j = tagged("Weighted", Json::obj().set("weights", Json::from("x")));
+        assert!(splitter_from_json(&j).is_err());
+    }
+}

@@ -15,6 +15,7 @@ use stob::machine::{
 };
 
 use crate::front::FrontConfig;
+use crate::regulator::RegulatorConfig;
 
 /// Configuration for [`constant_machine`]: fixed-rate dummy streams in
 /// each direction, the BuFLO-family shape reduced to its padding half
@@ -220,6 +221,38 @@ pub fn scrambler_machine(cfg: &ScramblerConfig) -> MachineSpec {
     spec
 }
 
+/// RegulaTor-lite as one machine: a single `Regulate` state owning the
+/// inbound direction. The interpreter's surge loop is a faithful
+/// transcription of the native `regulator.rs` schedule (same float ops
+/// in the same order, zero rng draws), so the same per-flow rng — which
+/// neither implementation touches — yields the identical defended flow;
+/// `tests::machine_regulator_matches_native_regulator_per_flow` holds
+/// the runtime to that bit-for-bit.
+pub fn regulator_machine(cfg: &RegulatorConfig) -> MachineSpec {
+    let mut spec = MachineSpec::padding_only(
+        "mRegulaTor",
+        vec![Machine {
+            states: vec![State {
+                action: Action::Regulate {
+                    dir: Direction::In,
+                    size: cfg.packet_size,
+                    rate: cfg.rate,
+                    decay: cfg.decay,
+                    surge_threshold: cfg.surge_threshold as u64,
+                    budget_frac: cfg.padding_budget,
+                },
+                limit: None,
+                transitions: Vec::new(),
+            }],
+        }],
+        // The machine cap must stay above any plausible dummy budget so
+        // it never clips the native schedule (parity would break).
+        stob::machine::MAX_PADDING_CAP,
+    );
+    spec.max_blocking = Nanos::ZERO;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +280,7 @@ mod tests {
             front_machine(&FrontConfig::default()),
             constant_machine(&ConstantConfig::default()),
             scrambler_machine(&ScramblerConfig::default()),
+            regulator_machine(&RegulatorConfig::default()),
         ] {
             spec.validate().expect("generator output must validate");
             let text = spec.to_json().to_string_compact();
@@ -305,6 +339,54 @@ mod tests {
         let mut r = SimRng::new(12);
         let out = emulate_flow(&machine, &flow(), &DefenseCtx::default(), &mut r);
         assert_eq!(out.dummy_pkts, 0);
+    }
+
+    /// RegulaTor parity: the regulate action replicates the native
+    /// surge loop exactly — same emission times, sizes, dummy flags and
+    /// `real_done` — across seeds and flows (neither draws rng, so this
+    /// also proves the machine wrapper adds no stray draws).
+    #[test]
+    fn machine_regulator_matches_native_regulator_per_flow() {
+        let cfg = RegulatorConfig::default();
+        let native = crate::regulator::RegulatorDefense::new(cfg);
+        let machine = MachineDefense::new(regulator_machine(&cfg));
+        for seed in 0..20u64 {
+            let mut r1 = SimRng::new(seed);
+            let mut r2 = SimRng::new(seed);
+            let a = emulate_flow(&native, &flow(), &DefenseCtx::default(), &mut r1);
+            let b = emulate_flow(&machine, &flow(), &DefenseCtx::default(), &mut r2);
+            assert_eq!(a.pkts, b.pkts, "seed {seed}");
+            assert_eq!(a.dummy_pkts, b.dummy_pkts, "seed {seed}");
+            assert_eq!(a.dummy_bytes, b.dummy_bytes, "seed {seed}");
+            assert_eq!(a.real_done, b.real_done, "seed {seed}");
+        }
+        // And on a surge-heavy flow shape (bursty arrivals) that
+        // exercises the schedule-restart branch.
+        let bursty: Vec<FlowPkt> = (0..200)
+            .map(|i| FlowPkt {
+                ts: Nanos::from_micros((i / 80) * 300_000 + (i % 80) * 40),
+                dir: Direction::In,
+                size: 1000,
+            })
+            .collect();
+        let mut r1 = SimRng::new(99);
+        let mut r2 = SimRng::new(99);
+        let a = emulate_flow(&native, &bursty, &DefenseCtx::default(), &mut r1);
+        let b = emulate_flow(&machine, &bursty, &DefenseCtx::default(), &mut r2);
+        assert_eq!(a.pkts, b.pkts);
+        assert_eq!(a.real_done, b.real_done);
+    }
+
+    #[test]
+    fn regulator_machine_validates_and_round_trips() {
+        let spec = regulator_machine(&RegulatorConfig::default());
+        spec.validate().expect("valid");
+        let json = spec.to_json().to_string_pretty();
+        let back = stob::machine::MachineSpec::from_json(
+            &netsim::json::Json::parse(&json).expect("parse"),
+        )
+        .expect("decode");
+        assert_eq!(back, spec);
     }
 
     #[test]

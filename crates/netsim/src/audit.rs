@@ -49,6 +49,11 @@ pub enum Invariant {
     /// idle timeout: a stall watchdog that fires far past its deadline
     /// means the recovery runtime lost track of the flow.
     ForwardProgress,
+    /// Multi-link conservation: every per-pipe ledger must balance on
+    /// its own, and the per-pipe ledgers must sum to the flow's
+    /// end-to-end ledger — a pipe silently losing FEC-unrecoverable
+    /// bytes shows up here.
+    MultipathConservation,
 }
 
 impl Invariant {
@@ -59,6 +64,7 @@ impl Invariant {
             Invariant::SafetyRule => "safety-rule",
             Invariant::Conservation => "conservation",
             Invariant::ForwardProgress => "forward-progress",
+            Invariant::MultipathConservation => "multipath-conservation",
         }
     }
 }
@@ -285,6 +291,59 @@ impl Auditor {
         }
     }
 
+    /// Per-pipe conservation for a multi-link flow: one pipe's ledger
+    /// must balance exactly like the end-to-end path ledger does. A
+    /// lossy pipe that drops packets without counting them (e.g. an FEC
+    /// group losing more packets than parity can repair, silently
+    /// discarded) fails here.
+    pub fn check_pipe_conservation(
+        &mut self,
+        now: Nanos,
+        pipe: usize,
+        injected: u64,
+        delivered: u64,
+        dropped: u64,
+        in_transit: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
+        if injected != delivered + dropped + in_transit {
+            self.record(
+                Invariant::MultipathConservation,
+                now,
+                format!(
+                    "pipe {pipe} ledger off: injected {injected} != delivered {delivered} \
+                     + dropped {dropped} + in transit {in_transit}"
+                ),
+            );
+        }
+    }
+
+    /// Multi-link sum rule: the per-pipe ledgers of a flow, plus its
+    /// default-path ledger, must sum to the flow's end-to-end ledger.
+    /// `field` names the summed quantity ("injected", "delivered", ...)
+    /// for the violation detail.
+    pub fn check_multipath_sum(&mut self, now: Nanos, field: &str, pipe_sum: u64, flow_total: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        crate::tm_counter!("netsim.audit.checks").inc();
+        if pipe_sum != flow_total {
+            self.record(
+                Invariant::MultipathConservation,
+                now,
+                format!(
+                    "multipath sum off: per-pipe {field} sums to {pipe_sum} \
+                     but the flow ledger counts {flow_total}"
+                ),
+            );
+        }
+    }
+
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
@@ -388,6 +447,41 @@ mod tests {
             "{}",
             r.violations[0].detail
         );
+    }
+
+    #[test]
+    fn balanced_pipes_summing_to_flow_are_clean() {
+        let mut a = on();
+        let now = Nanos::from_millis(2);
+        // Two pipes: 6 + 4 injected = 10 flow-wide, everything accounted.
+        a.check_pipe_conservation(now, 0, 6, 5, 1, 0);
+        a.check_pipe_conservation(now, 1, 4, 3, 0, 1);
+        a.check_multipath_sum(now, "injected", 10, 10);
+        a.check_multipath_sum(now, "delivered", 8, 8);
+        assert!(a.report().clean());
+    }
+
+    #[test]
+    fn silently_lossy_pipe_fires_multipath_conservation() {
+        // The negative case the multi-link extension exists for: a pipe
+        // dropped FEC-unrecoverable packets without counting them, so
+        // its own ledger no longer balances.
+        let mut a = on();
+        let now = Nanos::from_millis(3);
+        a.check_pipe_conservation(now, 1, 10, 7, 0, 1); // 2 packets vanished
+        let r = a.report();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, Invariant::MultipathConservation);
+        assert!(r.violations[0].detail.contains("pipe 1"), "{r:?}");
+    }
+
+    #[test]
+    fn pipe_sum_mismatch_fires_multipath_conservation() {
+        let mut a = on();
+        a.check_multipath_sum(Nanos::from_millis(1), "delivered", 7, 9);
+        let r = a.report();
+        assert_eq!(r.violations[0].invariant, Invariant::MultipathConservation);
+        assert!(r.violations[0].detail.contains("delivered"), "{r:?}");
     }
 
     #[test]

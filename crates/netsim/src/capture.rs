@@ -59,6 +59,9 @@ pub struct CaptureRecord {
     pub wire_len: u32,
     pub flow: FlowId,
     pub kind: PacketKind,
+    /// Multipath leg the packet was tagged for, if any — lets a single
+    /// vantage point be sliced into per-leg observer views.
+    pub pipe: Option<u8>,
 }
 
 /// An append-only capture buffer at one observation point.
@@ -80,6 +83,7 @@ impl Capture {
             wire_len: pkt.wire_len,
             flow: pkt.flow,
             kind: pkt.kind,
+            pipe: pkt.meta.pipe,
         });
     }
 
@@ -116,6 +120,21 @@ impl Capture {
                 .iter()
                 .copied()
                 .filter(|r| !r.kind.is_ack())
+                .collect(),
+        }
+    }
+
+    /// The sub-capture an observer tapping only multipath leg `pipe`
+    /// would have recorded: packets tagged for that leg, untagged
+    /// (single-path) packets excluded. Timestamps are kept as observed
+    /// at this vantage point.
+    pub fn for_pipe(&self, pipe: u8) -> Capture {
+        Capture {
+            records: self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| r.pipe == Some(pipe))
                 .collect(),
         }
     }

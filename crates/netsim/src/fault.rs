@@ -74,7 +74,7 @@ pub enum FaultKind {
 }
 
 /// A fault item: a model plus the path direction(s) it applies to.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultItem {
     pub kind: FaultKind,
     pub dir: DirFilter,

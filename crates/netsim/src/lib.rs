@@ -26,6 +26,7 @@ pub mod event;
 pub mod fault;
 pub mod json;
 pub mod link;
+pub mod multilink;
 pub mod packet;
 pub mod par;
 pub mod pool;
@@ -42,6 +43,7 @@ pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultKind, FaultSchedule, FaultStats};
 pub use json::{Json, JsonError};
 pub use link::Link;
+pub use multilink::{provision, PathLedger, PipeProfile, ProvisionedPipe};
 pub use packet::{FlowId, Packet, PacketKind, PacketMeta};
 pub use par::{par_map, par_map_catch, par_map_n, par_run, Timings};
 pub use pool::{Arena, ArenaHandle, VecPool};

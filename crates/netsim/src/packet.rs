@@ -34,15 +34,33 @@ pub enum PacketKind {
     /// Padding (dummy) packet injected by a defense; carries no
     /// application payload.
     Padding,
+    /// Multipath session setup datagram (client→server hello and the
+    /// server's echo back).
+    MuxInit,
+    /// Multipath datagram carrying sequenced stream payload over one
+    /// pipe (`meta.pipe` selects the leg).
+    MuxData,
+    /// XOR-parity repair datagram covering one FEC group of `MuxData`
+    /// packets; carries no forward application payload itself.
+    MuxParity,
+    /// Multipath ACK-only datagram (cumulative ack + per-pipe receipt
+    /// count for liveness scoring).
+    MuxAck,
 }
 
 impl PacketKind {
     /// Does this packet carry forward application payload?
     pub fn carries_payload(self) -> bool {
-        matches!(self, PacketKind::TcpData | PacketKind::QuicData)
+        matches!(
+            self,
+            PacketKind::TcpData | PacketKind::QuicData | PacketKind::MuxData
+        )
     }
     pub fn is_ack(self) -> bool {
-        matches!(self, PacketKind::TcpAck | PacketKind::QuicAck)
+        matches!(
+            self,
+            PacketKind::TcpAck | PacketKind::QuicAck | PacketKind::MuxAck
+        )
     }
 }
 
@@ -60,6 +78,10 @@ pub struct PacketMeta {
     /// One SACK block carried by this ACK: `[lo, hi)` in the peer's
     /// sequence space (a single-block stand-in for RFC 2018).
     pub sack: Option<(u64, u64)>,
+    /// Multipath leg this packet is routed over (`None` = the default
+    /// single path). Set by a multipath transport; the delivery layer
+    /// routes tagged packets through the matching provisioned pipe.
+    pub pipe: Option<u8>,
 }
 
 /// One wire packet.

@@ -254,6 +254,18 @@ impl EgressLabels {
         retransmit_counter: None,
     };
 
+    /// Labels for the multipath transport (`stack::mux`): sequenced
+    /// datagrams split across several provisioned pipes, each leg an
+    /// independent path with its own fault schedule.
+    pub const MUX: EgressLabels = EgressLabels {
+        layer: "mux",
+        reseg_event: "mux-pkts",
+        reseg_counter: "stack.mux.resegmented",
+        resize_counter: "stack.mux.pkts_resized",
+        delay_histo: "stack.mux.extra_delay_ns",
+        retransmit_counter: Some("stack.mux.retransmits"),
+    };
+
     /// Labels for the fleet engine (`stob::fleet`): many concurrent
     /// defended flows each drive their own pipeline, interleaved on a
     /// per-shard timer wheel instead of live transport state.

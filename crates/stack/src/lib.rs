@@ -27,6 +27,7 @@ pub mod cc;
 pub mod config;
 pub mod cpu;
 pub mod egress;
+pub mod mux;
 pub mod net;
 pub mod nic;
 pub mod qdisc;
@@ -38,5 +39,6 @@ pub mod tls;
 pub use config::{HostConfig, PathConfig, StackConfig};
 pub use cpu::{Cpu, CpuModel};
 pub use egress::{EgressLabels, EgressPipeline, FlowStats, TransportCore};
+pub use mux::{Multiplex, MuxConfig, Pipe, SimPipe, Splitter, SplitterSpec};
 pub use net::{Api, App, AppEvent, FlowTable, Network, CLIENT, SERVER};
 pub use shaper::{NoopShaper, ShapeCtx, Shaper};

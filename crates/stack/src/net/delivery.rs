@@ -298,18 +298,29 @@ impl Network {
     }
 
     /// A packet's last bit left a host NIC: record it at the local
-    /// vantage point, then enter the bottleneck toward the other host.
+    /// vantage point, then enter the bottleneck toward the other host —
+    /// or, for a packet tagged with a provisioned pipe, route it over
+    /// that leg instead.
     fn pkt_leave_nic(&mut self, host: usize, pkt: Packet) {
         let now = self.q.now();
         match host {
             CLIENT => self.client_capture.observe(now, Direction::Out, &pkt),
             _ => self.server_capture.observe(now, Direction::Out, &pkt),
         }
+        if let Some(pi) = pkt.meta.pipe {
+            let i = pi as usize;
+            if i < self.pipes.len() {
+                self.route_pipe(host, i, pkt);
+                return;
+            }
+        }
         self.ledger.injected += 1;
+        self.default_ledger.injected += 1;
         // Random loss (configured paths only).
         if self.path.loss > 0.0 && self.rng.chance(self.path.loss) {
             self.path_stats.random_drops += 1;
             self.ledger.dropped += 1;
+            self.default_ledger.dropped += 1;
             netsim::tm_counter!("stack.net.random_drops").inc();
             return;
         }
@@ -323,6 +334,7 @@ impl Network {
                 Departure::Deliver => {}
                 Departure::Drop => {
                     self.ledger.dropped += 1;
+                    self.default_ledger.dropped += 1;
                     netsim::tm_counter!("netsim.fault.drops").inc();
                     if let Some(tr) = &self.tracer {
                         tr.rec(
@@ -340,6 +352,7 @@ impl Network {
                 Departure::Duplicate => {
                     copies = 2;
                     self.ledger.injected += 1;
+                    self.default_ledger.injected += 1;
                     netsim::tm_counter!("netsim.fault.duplicates").inc();
                 }
             }
@@ -347,6 +360,7 @@ impl Network {
                 if down.drop {
                     f.stats.flap_drops += copies;
                     self.ledger.dropped += copies;
+                    self.default_ledger.dropped += copies;
                     netsim::tm_counter!("netsim.fault.flap_drops").add(copies);
                     return;
                 }
@@ -367,6 +381,77 @@ impl Network {
             self.enter_bottleneck(dir, pkt.clone());
         }
         self.enter_bottleneck(dir, pkt);
+    }
+
+    /// Route a tagged packet over provisioned leg `i`: observe it at the
+    /// leg's vantage point, apply the leg's own loss and fault schedule,
+    /// serialize it on the leg's directed [`netsim::Link`], and schedule
+    /// its arrival. Both the flow ledger and the leg's ledger account
+    /// for every outcome, so the auditor's per-pipe conservation and
+    /// multipath-sum invariants can be checked at teardown.
+    fn route_pipe(&mut self, src: usize, i: usize, pkt: Packet) {
+        let now = self.q.now();
+        let dir = src; // direction index = source host, like the bottleneck
+        let p = &mut self.pipes[i];
+        let obs = if src == CLIENT {
+            Direction::Out
+        } else {
+            Direction::In
+        };
+        p.capture.observe(now, obs, &pkt);
+        self.ledger.injected += 1;
+        p.ledger.injected += 1;
+        netsim::tm_counter!("stack.net.pipe_pkts").inc();
+        // Leg-local random loss.
+        if p.profile.loss > 0.0 && self.rng.chance(p.profile.loss) {
+            self.path_stats.random_drops += 1;
+            self.ledger.dropped += 1;
+            p.ledger.dropped += 1;
+            netsim::tm_counter!("stack.net.pipe_drops").inc();
+            return;
+        }
+        // Leg-local faults: burst loss, duplication, outages. Flaps on a
+        // datagram leg always drop (no buffering); the multiplexer's
+        // failover machinery is the recovery path.
+        let mut copies: u64 = 1;
+        let mut extra = Nanos::ZERO;
+        if let Some(f) = p.faults.as_mut() {
+            match f.on_departure(dir, now) {
+                Departure::Deliver => {}
+                Departure::Drop => {
+                    self.ledger.dropped += 1;
+                    p.ledger.dropped += 1;
+                    netsim::tm_counter!("stack.net.pipe_drops").inc();
+                    return;
+                }
+                Departure::Duplicate => {
+                    copies = 2;
+                    self.ledger.injected += 1;
+                    p.ledger.injected += 1;
+                }
+            }
+            if f.link_down(dir, now).is_some() {
+                f.stats.flap_drops += copies;
+                self.ledger.dropped += copies;
+                p.ledger.dropped += copies;
+                netsim::tm_counter!("stack.net.pipe_drops").add(copies);
+                return;
+            }
+            extra = f.extra_arrival_delay(dir, now);
+        }
+        let dst = 1 - src;
+        for _ in 0..copies {
+            let (_tx_done, arrival) = p.links[dir].transmit(now, u64::from(pkt.wire_len));
+            self.ledger.arrivals_pending += 1;
+            p.ledger.arrivals_pending += 1;
+            self.q.schedule_at(
+                arrival + extra,
+                Ev::Arrive {
+                    host: dst,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
     }
 
     /// Hand a packet to the bottleneck transmitter for direction `dir`.
@@ -411,6 +496,7 @@ impl Network {
             delay += f.extra_arrival_delay(dir, now);
         }
         self.ledger.arrivals_pending += 1;
+        self.default_ledger.arrivals_pending += 1;
         self.q
             .schedule_at(now + delay, Ev::Arrive { host: dst, pkt });
         if let Some(next) = self.bn_queue[dir].dequeue() {
@@ -424,6 +510,17 @@ impl Network {
         let now = self.q.now();
         self.ledger.arrivals_pending -= 1;
         self.ledger.delivered += 1;
+        match pkt.meta.pipe {
+            Some(pi) if (pi as usize) < self.pipes.len() => {
+                let l = &mut self.pipes[pi as usize].ledger;
+                l.arrivals_pending -= 1;
+                l.delivered += 1;
+            }
+            _ => {
+                self.default_ledger.arrivals_pending -= 1;
+                self.default_ledger.delivered += 1;
+            }
+        }
         if self.auditor.enabled() {
             let in_transit = self.in_transit_pkts();
             self.auditor.check_conservation(
@@ -456,6 +553,11 @@ impl Network {
             } else if pkt.kind == PacketKind::QuicInit && host == SERVER {
                 let cfg = self.hosts[host].cfg.stack.clone();
                 Transport::Quic(QuicConn::new(flow, cfg, false))
+            } else if pkt.kind == PacketKind::MuxInit && host == SERVER {
+                match self.custom_acceptor.as_mut() {
+                    Some(make) => Transport::Custom(make(flow)),
+                    None => return, // no acceptor installed: stray
+                }
             } else {
                 return; // stray packet for a dead/unknown flow
             };

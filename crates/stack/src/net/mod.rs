@@ -11,7 +11,7 @@
 //! * [`mod@self`] — the [`Network`] container, event loop, fault/audit
 //!   wiring, and stats introspection;
 //! * `host` — per-host state (transport connections behind the
-//!   [`TransportCore`](crate::egress::TransportCore) trait, CPU, qdisc,
+//!   [`TransportCore`] trait, CPU, qdisc,
 //!   NIC);
 //! * `delivery` — event handlers and the path datapath (qdisc→NIC,
 //!   bottleneck, faults, arrival/passive open);
@@ -33,13 +33,13 @@ pub use table::FlowTable;
 
 use crate::config::{HostConfig, PathConfig};
 use crate::cpu::Cpu;
-use crate::egress::FlowStats;
+use crate::egress::{FlowStats, TransportCore};
 use crate::tcp::TimerKind;
 use host::Host;
 use netsim::telemetry::Tracer;
 use netsim::{
     AuditReport, Auditor, Capture, DropTailQueue, EventQueue, FaultInjector, FaultSchedule,
-    FaultStats, FlowId, Nanos, Packet, SimRng,
+    FaultStats, FlowId, Link, Nanos, Packet, PathLedger, PipeProfile, SimRng,
 };
 
 pub const CLIENT: usize = 0;
@@ -112,17 +112,24 @@ pub struct PathStats {
     pub delivered_pkts: u64,
 }
 
-/// Packet-conservation ledger kept for the auditor: everything injected
-/// into the path must end up delivered, dropped (and counted), or still
-/// in transit.
-#[derive(Debug, Clone, Copy, Default)]
-struct PathLedger {
-    injected: u64,
-    delivered: u64,
-    dropped: u64,
-    /// Arrive events scheduled but not yet handled.
-    arrivals_pending: u64,
+/// One provisioned multipath leg: an independent pair of directed links
+/// (client→server, server→client) with its own loss, fault injector,
+/// conservation ledger, and on-path vantage point. Packets whose
+/// [`netsim::PacketMeta::pipe`] names this leg bypass the default
+/// bottleneck entirely (see `delivery::route_pipe`).
+pub(super) struct PipeState {
+    pub(super) profile: PipeProfile,
+    /// Directed links, indexed by source host (like the bottleneck).
+    pub(super) links: [Link; 2],
+    pub(super) faults: Option<FaultInjector>,
+    pub(super) ledger: PathLedger,
+    /// Vantage point on this leg: `Out` = client→server. An observer
+    /// here sees only the packets the splitter routed over this leg.
+    pub(super) capture: Capture,
 }
+
+/// Passive-open constructor installed by [`Network::set_custom_acceptor`].
+pub type CustomAcceptor = Box<dyn FnMut(FlowId) -> Box<dyn TransportCore>>;
 
 /// The whole simulated world.
 pub struct Network {
@@ -145,7 +152,18 @@ pub struct Network {
     /// Shared flow-trace ring: every shaping decision on either host is
     /// recorded here when installed (`set_tracer`).
     tracer: Option<Tracer>,
+    /// End-to-end flow ledger: every packet, tagged or not.
     ledger: PathLedger,
+    /// Ledger for packets on the default (single) path only; together
+    /// with the per-pipe ledgers it must sum to `ledger` field-by-field.
+    default_ledger: PathLedger,
+    /// Provisioned multipath legs (`provision_pipes`); empty = classic
+    /// single-path operation.
+    pub(super) pipes: Vec<PipeState>,
+    /// Passive-open constructor for custom transports: a MuxInit (or any
+    /// Mux datagram) arriving at the server for an unknown flow is
+    /// accepted through this, mirroring TCP SYN / QUIC Initial handling.
+    pub(super) custom_acceptor: Option<CustomAcceptor>,
     pub path_stats: PathStats,
     /// Vantage point at the client access link (the paper's capture
     /// position). `Out` = client→server.
@@ -181,6 +199,9 @@ impl Network {
             auditor: Auditor::new(),
             tracer: None,
             ledger: PathLedger::default(),
+            default_ledger: PathLedger::default(),
+            pipes: Vec::new(),
+            custom_acceptor: None,
             path_stats: PathStats::default(),
             client_capture: Capture::new(),
             server_capture: Capture::new(),
@@ -251,6 +272,73 @@ impl Network {
         self.faults.as_ref().map(|f| f.stats)
     }
 
+    // ------------------------------------------------------------------
+    // Multipath provisioning
+    // ------------------------------------------------------------------
+
+    /// Provision multipath legs for this network. Packets tagged with
+    /// `meta.pipe = Some(i)` are routed over leg `i` — an independent
+    /// pair of directed [`Link`]s with the profile's rate/delay/loss and
+    /// an independently seeded fault schedule (see
+    /// [`netsim::multilink::provision`]) — instead of the default
+    /// bottleneck. Untagged packets are unaffected, so TCP/QUIC flows
+    /// coexist with a multiplexed flow in the same simulation.
+    ///
+    /// Pipe fault schedules drive per-leg loss/outage/jitter; scheduled
+    /// MTU changes in a pipe scenario are ignored (MTU is an end-host
+    /// property, not a leg property). Link flaps on a leg drop rather
+    /// than buffer: an outage on an unreliable datagram leg loses
+    /// packets, and recovery is the multiplexer's job.
+    pub fn provision_pipes(&mut self, profiles: &[PipeProfile], seed: u64, horizon: Nanos) {
+        self.pipes = netsim::provision(profiles, seed, horizon)
+            .into_iter()
+            .map(|p| PipeState {
+                links: [
+                    Link::new(p.profile.rate_bps, p.profile.one_way_delay),
+                    Link::new(p.profile.rate_bps, p.profile.one_way_delay),
+                ],
+                faults: p.schedule.as_ref().map(FaultInjector::new),
+                ledger: PathLedger::default(),
+                capture: Capture::new(),
+                profile: p.profile,
+            })
+            .collect();
+    }
+
+    /// Install the passive-open constructor for custom transports: a
+    /// multipath datagram arriving at the server for an unknown flow
+    /// creates the connection through `make` (the server-side analogue
+    /// of [`Api::connect_custom`]).
+    pub fn set_custom_acceptor(
+        &mut self,
+        make: impl FnMut(FlowId) -> Box<dyn TransportCore> + 'static,
+    ) {
+        self.custom_acceptor = Some(Box::new(make));
+    }
+
+    /// Number of provisioned multipath legs.
+    pub fn pipe_count(&self) -> usize {
+        self.pipes.len()
+    }
+
+    /// The vantage point on leg `i` (packets the splitter routed there).
+    pub fn pipe_capture(&self, i: usize) -> Option<&Capture> {
+        self.pipes.get(i).map(|p| &p.capture)
+    }
+
+    /// Leg `i`'s conservation ledger.
+    pub fn pipe_ledger(&self, i: usize) -> Option<PathLedger> {
+        self.pipes.get(i).map(|p| p.ledger)
+    }
+
+    /// Fault counters for leg `i` (`None` if it has no schedule).
+    pub fn pipe_fault_stats(&self, i: usize) -> Option<FaultStats> {
+        self.pipes
+            .get(i)
+            .and_then(|p| p.faults.as_ref())
+            .map(|f| f.stats)
+    }
+
     /// Force the invariant auditor on or off (debug builds default on;
     /// release builds honour `STOB_AUDIT=1`).
     pub fn set_audit(&mut self, on: bool) {
@@ -275,8 +363,11 @@ impl Network {
         self.tracer.as_ref()
     }
 
-    /// Final invariant report: runs the conservation check over the path
-    /// ledger, then snapshots all recorded violations.
+    /// Final invariant report: runs the conservation check over the
+    /// end-to-end flow ledger, a per-pipe conservation check over every
+    /// provisioned leg, and the multipath sum rule (default path +
+    /// per-pipe ledgers must account for the flow ledger field by
+    /// field), then snapshots all recorded violations.
     pub fn audit_report(&mut self) -> AuditReport {
         let now = self.q.now();
         let in_transit = self.in_transit_pkts();
@@ -287,6 +378,39 @@ impl Network {
             self.ledger.dropped,
             in_transit,
         );
+        for (i, p) in self.pipes.iter().enumerate() {
+            self.auditor.check_pipe_conservation(
+                now,
+                i,
+                p.ledger.injected,
+                p.ledger.delivered,
+                p.ledger.dropped,
+                p.ledger.arrivals_pending,
+            );
+        }
+        if !self.pipes.is_empty() {
+            let sum = |f: fn(&PathLedger) -> u64| -> u64 {
+                f(&self.default_ledger) + self.pipes.iter().map(|p| f(&p.ledger)).sum::<u64>()
+            };
+            self.auditor.check_multipath_sum(
+                now,
+                "injected",
+                sum(|l| l.injected),
+                self.ledger.injected,
+            );
+            self.auditor.check_multipath_sum(
+                now,
+                "delivered",
+                sum(|l| l.delivered),
+                self.ledger.delivered,
+            );
+            self.auditor.check_multipath_sum(
+                now,
+                "dropped",
+                sum(|l| l.dropped),
+                self.ledger.dropped,
+            );
+        }
         self.auditor.report()
     }
 

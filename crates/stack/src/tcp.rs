@@ -50,6 +50,9 @@ pub enum TcpState {
 pub enum TimerKind {
     Rto,
     DelAck,
+    /// Multipath liveness probe / failover tick (`stack::mux`). TCP and
+    /// QUIC ignore it.
+    Probe,
 }
 
 /// Effects the connection asks the host/event loop to carry out.
@@ -812,6 +815,7 @@ impl TcpConn {
                     _ => Vec::new(),
                 }
             }
+            TimerKind::Probe => Vec::new(),
         }
     }
 }

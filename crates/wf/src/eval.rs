@@ -66,12 +66,40 @@ impl EvalResult {
 
 /// Evaluate the k-FP random-forest attack on a dataset.
 pub fn evaluate(dataset: &Dataset, cfg: &EvalConfig) -> EvalResult {
+    let features = extract_all(&dataset.traces, &cfg.features);
+    evaluate_features(dataset, features, cfg)
+}
+
+/// Evaluate a colluding observer that holds several *aligned* views of
+/// the same visits — e.g. the per-leg captures of a multipath flow plus
+/// their timestamp-union. The adversary does not discard which leg each
+/// packet took, so its classifier sees the concatenation of every
+/// view's feature vector. Labels and splits come from the first view.
+pub fn evaluate_joint(views: &[&Dataset], cfg: &EvalConfig) -> EvalResult {
+    let base = views.first().expect("at least one view");
+    let mut features = extract_all(&base.traces, &cfg.features);
+    for v in &views[1..] {
+        assert_eq!(
+            v.traces.len(),
+            base.traces.len(),
+            "joint views are not aligned"
+        );
+        for (row, extra) in features
+            .iter_mut()
+            .zip(extract_all(&v.traces, &cfg.features))
+        {
+            row.extend(extra);
+        }
+    }
+    evaluate_features(base, features, cfg)
+}
+
+fn evaluate_features(dataset: &Dataset, features: Vec<Vec<f64>>, cfg: &EvalConfig) -> EvalResult {
     assert!(
         dataset.len() >= 2 * dataset.n_classes(),
         "dataset too small"
     );
     let k = dataset.n_classes();
-    let features = extract_all(&dataset.traces, &cfg.features);
     let labels: Vec<usize> = dataset.traces.iter().map(|t| t.label).collect();
     let mut scores = Vec::with_capacity(cfg.repeats);
     let mut confusion = vec![vec![0usize; k]; k];

@@ -30,12 +30,17 @@ pub mod metrics;
 pub mod mlp;
 pub mod openworld;
 pub mod tree;
+pub mod vantage;
 
 pub use dl::{evaluate_dl, DlConfig, DlResult};
-pub use eval::{evaluate, AttackKind, EvalConfig, EvalResult};
+pub use eval::{evaluate, evaluate_joint, AttackKind, EvalConfig, EvalResult};
 pub use features::{extract_features, FeatureConfig, N_FEATURES};
 pub use forest::{Forest, ForestConfig};
 pub use knn::{KfpKnn, KnnConfig};
 pub use metrics::{accuracy, confusion_matrix, per_class_precision_recall};
 pub use openworld::{evaluate_open_world, OpenWorldConfig, OpenWorldResult};
 pub use tree::Tree;
+pub use vantage::{
+    evaluate_vantage, evaluate_vantage_open_world, split_dataset_round_robin, VantageOpenWorld,
+    VantageReport,
+};

@@ -15,6 +15,8 @@
 #     cargo run --release --locked -p stob-bench --bin table2 -- 12 25 2 7
 #   STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT=tests/golden/defense_matrix.json \
 #     cargo run --release --locked -p stob-bench --bin defense_matrix -- 6 10 2 7
+#   STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT=tests/golden/multipath.json \
+#     cargo run --release --locked -p stob-bench --bin multipath -- 12 30 10 11
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,3 +46,11 @@ check tests/golden/defense_matrix.json "defense_matrix (1 thread)"
 STOB_THREADS=4 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT="$out" \
     cargo run --release --locked -p stob-bench --bin defense_matrix -- 6 10 2 7
 check tests/golden/defense_matrix.json "defense_matrix (4 threads)"
+
+STOB_THREADS=1 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT="$out" \
+    cargo run --release --locked -p stob-bench --bin multipath -- 12 30 10 11
+check tests/golden/multipath.json "multipath (1 thread)"
+
+STOB_THREADS=4 STOB_JSON_NO_TIMINGS=1 STOB_JSON_OUT="$out" \
+    cargo run --release --locked -p stob-bench --bin multipath -- 12 30 10 11
+check tests/golden/multipath.json "multipath (4 threads)"

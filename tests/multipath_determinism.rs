@@ -1,0 +1,68 @@
+//! Multipath matrix determinism: the vantage-point matrix must render
+//! byte-identical JSON at any `STOB_THREADS`, across every pipe count,
+//! and the pipes=1 app-placement split must be the identity (each leg
+//! *and* the merged view equal the undefended baseline trace exactly).
+//!
+//! Everything runs inside ONE test function: `par::set_threads` is a
+//! process-wide override, so concurrent test functions would race on it.
+
+use netsim::{par, SimRng};
+use stack::mux::SplitterSpec;
+use stob_bench::collect_dataset;
+use stob_bench::multipath::{run_multipath, split_dataset, MultipathConfig};
+
+#[test]
+fn multipath_matrix_is_thread_count_invariant() {
+    // Small but full-shape workload: both splitters, both scenarios,
+    // both placements, all three pipe counts — the exact cell grid the
+    // golden uses, at sweep-friendly evaluation sizes.
+    let cfg = MultipathConfig {
+        trees: 6,
+        repeats: 2,
+        seed: 11,
+        pipe_counts: vec![1, 2, 4],
+        ..MultipathConfig::default()
+    };
+
+    par::set_threads(1);
+    let dataset = collect_dataset(3, 11).dataset;
+    let json_1 = run_multipath(&dataset, &cfg).to_json().to_string_pretty();
+
+    for threads in [2usize, 4, 8] {
+        par::set_threads(threads);
+        // Collection itself is part of the contract: the corpus the
+        // matrix consumes must not depend on the worker count either.
+        let dataset_n = collect_dataset(3, 11).dataset;
+        assert_eq!(
+            dataset.traces.len(),
+            dataset_n.traces.len(),
+            "corpus size at {threads} threads"
+        );
+        for (a, b) in dataset.traces.iter().zip(&dataset_n.traces) {
+            assert_eq!(a.packets, b.packets, "collected trace at {threads} threads");
+        }
+        let json_n = run_multipath(&dataset_n, &cfg).to_json().to_string_pretty();
+        assert_eq!(json_1, json_n, "matrix JSON at {threads} threads");
+    }
+
+    // pipes=1 is the degenerate split: one leg carries everything, no
+    // outage model applies, and both views are byte-for-byte the
+    // baseline trace — the tie the golden's +0.000 advantage cells rest
+    // on, for every splitting policy.
+    par::set_threads(1);
+    let root = SimRng::new(0x51);
+    for spec in [SplitterSpec::RoundRobin, SplitterSpec::PaddedRandom] {
+        let (merged, legs) = split_dataset(&dataset, &spec, 1, "outage-storm", &root);
+        assert_eq!(legs.len(), 1, "single pipe, single leg");
+        for ((m, l), base) in merged
+            .traces
+            .iter()
+            .zip(&legs[0].traces)
+            .zip(&dataset.traces)
+        {
+            assert_eq!(m.packets, base.packets, "merged view is the baseline");
+            assert_eq!(l.packets, base.packets, "lone leg is the baseline");
+        }
+    }
+    par::set_threads(0); // restore automatic resolution for other tests
+}
